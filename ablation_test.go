@@ -1,0 +1,17 @@
+package nectar
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// knocks out one design decision and asserts the system gets measurably
+// worse, demonstrating why the paper's design is the way it is.
+
+import "testing"
+
+func BenchmarkA1AckFastPath(b *testing.B) { benchExperiment(b, "A1") }
+func BenchmarkA2Window(b *testing.B)      { benchExperiment(b, "A2") }
+func BenchmarkA3Offload(b *testing.B)     { benchExperiment(b, "A3") }
+
+func BenchmarkX1VLSIScaleUp(b *testing.B)  { benchExperiment(b, "X1") }
+func BenchmarkX2HundredNodes(b *testing.B) { benchExperiment(b, "X2") }
+
+func BenchmarkX3VMTP(b *testing.B) { benchExperiment(b, "X3") }
+func BenchmarkX4DSM(b *testing.B)  { benchExperiment(b, "X4") }

@@ -1,0 +1,128 @@
+package nectar
+
+// Benchmark harness: one testing.B benchmark per experiment of the paper
+// reproduction (DESIGN.md experiment index). Each iteration performs the
+// full deterministic simulation for that experiment; the interesting
+// output is the reported custom metrics (simulated latencies and
+// throughputs), which mirror the tables printed by cmd/nectar-bench.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// benchExperiment runs one registered experiment per iteration and fails
+// the benchmark if the paper's shape is not reproduced.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res := e.Run()
+		if !res.Pass {
+			b.Fatalf("%s did not reproduce the paper's shape:\n%s", id, res)
+		}
+	}
+}
+
+func BenchmarkE1HubLatency(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkE2Bandwidth(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3LatencyGoals(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4Kernel(b *testing.B)         { benchExperiment(b, "E4") }
+func BenchmarkE5VsLAN(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE6MultiHub(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE7Multicast(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8Transports(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9NodeInterfaces(b *testing.B) { benchExperiment(b, "E9") }
+func BenchmarkE10Pipeline(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11Contention(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12Apps(b *testing.B)          { benchExperiment(b, "E12") }
+func BenchmarkF1Topologies(b *testing.B)     { benchExperiment(b, "F1") }
+
+// BenchmarkDatagramLatency reports the headline CAB-to-CAB figure as a
+// custom metric (simulated nanoseconds per 64-byte message).
+func BenchmarkDatagramLatency(b *testing.B) {
+	var lat sim.Time
+	for i := 0; i < b.N; i++ {
+		lat = measureDatagram(64)
+	}
+	b.ReportMetric(float64(lat), "sim-ns/msg")
+	if lat >= 30*sim.Microsecond {
+		b.Fatalf("latency %v breaks the <30us goal", lat)
+	}
+}
+
+// BenchmarkStreamThroughput reports bulk byte-stream throughput in
+// simulated Mb/s.
+func BenchmarkStreamThroughput(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		mbps = measureStream(512 * 1024)
+	}
+	b.ReportMetric(mbps, "sim-Mb/s")
+}
+
+// BenchmarkSimulatorEventRate reports the simulator's own speed: simulated
+// events executed per wall second while streaming 1 MB between two CABs.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSingleHub(2, core.DefaultParams())
+		rx := sys.CAB(1)
+		mb := rx.Kernel.NewMailbox("in", 2<<20)
+		rx.TP.Register(1, mb)
+		rx.Kernel.Spawn("rx", func(th *kernel.Thread) {
+			msg := mb.Get(th)
+			mb.Release(msg)
+		})
+		sys.CAB(0).Kernel.Spawn("tx", func(th *kernel.Thread) {
+			sys.CAB(0).TP.StreamSend(th, 1, 1, 0, make([]byte, 1<<20))
+		})
+		sys.Run()
+		events = sys.Eng.Executed()
+	}
+	b.ReportMetric(float64(events), "sim-events/run")
+}
+
+func measureDatagram(size int) sim.Time {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	rx := sys.CAB(1)
+	mb := rx.Kernel.NewMailbox("in", 1<<20)
+	rx.TP.Register(1, mb)
+	var sent, recvd sim.Time
+	rx.Kernel.Spawn("rx", func(th *kernel.Thread) {
+		msg := mb.Get(th)
+		recvd = th.Proc().Now()
+		mb.Release(msg)
+	})
+	sys.CAB(0).Kernel.Spawn("tx", func(th *kernel.Thread) {
+		sent = th.Proc().Now()
+		sys.CAB(0).TP.SendDatagram(th, 1, 1, 0, make([]byte, size))
+	})
+	sys.Run()
+	return recvd - sent
+}
+
+func measureStream(total int) float64 {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	rx := sys.CAB(1)
+	mb := rx.Kernel.NewMailbox("in", 2<<20)
+	rx.TP.Register(1, mb)
+	var start, end sim.Time
+	rx.Kernel.Spawn("rx", func(th *kernel.Thread) {
+		msg := mb.Get(th)
+		end = th.Proc().Now()
+		mb.Release(msg)
+	})
+	sys.CAB(0).Kernel.Spawn("tx", func(th *kernel.Thread) {
+		start = th.Proc().Now()
+		sys.CAB(0).TP.StreamSend(th, 1, 1, 0, make([]byte, total))
+	})
+	sys.Run()
+	return float64(total) * 8 / (end - start).Seconds() / 1e6
+}

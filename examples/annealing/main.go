@@ -1,0 +1,36 @@
+// Annealing runs a hypercube application ported to Nectar through the iPSC
+// compatibility library (§7): parallel simulated annealing for graph
+// partitioning, with flip exchange and global reductions each sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+	"repro/internal/apps"
+)
+
+func main() {
+	maxProcs := flag.Int("maxprocs", 8, "sweep process counts 1..maxprocs (powers of two)")
+	vertices := flag.Int("vertices", 256, "graph vertices")
+	sweeps := flag.Int("sweeps", 12, "annealing sweeps")
+	flag.Parse()
+
+	fmt.Println("iPSC simulated annealing (paper section 7)")
+	var base nectar.Time
+	for procs := 1; procs <= *maxProcs; procs *= 2 {
+		cfg := apps.DefaultAnnealConfig()
+		cfg.Procs = procs
+		cfg.Vertices = *vertices
+		cfg.Sweeps = *sweeps
+		sys := nectar.NewSingleHub(procs, nectar.DefaultParams())
+		res := nectar.RunAnnealing(sys, cfg)
+		if procs == 1 {
+			base = res.Elapsed
+		}
+		fmt.Printf("  %d process(es): cut %d -> %d, %d accepted, elapsed %v, speedup %.2fx\n",
+			procs, res.InitialCut, res.FinalCut, res.Accepted, res.Elapsed,
+			float64(base)/float64(res.Elapsed))
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a single-HUB Nectar system, exchange messages over the
+// three transport protocols, and print the latencies — the 30-second tour
+// of the public API.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+
+	// Register a mailbox at box 1 of CAB 1 and run a receiver thread.
+	rx := sys.CAB(1)
+	inbox := rx.Kernel.NewMailbox("inbox", 64<<10)
+	rx.TP.Register(1, inbox)
+
+	rx.Kernel.Spawn("receiver", func(th *nectar.Thread) {
+		for i := 0; i < 2; i++ {
+			msg := inbox.Get(th)
+			proto := "datagram:   "
+			if i == 1 {
+				proto = "byte-stream:"
+			}
+			fmt.Printf("%s %q from CAB %d after %v\n",
+				proto, msg.Bytes(), msg.Src, msg.Arrived)
+			inbox.Release(msg)
+		}
+	})
+
+	// An echo server for the request-response protocol at box 7.
+	srvBox := rx.Kernel.NewMailbox("server", 64<<10)
+	rx.TP.Register(7, srvBox)
+	rx.Kernel.SpawnDaemon("echo-server", func(th *nectar.Thread) {
+		for {
+			req := srvBox.Get(th)
+			rx.TP.Respond(th, req, append([]byte("echo:"), req.Bytes()...))
+			srvBox.Release(req)
+		}
+	})
+
+	// The sender exercises all three protocols from CAB 0.
+	tx := sys.CAB(0)
+	tx.Kernel.Spawn("sender", func(th *nectar.Thread) {
+		if err := tx.TP.SendDatagram(th, 1, 1, 0, []byte("unreliable hello")); err != nil {
+			panic(err)
+		}
+		if err := tx.TP.StreamSend(th, 1, 1, 0, []byte("reliable hello")); err != nil {
+			panic(err)
+		}
+		start := th.Proc().Now()
+		resp, err := tx.TP.Request(th, 1, 7, 2, []byte("ping"))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("req-resp:    %q round trip in %v\n", resp, th.Proc().Now()-start)
+	})
+
+	end := sys.Run()
+	fmt.Printf("\nsimulation finished at %v after %d events\n", end, sys.Eng.Executed())
+}

@@ -1,0 +1,61 @@
+package nectar_test
+
+// Frozen headline numbers: the simulation is deterministic, so the key
+// measurements of the reproduction are pinned exactly. If a refactor
+// changes any of these, it changed the modeled system — the diff must be
+// justified against the paper, not waved through.
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	for _, e := range nectar.Experiments() {
+		if e.ID == id {
+			res := e.Run()
+			if !res.Pass {
+				t.Fatalf("%s regressed:\n%s", id, res)
+			}
+			return res.String()
+		}
+	}
+	t.Fatalf("experiment %s not registered", id)
+	return ""
+}
+
+func TestFrozenHubNumbers(t *testing.T) {
+	out := runExperiment(t, "E1")
+	for _, want := range []string{
+		"connection setup + first byte      700ns (10 cycles)  700ns",
+		"established-circuit byte transfer  350ns (5 cycles)   350ns",
+		"controller grant interval          70ns (1 cycle)     70ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFrozenLatencyGoals(t *testing.T) {
+	out := runExperiment(t, "E3")
+	for _, want := range []string{
+		"CAB process to CAB process    64B   < 30us   28.38us   true",
+		"node process to node process  64B   < 100us  76.90us   true",
+		"connection through one HUB    -     < 1us    700ns     true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFrozenKernelNumbers(t *testing.T) {
+	out := runExperiment(t, "E4")
+	if !strings.Contains(out, "thread context switch               10-15us  12.00us") {
+		t.Fatalf("E4 thread switch drifted:\n%s", out)
+	}
+}

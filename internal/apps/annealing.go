@@ -1,0 +1,196 @@
+package apps
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ipsc"
+	"repro/internal/sim"
+)
+
+// Simulated annealing, one of the hypercube applications "being ported to
+// Nectar" through the iPSC library (paper §7). The kernel is a parallel
+// graph-partitioning annealer: vertices are divided among the iPSC
+// processes; each sweep, every process proposes moves for its vertices
+// against the current global cut, accepts them by the Metropolis rule, and
+// the processes exchange boundary updates and agree on the temperature
+// schedule with global reductions — the classic synchronous parallel
+// annealing structure.
+
+// AnnealConfig parameterizes the annealer.
+type AnnealConfig struct {
+	// Procs is the number of iPSC processes.
+	Procs int
+	// Vertices in the random graph (distributed evenly).
+	Vertices int
+	// Degree is the average vertex degree.
+	Degree int
+	// Sweeps is the number of temperature steps.
+	Sweeps int
+	// MovesPerSweep is the TOTAL moves proposed per sweep, divided among
+	// the processes (strong scaling).
+	MovesPerSweep int
+	// EvalCost is the CPU cost of evaluating one proposed move.
+	EvalCost sim.Time
+}
+
+// DefaultAnnealConfig returns a modest instance.
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{
+		Procs:         4,
+		Vertices:      256,
+		Degree:        4,
+		Sweeps:        12,
+		MovesPerSweep: 128,
+		EvalCost:      40 * sim.Microsecond,
+	}
+}
+
+// AnnealResult summarizes a run.
+type AnnealResult struct {
+	InitialCut int64
+	FinalCut   int64
+	Elapsed    sim.Time
+	Accepted   int64
+}
+
+// annealGraph is a deterministic random graph; edge (u,v) exists per an
+// LCG. Partition assignment: side[v] is a bit.
+type annealGraph struct {
+	n     int
+	edges [][2]int
+}
+
+func buildGraph(n, degree int) *annealGraph {
+	g := &annealGraph{n: n}
+	state := uint32(4242)
+	next := func(m uint32) uint32 {
+		state = state*1664525 + 1013904223
+		return (state >> 8) % m
+	}
+	for v := 0; v < n; v++ {
+		for d := 0; d < degree/2+1; d++ {
+			u := int(next(uint32(n)))
+			if u != v {
+				g.edges = append(g.edges, [2]int{v, u})
+			}
+		}
+	}
+	return g
+}
+
+// cutDelta computes the cut change if vertex v flips sides.
+func cutDelta(g *annealGraph, side []byte, v int) int {
+	delta := 0
+	for _, e := range g.edges {
+		var other int
+		switch v {
+		case e[0]:
+			other = e[1]
+		case e[1]:
+			other = e[0]
+		default:
+			continue
+		}
+		if side[v] == side[other] {
+			delta++ // flipping v cuts this edge
+		} else {
+			delta--
+		}
+	}
+	return delta
+}
+
+func totalCut(g *annealGraph, side []byte) int64 {
+	var cut int64
+	for _, e := range g.edges {
+		if side[e[0]] != side[e[1]] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// RunAnnealing executes the annealer and returns the result observed at
+// process 0.
+func RunAnnealing(sys *core.System, cfg AnnealConfig) *AnnealResult {
+	g := buildGraph(cfg.Vertices, cfg.Degree)
+	res := &AnnealResult{}
+
+	const tagFlips = 100
+
+	end := ipsc.Run(sys, cfg.Procs, func(c *ipsc.Ctx) {
+		me, n := c.Mynode(), c.Numnodes()
+		// Every process keeps a full replica of side[]; flips are
+		// exchanged each sweep (synchronous parallel annealing).
+		side := make([]byte, cfg.Vertices)
+		for v := range side {
+			side[v] = byte(v % 2)
+		}
+		if me == 0 {
+			res.InitialCut = totalCut(g, side)
+		}
+		lo := me * cfg.Vertices / n
+		hi := (me + 1) * cfg.Vertices / n
+
+		rng := uint32(77 + me)
+		next := func(m uint32) uint32 {
+			rng = rng*1664525 + 1013904223
+			return (rng >> 8) % m
+		}
+
+		temp := 4.0
+		var accepted int64
+		movesHere := cfg.MovesPerSweep / n
+		if movesHere < 1 {
+			movesHere = 1
+		}
+		for sweep := 0; sweep < cfg.Sweeps; sweep++ {
+			var flips []uint16
+			for mv := 0; mv < movesHere; mv++ {
+				v := lo + int(next(uint32(hi-lo)))
+				c.Compute(cfg.EvalCost)
+				delta := cutDelta(g, side, v)
+				accept := delta <= 0
+				if !accept {
+					// Metropolis: accept uphill with exp(-delta/T).
+					p := math.Exp(-float64(delta) / temp)
+					accept = float64(next(1_000_000))/1e6 < p
+				}
+				if accept {
+					side[v] ^= 1
+					flips = append(flips, uint16(v))
+					accepted++
+				}
+			}
+			// Exchange flips all-to-all so replicas converge.
+			buf := make([]byte, 2*len(flips))
+			for i, v := range flips {
+				binary.BigEndian.PutUint16(buf[2*i:], v)
+			}
+			for p := 0; p < n; p++ {
+				if p != me {
+					c.Csend(tagFlips+uint32(sweep), buf, p)
+				}
+			}
+			for p := 0; p < n-1; p++ {
+				got := c.Crecv(tagFlips + uint32(sweep))
+				for i := 0; i+1 < len(got); i += 2 {
+					side[binary.BigEndian.Uint16(got[i:])] ^= 1
+				}
+			}
+			// Agree on the temperature schedule and progress.
+			_ = c.Gisum(int64(len(flips)))
+			temp *= 0.85
+		}
+		if me == 0 {
+			res.FinalCut = totalCut(g, side)
+			res.Accepted = c.Gisum(accepted)
+		} else {
+			c.Gisum(accepted)
+		}
+	})
+	res.Elapsed = end
+	return res
+}

@@ -1,0 +1,239 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nectarine"
+	"repro/internal/sim"
+)
+
+// The parallel production system of paper §7: "matching is performed in
+// parallel using a distributed RETE network, and tokens that propagate
+// through the network are stored in a distributed task queue. The low
+// latency communication of Nectar provides good support for the
+// fine-grained parallelism required by this application."
+//
+// The implementation is a working (if small) production system: rules have
+// two condition elements; alpha memories are partitioned across match
+// tasks by attribute hash; a working-memory change (token) is sent to the
+// partitions whose rules test that attribute; beta joins fire productions
+// whose right-hand sides assert new working-memory elements, which
+// propagate again — the recognize-act cycle — until quiescence or a cycle
+// budget is reached. A coordinator implements the distributed task queue
+// and detects quiescence.
+
+// ProductionConfig parameterizes the system.
+type ProductionConfig struct {
+	// MatchNodes is the number of RETE partitions (match tasks).
+	MatchNodes int
+	// Rules is the total number of productions, distributed evenly.
+	Rules int
+	// InitialWMEs seeds the working memory.
+	InitialWMEs int
+	// MaxFirings bounds the run.
+	MaxFirings int
+	// MatchPerToken is the CPU cost of filtering one token against a
+	// partition's alpha network.
+	MatchPerToken sim.Time
+	// JoinCost is the beta-join cost when an alpha test matches.
+	JoinCost sim.Time
+}
+
+// DefaultProductionConfig returns a smallish OPS5-scale workload.
+func DefaultProductionConfig() ProductionConfig {
+	return ProductionConfig{
+		MatchNodes:    4,
+		Rules:         64,
+		InitialWMEs:   256,
+		MaxFirings:    100,
+		MatchPerToken: 400 * sim.Microsecond,
+		JoinCost:      600 * sim.Microsecond,
+	}
+}
+
+// ProductionResult summarizes a run.
+type ProductionResult struct {
+	Firings   int
+	Tokens    int
+	Elapsed   sim.Time
+	CycleTime sim.Time // mean time from token emission to firing
+}
+
+// wme is a working-memory element: (class, attr, value).
+type wme struct {
+	class, attr, value uint16
+}
+
+func encodeWME(w wme) []byte {
+	b := make([]byte, 6)
+	binary.BigEndian.PutUint16(b[0:], w.class)
+	binary.BigEndian.PutUint16(b[2:], w.attr)
+	binary.BigEndian.PutUint16(b[4:], w.value)
+	return b
+}
+
+func decodeWME(b []byte) wme {
+	return wme{
+		class: binary.BigEndian.Uint16(b[0:]),
+		attr:  binary.BigEndian.Uint16(b[2:]),
+		value: binary.BigEndian.Uint16(b[4:]),
+	}
+}
+
+// rule is a two-condition production: if a WME with (classA, attr) and one
+// with (classB, attr) share a value, assert a new WME.
+type rule struct {
+	classA, classB uint16
+	attr           uint16
+	emitClass      uint16
+}
+
+// Production-system message tags.
+const (
+	tagToken  = 10
+	tagFire   = 11
+	tagHalt   = 12
+	tagCredit = 13
+)
+
+// RunProduction runs the distributed production system on 1+MatchNodes
+// CABs (coordinator on CAB 0).
+func RunProduction(sys *core.System, cfg ProductionConfig) (*ProductionResult, error) {
+	if sys.NumCABs() < 1+cfg.MatchNodes {
+		return nil, fmt.Errorf("apps: production needs %d CABs, have %d", 1+cfg.MatchNodes, sys.NumCABs())
+	}
+	app := nectarine.NewApp(sys)
+	res := &ProductionResult{}
+
+	matchName := func(i int) string { return fmt.Sprintf("match%d", i) }
+	partitionOf := func(attr uint16) int { return int(attr) % cfg.MatchNodes }
+
+	// Generate the rule set deterministically over a small domain so the
+	// recognize-act cycle sustains itself: 4 classes, 8 attributes, and
+	// fired rules assert WMEs whose classes feed other rules.
+	// Fired rules assert WMEs of result classes (8+) that no rule tests:
+	// the workload is match-parallel (the parallelism studied by the
+	// paper's reference [14], Soar/PSM-E), so the conflict set stays wide
+	// and the partitions stay busy rather than chasing a serial chain of
+	// inferences.
+	rules := make([]rule, cfg.Rules)
+	for i := range rules {
+		rules[i] = rule{
+			classA:    uint16(i % 4),
+			classB:    uint16((i + 1) % 4),
+			attr:      uint16(i % 8),
+			emitClass: uint16(8 + i%4),
+		}
+	}
+
+	// Match tasks: each holds the rules whose attr hashes to it, plus the
+	// alpha memories for those rules.
+	for i := 0; i < cfg.MatchNodes; i++ {
+		part := i
+		app.NewCABTask(matchName(i), 1+i, func(tc *nectarine.TaskCtx) {
+			var mine []rule
+			for _, r := range rules {
+				if partitionOf(r.attr) == part {
+					mine = append(mine, r)
+				}
+			}
+			// alpha[class][attr] -> set of values seen.
+			alpha := make(map[uint32]map[uint16]bool)
+			akey := func(class, attr uint16) uint32 { return uint32(class)<<16 | uint32(attr) }
+			for {
+				m := tc.Recv()
+				if m.Tag == tagHalt {
+					return
+				}
+				w := decodeWME(m.Data)
+				tc.Compute(cfg.MatchPerToken)
+				set := alpha[akey(w.class, w.attr)]
+				if set == nil {
+					set = make(map[uint16]bool)
+					alpha[akey(w.class, w.attr)] = set
+				}
+				if set[w.value] {
+					// Duplicate WME: no new matches; return the token
+					// credit to the coordinator.
+					tc.Send("coordinator", tagCredit, nectarine.Bytes(nil))
+					continue
+				}
+				set[w.value] = true
+				// Beta joins: does any rule here now have both sides?
+				fired := 0
+				for _, r := range mine {
+					if r.attr != w.attr {
+						continue
+					}
+					var other uint16
+					switch w.class {
+					case r.classA:
+						other = r.classB
+					case r.classB:
+						other = r.classA
+					default:
+						continue
+					}
+					if alpha[akey(other, r.attr)][w.value] {
+						tc.Compute(cfg.JoinCost)
+						// Fire: RHS asserts a new WME (value rotated) via
+						// the coordinator's task queue.
+						out := wme{class: r.emitClass, attr: (r.attr + 3) % 8, value: (w.value + 1) % 12}
+						hdr := append(encodeWME(out), m.Data...)
+						tc.Send("coordinator", tagFire, nectarine.Bytes(hdr))
+						fired++
+					}
+				}
+				if fired == 0 {
+					tc.Send("coordinator", tagCredit, nectarine.Bytes(nil))
+				}
+			}
+		})
+	}
+
+	// Coordinator: seeds working memory, routes tokens to partitions,
+	// implements the distributed task queue (firings re-enter as new
+	// tokens), and detects quiescence by credit counting.
+	app.NewCABTask("coordinator", 0, func(tc *nectarine.TaskCtx) {
+		start := tc.Now()
+		outstanding := 0
+		sendToken := func(w wme) {
+			dst := partitionOf(w.attr)
+			tc.Send(matchName(dst), tagToken, nectarine.Bytes(encodeWME(w)))
+			outstanding++
+			res.Tokens++
+		}
+		rng := uint32(99)
+		next := func(n uint32) uint32 {
+			rng = rng*1664525 + 1013904223
+			return (rng >> 16) % n
+		}
+		for i := 0; i < cfg.InitialWMEs; i++ {
+			sendToken(wme{class: uint16(next(4)), attr: uint16(next(8)), value: uint16(next(6))})
+		}
+		for outstanding > 0 && res.Firings < cfg.MaxFirings {
+			m := tc.Recv()
+			switch m.Tag {
+			case tagFire:
+				outstanding--
+				res.Firings++
+				// The asserted WME re-enters the match network.
+				sendToken(decodeWME(m.Data[:6]))
+			case tagCredit:
+				outstanding--
+			}
+		}
+		res.Elapsed = tc.Now() - start
+		if res.Firings > 0 {
+			res.CycleTime = res.Elapsed / sim.Time(res.Firings)
+		}
+		for i := 0; i < cfg.MatchNodes; i++ {
+			tc.Send(matchName(i), tagHalt, nectarine.Bytes(nil))
+		}
+	})
+
+	app.Run()
+	return res, nil
+}

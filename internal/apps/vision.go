@@ -1,0 +1,249 @@
+// Package apps implements the applications of paper §7 as libraries over
+// Nectarine and iPSC, used by the runnable examples and by experiment E12:
+//
+//   - a computer vision pipeline ("uses a Warp machine for low-level vision
+//     analysis and Sun workstations for manipulating image features that
+//     are stored in a distributed spatial database");
+//   - a parallel production system ("matching is performed in parallel
+//     using a distributed RETE network, and tokens that propagate through
+//     the network are stored in a distributed task queue");
+//   - simulated annealing ported through the iPSC library.
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nectarine"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/warp"
+)
+
+// VisionConfig parameterizes the vision pipeline.
+type VisionConfig struct {
+	// Frames to process.
+	Frames int
+	// FrameBytes is the raw image size (e.g. 256 KB for 512x512 8-bit).
+	FrameBytes int
+	// FrameWidth is the image width (height = FrameBytes / FrameWidth).
+	FrameWidth int
+	// FeaturesPerFrame caps the features extracted per frame.
+	FeaturesPerFrame int
+	// DBNodes is the number of Sun workstations holding the spatial
+	// database partitions.
+	DBNodes int
+	// DBOnNodes places the database partitions on node-resident tasks
+	// (Sun workstations behind the shared-memory CAB interface, as in the
+	// paper's deployment) instead of CAB-resident tasks. Placement
+	// changes performance exactly as §6.3 warns: "the allocation of
+	// tasks and data to processors and memories has a serious impact on
+	// performance."
+	DBOnNodes bool
+	// QueriesPerFrame issued by the recognition stage.
+	QueriesPerFrame int
+	// SunPerInsert / SunPerQuery are database operation costs.
+	SunPerInsert sim.Time
+	SunPerQuery  sim.Time
+}
+
+// DefaultVisionConfig returns the workload of the paper's first
+// application: video-rate image transfer plus low-latency feature queries.
+func DefaultVisionConfig() VisionConfig {
+	return VisionConfig{
+		Frames:           8,
+		FrameBytes:       256 * 1024,
+		FrameWidth:       512,
+		FeaturesPerFrame: 48,
+		DBNodes:          3,
+		QueriesPerFrame:  16,
+		SunPerInsert:     150 * sim.Microsecond,
+		SunPerQuery:      400 * sim.Microsecond,
+	}
+}
+
+// VisionResult summarizes a run.
+type VisionResult struct {
+	Frames        int
+	Elapsed       sim.Time
+	FramesPerSec  float64
+	QueryLatency  *trace.Histogram
+	InsertsServed int
+	FeaturesFound int
+}
+
+func encodeFeature(f warp.Feature) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:], f.X)
+	binary.BigEndian.PutUint16(b[2:], f.Y)
+	binary.BigEndian.PutUint16(b[4:], 0)
+	binary.BigEndian.PutUint16(b[6:], f.Score)
+	return b
+}
+
+// drawScene renders frame f of the synthetic camera feed: a bright square
+// that drifts across the image, so the Sobel stage finds moving edges.
+func drawScene(frame, width, height int) []byte {
+	img := make([]byte, width*height)
+	off := (frame * 8) % (width / 4)
+	lo := width/4 + off
+	hi := lo + width/4
+	for y := lo; y < hi && y < height; y++ {
+		for x := lo; x < hi && x < width; x++ {
+			img[y*width+x] = 200
+		}
+	}
+	return img
+}
+
+// dbPartition maps a feature to its database node by spatial hash.
+func dbPartition(x, y uint16, nodes int) int {
+	return int((uint32(x)*31 + uint32(y)*17) % uint32(nodes))
+}
+
+// Tags used by the pipeline.
+const (
+	tagFrame  = 1
+	tagInsert = 2
+	tagQuery  = 3
+	tagAnswer = 4
+	tagDone   = 5
+	tagReady  = 6
+)
+
+// RunVision builds and runs the vision pipeline on a system with at least
+// 3+DBNodes CABs: a camera/frame source (CAB 0), the Warp (CAB 1), a
+// recognition task (CAB 2), and DB partitions on CABs 3... The assignment
+// of tasks to nodes is static, as the paper describes ("this application
+// has a static computational model").
+func RunVision(sys *core.System, cfg VisionConfig) (*VisionResult, error) {
+	if sys.NumCABs() < 3+cfg.DBNodes {
+		return nil, fmt.Errorf("apps: vision needs %d CABs, have %d", 3+cfg.DBNodes, sys.NumCABs())
+	}
+	app := nectarine.NewApp(sys)
+	app.SetMachine(1, nectarine.Warp)
+	for i := 0; i < cfg.DBNodes; i++ {
+		app.SetMachine(3+i, nectarine.Sun4)
+	}
+	var dbHosts []*node.Node
+	if cfg.DBOnNodes {
+		dbHosts = make([]*node.Node, cfg.DBNodes)
+		for i := range dbHosts {
+			dbHosts[i] = node.New(sys.CAB(3+i), fmt.Sprintf("sun%d", i), node.DefaultParams())
+		}
+	}
+
+	res := &VisionResult{Frames: cfg.Frames, QueryLatency: trace.NewHistogram("query-latency")}
+
+	dbName := func(i int) string { return fmt.Sprintf("db%d", i) }
+
+	width := cfg.FrameWidth
+	height := cfg.FrameBytes / width
+
+	// Camera: renders and ships raw frames to the Warp over the
+	// Nectar-net — the "megabyte images at video rates" requirement
+	// ("high bandwidth for image transfer").
+	app.NewCABTask("camera", 0, func(tc *nectarine.TaskCtx) {
+		for f := 0; f < cfg.Frames; f++ {
+			frame := drawScene(f, width, height)
+			if err := tc.Send("warp", tagFrame, nectarine.Bytes(frame)); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	// Warp: consumes raw frames, runs the Sobel kernel on the systolic
+	// array (real convolution arithmetic at the array's published
+	// timing), extracts edge features, and distributes them to the
+	// spatial database.
+	warpArray := warp.New(sys.Eng, "warp-array")
+	app.NewCABTask("warp", 1, func(tc *nectarine.TaskCtx) {
+		for f := 0; f < cfg.Frames; f++ {
+			m := tc.RecvTag(tagFrame)
+			if len(m.Data) != cfg.FrameBytes {
+				panic("vision: truncated frame")
+			}
+			grad := warpArray.Run(tc.Proc(), warp.Sobel, m.Data, width)
+			feats := warp.ExtractFeatures(grad, width, 60, 16, cfg.FeaturesPerFrame)
+			res.FeaturesFound += len(feats)
+			for _, ft := range feats {
+				dst := dbPartition(ft.X, ft.Y, cfg.DBNodes)
+				if err := tc.Send(dbName(dst), tagInsert, nectarine.Bytes(encodeFeature(ft))); err != nil {
+					panic(err)
+				}
+			}
+			// Tell recognition a frame is ready.
+			tc.Send("recognition", tagReady, nectarine.Bytes([]byte{byte(f)}))
+		}
+	})
+
+	// Database partitions: serve inserts and spatial queries, either as
+	// CAB-resident tasks (off-loaded) or as processes on the Sun nodes.
+	dbBody := func(i int) func(tc *nectarine.TaskCtx) {
+		return func(tc *nectarine.TaskCtx) {
+			stored := 0
+			for {
+				m := tc.Recv()
+				switch m.Tag {
+				case tagInsert:
+					tc.Compute(cfg.SunPerInsert)
+					stored++
+					res.InsertsServed++
+				case tagQuery:
+					tc.Compute(cfg.SunPerQuery)
+					// Respond with the count in range (toy answer
+					// carrying the query id back).
+					tc.Send("recognition", tagAnswer, nectarine.Bytes(m.Data))
+				case tagDone:
+					return
+				}
+			}
+		}
+	}
+	for i := 0; i < cfg.DBNodes; i++ {
+		if cfg.DBOnNodes {
+			app.NewNodeTask(dbName(i), dbHosts[i], dbBody(i))
+		} else {
+			app.NewCABTask(dbName(i), 3+i, dbBody(i))
+		}
+	}
+
+	// Recognition: on each frame, issues spatial queries against the
+	// database partitions and waits for the answers (the low-latency
+	// "vertical" communication of §2.3).
+	app.NewCABTask("recognition", 2, func(tc *nectarine.TaskCtx) {
+		rng := uint32(7)
+		next := func(n uint32) uint32 {
+			rng = rng*1664525 + 1013904223
+			return (rng >> 16) % n
+		}
+		var start sim.Time
+		for f := 0; f < cfg.Frames; f++ {
+			if f == 0 {
+				start = tc.Now()
+			}
+			tc.RecvTag(tagReady)
+			for q := 0; q < cfg.QueriesPerFrame; q++ {
+				x, y := uint16(next(512)), uint16(next(512))
+				dst := dbPartition(x, y, cfg.DBNodes)
+				qid := []byte{byte(q), byte(f), byte(dst), 0}
+				issued := tc.Now()
+				tc.Send(dbName(dst), tagQuery, nectarine.Bytes(qid))
+				tc.RecvTag(tagAnswer)
+				res.QueryLatency.Add(tc.Now() - issued)
+			}
+		}
+		res.Elapsed = tc.Now() - start
+		for i := 0; i < cfg.DBNodes; i++ {
+			tc.Send(dbName(i), tagDone, nectarine.Bytes(nil))
+		}
+	})
+
+	app.Run()
+	if res.Elapsed > 0 {
+		res.FramesPerSec = float64(cfg.Frames) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package cab
+
+import (
+	"repro/internal/fiber"
+	"repro/internal/sim"
+)
+
+// Board is one CAB: the hardware platform that the CAB kernel, datalink and
+// transport software run on. It is a fiber.Endpoint (the two fibers connect
+// it to a HUB port) and exposes the devices of paper Figure 8: CPU, DMA
+// controller, memory with protection, checksum unit, and timers.
+type Board struct {
+	eng  *sim.Engine
+	name string
+	id   int // network-wide CAB identifier (datalink address)
+
+	CPU    *CPU
+	Mem    *Memory
+	DMA    *DMA
+	Timers *Timers
+
+	// Fiber side.
+	out *fiber.Link
+	// netReady is the CAB's outgoing ready bit: the HUB input queue at
+	// the far end of our output fiber can accept another packet.
+	netReady    bool
+	netReadySig *sim.Signal
+	// itemHandler is the datalink's raw receive hook, called at an
+	// item's first-byte arrival (the hardware raises the interrupt on
+	// start of packet).
+	itemHandler func(*fiber.Item)
+	// drainUpstream signals the HUB output register feeding us that the
+	// start of packet emerged from our input queue (set by wiring).
+	drainUpstream func()
+
+	itemsIn, itemsDropped int64
+}
+
+// NewBoard creates a CAB board with all devices.
+func NewBoard(eng *sim.Engine, id int, name string) *Board {
+	return &Board{
+		eng:         eng,
+		name:        name,
+		id:          id,
+		CPU:         NewCPU(eng),
+		Mem:         NewMemory(),
+		DMA:         NewDMA(eng),
+		Timers:      NewTimers(eng),
+		netReady:    true,
+		netReadySig: sim.NewSignal(eng),
+	}
+}
+
+// Engine returns the simulation engine.
+func (b *Board) Engine() *sim.Engine { return b.eng }
+
+// ID returns the CAB's network identifier.
+func (b *Board) ID() int { return b.id }
+
+// Name returns the board name.
+func (b *Board) Name() string { return b.name }
+
+// EndpointName implements fiber.Endpoint.
+func (b *Board) EndpointName() string { return b.name }
+
+// AttachNet wires the board's outgoing fiber. drainUpstream is invoked when
+// the board's input queue drains a packet, restoring the upstream HUB
+// output's ready bit.
+func (b *Board) AttachNet(out *fiber.Link, drainUpstream func()) {
+	b.out = out
+	b.drainUpstream = drainUpstream
+}
+
+// SetItemHandler registers the datalink receive hook.
+func (b *Board) SetItemHandler(fn func(*fiber.Item)) { b.itemHandler = fn }
+
+// Receive implements fiber.Endpoint: an item arrived on the incoming fiber.
+func (b *Board) Receive(it *fiber.Item) {
+	b.itemsIn++
+	if b.itemHandler == nil {
+		b.itemsDropped++
+		return
+	}
+	b.itemHandler(it)
+}
+
+// Send serializes items onto the outgoing fiber in order.
+func (b *Board) Send(items ...*fiber.Item) {
+	for _, it := range items {
+		b.out.Send(it, b.eng.Now())
+	}
+}
+
+// OutBusyUntil returns when the outgoing fiber finishes currently queued
+// transmissions.
+func (b *Board) OutBusyUntil() sim.Time { return b.out.BusyUntil() }
+
+// NetReady reports the outgoing ready bit (the attached HUB input queue can
+// accept another packet).
+func (b *Board) NetReady() bool { return b.netReady }
+
+// ClearNetReady marks the attached HUB input queue as holding our packet
+// (called by the datalink when it launches a packet-switched packet).
+func (b *Board) ClearNetReady() { b.netReady = false }
+
+// SetNetReady is called (via topology wiring) when the attached HUB input
+// queue drains; it wakes any process blocked in WaitNetReady.
+func (b *Board) SetNetReady() {
+	b.netReady = true
+	b.netReadySig.Broadcast()
+}
+
+// WaitNetReady blocks the process until the outgoing ready bit is set.
+func (b *Board) WaitNetReady(p *sim.Proc) {
+	for !b.netReady {
+		b.netReadySig.Wait(p)
+	}
+}
+
+// DrainedPacket is called by the datalink when the start of packet has been
+// moved out of the board's input queue (DMA into a mailbox has begun); it
+// propagates the ready signal upstream.
+func (b *Board) DrainedPacket() {
+	if b.drainUpstream != nil {
+		b.drainUpstream()
+	}
+}
+
+// ItemsReceived returns the count of items that arrived on the input fiber.
+func (b *Board) ItemsReceived() int64 { return b.itemsIn }

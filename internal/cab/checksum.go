@@ -1,0 +1,25 @@
+package cab
+
+// Checksum is the CAB's hardware checksum unit ("hardware checksum
+// computation removes this burden from protocol software", paper §5.1).
+// It computes the ones'-complement Internet checksum; because the hardware
+// computes it on the fly during DMA, no CPU time is charged.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether data matches the given checksum.
+func VerifyChecksum(b []byte, want uint16) bool {
+	return Checksum(b) == want
+}

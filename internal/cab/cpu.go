@@ -1,0 +1,149 @@
+// Package cab models the Communication Accelerator Board (paper §5): a
+// RISC-based processor board that implements the network protocols,
+// interfaces the Nectar-net to a node's VME bus, and can run off-loaded
+// application tasks.
+//
+// The board comprises a CPU (a 16 MHz SPARC in the prototype), a DMA
+// controller that moves data between the fibers, CAB memory and the VME bus
+// concurrently with computation, program and data memory with per-page
+// protection across 32 domains, a hardware checksum unit, and hardware
+// timers. Software costs (protocol processing, interrupt handling) are
+// charged to the simulated CPU so they appear in end-to-end latency exactly
+// as they did on the prototype.
+package cab
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Priority of CPU work. Interrupt-level work preempts thread-level work
+// (the SPARC reserves a register window for trap handling, paper §6.2.1).
+type Priority int
+
+// CPU priorities.
+const (
+	PrioInterrupt Priority = iota
+	PrioThread
+)
+
+// job is one unit of CPU work.
+type job struct {
+	prio      Priority
+	remaining sim.Time
+	done      func()
+	name      string
+}
+
+// CPU is a preemptible work server. Work is submitted with a duration and a
+// completion callback; interrupt-level work preempts thread-level work,
+// whose remaining time resumes afterwards. The model composes costs
+// correctly: a thread computation delayed by interrupts finishes late by
+// exactly the stolen time.
+type CPU struct {
+	eng *sim.Engine
+
+	cur      *job
+	curEvent *sim.Event
+	curStart sim.Time
+
+	intq []*job // pending interrupt-level jobs (FIFO)
+	thq  []*job // pending thread-level jobs (FIFO)
+
+	busy     sim.Time // accumulated busy time
+	jobsDone int64
+}
+
+// NewCPU returns an idle CPU.
+func NewCPU(eng *sim.Engine) *CPU {
+	return &CPU{eng: eng}
+}
+
+// BusyTime returns the total time the CPU has spent executing completed or
+// partially-executed work.
+func (c *CPU) BusyTime() sim.Time { return c.busy }
+
+// JobsDone returns the number of completed jobs.
+func (c *CPU) JobsDone() int64 { return c.jobsDone }
+
+// Idle reports whether the CPU has no running or queued work.
+func (c *CPU) Idle() bool { return c.cur == nil && len(c.intq) == 0 && len(c.thq) == 0 }
+
+// Submit schedules work of the given duration; done runs on completion.
+// Zero-duration work completes via the event queue (preserving ordering).
+func (c *CPU) Submit(prio Priority, name string, d sim.Time, done func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("cab: negative CPU work %v", d))
+	}
+	j := &job{prio: prio, remaining: d, done: done, name: name}
+	if prio == PrioInterrupt {
+		c.intq = append(c.intq, j)
+		// Preempt thread-level work.
+		if c.cur != nil && c.cur.prio == PrioThread {
+			c.preempt()
+		}
+	} else {
+		c.thq = append(c.thq, j)
+	}
+	c.dispatch()
+}
+
+// preempt stops the current thread-level job, banking its progress, and
+// requeues it at the front of the thread queue.
+func (c *CPU) preempt() {
+	elapsed := c.eng.Now() - c.curStart
+	c.busy += elapsed
+	c.cur.remaining -= elapsed
+	if c.cur.remaining < 0 {
+		c.cur.remaining = 0
+	}
+	c.eng.Cancel(c.curEvent)
+	c.thq = append([]*job{c.cur}, c.thq...)
+	c.cur = nil
+	c.curEvent = nil
+}
+
+// dispatch starts the next job if the CPU is free.
+func (c *CPU) dispatch() {
+	if c.cur != nil {
+		return
+	}
+	var j *job
+	switch {
+	case len(c.intq) > 0:
+		j = c.intq[0]
+		c.intq = c.intq[1:]
+	case len(c.thq) > 0:
+		j = c.thq[0]
+		c.thq = c.thq[1:]
+	default:
+		return
+	}
+	c.cur = j
+	c.curStart = c.eng.Now()
+	c.curEvent = c.eng.After(j.remaining, func() {
+		c.busy += c.eng.Now() - c.curStart
+		c.cur = nil
+		c.curEvent = nil
+		c.jobsDone++
+		if j.done != nil {
+			j.done()
+		}
+		c.dispatch()
+	})
+}
+
+// RunInterrupt is a convenience for interrupt handlers: charge `d` of
+// interrupt-level CPU time, then run fn.
+func (c *CPU) RunInterrupt(name string, d sim.Time, fn func()) {
+	c.Submit(PrioInterrupt, name, d, fn)
+}
+
+// Compute blocks the calling process for d of thread-level CPU time
+// (stretched by any interrupts that arrive meanwhile).
+func (c *CPU) Compute(p *sim.Proc, name string, d sim.Time) {
+	done := sim.NewSignal(p.Engine())
+	c.Submit(PrioThread, name, d, func() { done.Broadcast() })
+	done.Wait(p)
+}

@@ -1,0 +1,154 @@
+package cab
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DMA channels (paper §5.1: "The DMA controller is able to manage
+// simultaneous data transfers between the incoming and outgoing fibers and
+// CAB memory, as well as between VME and CAB memory, leaving the CAB CPU
+// free for protocol and application processing").
+type Channel int
+
+// DMA channels.
+const (
+	ChanFiberOut Channel = iota
+	ChanFiberIn
+	ChanVME
+	numChannels
+)
+
+// String returns the channel name.
+func (c Channel) String() string {
+	switch c {
+	case ChanFiberOut:
+		return "fiber-out"
+	case ChanFiberIn:
+		return "fiber-in"
+	case ChanVME:
+		return "vme"
+	default:
+		return fmt.Sprintf("chan(%d)", int(c))
+	}
+}
+
+// Per-byte transfer times. The fibers run at 100 Mb/s = 12.5 MB/s; the
+// initial VME interface supports 10 MB/s (paper §5.2). The 66 MB/s data
+// memory sustains all channels plus the CPU concurrently, so no memory
+// contention is modeled (the paper sized it so there is none).
+//
+// The fiber-in channel drains the input queue at memory speed (the 66 MB/s
+// data memory); it can never finish before the packet's last byte arrives,
+// which callers enforce with the packet's arrival end time. The fiber-out
+// channel is paced by the outgoing fiber itself.
+const (
+	FiberChanByteTime = 80 * sim.Nanosecond
+	DrainByteTime     = 15 * sim.Nanosecond
+	VMEByteTime       = 100 * sim.Nanosecond
+)
+
+// DMA is the CAB's three-channel DMA controller. Channels operate
+// concurrently with each other and with the CPU; transfers on one channel
+// are serviced in FIFO order.
+type DMA struct {
+	eng       *sim.Engine
+	busyUntil [numChannels]sim.Time
+	rate      [numChannels]sim.Time
+	transfers [numChannels]int64
+	bytes     [numChannels]int64
+}
+
+// NewDMA returns a DMA controller with prototype channel rates.
+func NewDMA(eng *sim.Engine) *DMA {
+	d := &DMA{eng: eng}
+	d.rate[ChanFiberOut] = FiberChanByteTime
+	d.rate[ChanFiberIn] = DrainByteTime
+	d.rate[ChanVME] = VMEByteTime
+	return d
+}
+
+// Transfers returns the number of transfers completed or queued on ch.
+func (d *DMA) Transfers(ch Channel) int64 { return d.transfers[ch] }
+
+// Bytes returns the bytes moved on ch.
+func (d *DMA) Bytes(ch Channel) int64 { return d.bytes[ch] }
+
+// BusyUntil returns when ch finishes its queued work.
+func (d *DMA) BusyUntil(ch Channel) sim.Time { return d.busyUntil[ch] }
+
+// Transfer queues n bytes on ch; done (optional) runs at completion.
+// It returns the completion time. The CPU is not involved: the kernel
+// charges only its own setup cost.
+func (d *DMA) Transfer(ch Channel, n int, done func()) sim.Time {
+	if n < 0 {
+		panic(fmt.Sprintf("cab: negative DMA length %d", n))
+	}
+	start := d.eng.Now()
+	if start < d.busyUntil[ch] {
+		start = d.busyUntil[ch]
+	}
+	end := start + sim.Time(n)*d.rate[ch]
+	d.busyUntil[ch] = end
+	d.transfers[ch]++
+	d.bytes[ch] += int64(n)
+	if done != nil {
+		d.eng.At(end, done)
+	}
+	return end
+}
+
+// TransferWait is Transfer for process context: it blocks until completion.
+func (d *DMA) TransferWait(p *sim.Proc, ch Channel, n int) {
+	sig := sim.NewSignal(p.Engine())
+	d.Transfer(ch, n, func() { sig.Broadcast() })
+	sig.Wait(p)
+}
+
+// Timer is a cancellable hardware timer ("hardware timers allow time-outs
+// to be set by the software with low overhead", paper §5.1).
+type Timer struct {
+	ev    *sim.Event
+	eng   *sim.Engine
+	fired *bool
+}
+
+// Cancel stops the timer if it has not fired.
+func (t *Timer) Cancel() {
+	if t != nil {
+		t.eng.Cancel(t.ev)
+	}
+}
+
+// Fired reports whether the timer expired.
+func (t *Timer) Fired() bool { return *t.fired }
+
+// Timers is the CAB's bank of hardware timers.
+type Timers struct {
+	eng   *sim.Engine
+	set   int64
+	fired int64
+}
+
+// NewTimers returns the timer bank.
+func NewTimers(eng *sim.Engine) *Timers {
+	return &Timers{eng: eng}
+}
+
+// Set arms a timer to run fn after d.
+func (t *Timers) Set(d sim.Time, fn func()) *Timer {
+	t.set++
+	fired := false
+	tm := &Timer{eng: t.eng, fired: &fired}
+	tm.ev = t.eng.After(d, func() {
+		fired = true
+		t.fired++
+		fn()
+	})
+	return tm
+}
+
+// Armed returns how many timers were set; Expired how many fired.
+func (t *Timers) Armed() int64   { return t.set }
+func (t *Timers) Expired() int64 { return t.fired }

@@ -1,0 +1,133 @@
+// Package core assembles complete Nectar systems: HUBs and fibers from the
+// topology layer, and on every CAB board a kernel, datalink, and transport
+// stack. It is the construction entry point used by the public nectar
+// package, the examples, and the experiment harness.
+package core
+
+import (
+	"repro/internal/cab"
+	"repro/internal/datalink"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Params aggregates all model parameters. Zero-value fields are replaced by
+// the defaults documented in each package (which are the values used for
+// the paper-reproduction experiments).
+type Params struct {
+	Kernel    kernel.Params
+	Datalink  datalink.Params
+	Transport transport.Params
+	Topo      topo.Options
+	// RecorderLimit bounds retained instrumentation events (0 disables
+	// the recorder entirely).
+	RecorderLimit int
+}
+
+// DefaultParams returns the full prototype parameter set.
+func DefaultParams() Params {
+	return Params{
+		Kernel:    kernel.DefaultParams(),
+		Datalink:  datalink.DefaultParams(),
+		Transport: transport.DefaultParams(),
+		Topo:      topo.DefaultOptions(),
+	}
+}
+
+// normalize fills zero-valued sub-parameters with defaults.
+func (p Params) normalize() Params {
+	if p.Kernel.ContextSwitch == 0 {
+		p.Kernel = kernel.DefaultParams()
+	}
+	if p.Datalink.OpenAttempts == 0 {
+		p.Datalink = datalink.DefaultParams()
+	}
+	if p.Transport.Window == 0 {
+		p.Transport = transport.DefaultParams()
+	}
+	if p.Topo.HubPorts == 0 {
+		p.Topo = topo.DefaultOptions()
+	}
+	return p
+}
+
+// CABStack is one CAB's full software stack.
+type CABStack struct {
+	Board  *cab.Board
+	Kernel *kernel.Kernel
+	DL     *datalink.Datalink
+	TP     *transport.Transport
+}
+
+// System is an assembled Nectar system.
+type System struct {
+	Eng    *sim.Engine
+	Rec    *trace.Recorder
+	Net    *topo.Network
+	Params Params
+	CABs   []*CABStack
+}
+
+// buildStacks layers kernel/datalink/transport onto every board.
+func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Params) *System {
+	s := &System{Eng: eng, Rec: rec, Net: net, Params: p}
+	for _, b := range net.Boards() {
+		k := kernel.New(b, p.Kernel)
+		dl := datalink.New(k, net, p.Datalink)
+		tp := transport.New(k, dl, p.Transport)
+		s.CABs = append(s.CABs, &CABStack{Board: b, Kernel: k, DL: dl, TP: tp})
+	}
+	return s
+}
+
+// newRecorder builds the recorder implied by the params.
+func newRecorder(eng *sim.Engine, p Params) *trace.Recorder {
+	if p.RecorderLimit == 0 {
+		return nil
+	}
+	return trace.NewRecorder(eng, p.RecorderLimit)
+}
+
+// NewSingleHub builds the Figure 2 system: one HUB, nCABs CABs, a full
+// software stack on each.
+func NewSingleHub(nCABs int, p Params) *System {
+	p = p.normalize()
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, p)
+	net := topo.SingleHub(eng, rec, p.Topo, nCABs)
+	return buildStacks(eng, rec, net, p)
+}
+
+// NewMesh builds the Figure 4 system: a rows x cols mesh of HUB clusters
+// with cabsPerHub CABs each.
+func NewMesh(rows, cols, cabsPerHub int, p Params) *System {
+	p = p.normalize()
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, p)
+	net := topo.Mesh2D(eng, rec, p.Topo, rows, cols, cabsPerHub)
+	return buildStacks(eng, rec, net, p)
+}
+
+// NewLine builds a chain of nHubs HUBs with cabsPerHub CABs each.
+func NewLine(nHubs, cabsPerHub int, p Params) *System {
+	p = p.normalize()
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, p)
+	net := topo.Line(eng, rec, p.Topo, nHubs, cabsPerHub)
+	return buildStacks(eng, rec, net, p)
+}
+
+// CAB returns CAB stack i.
+func (s *System) CAB(i int) *CABStack { return s.CABs[i] }
+
+// NumCABs returns the CAB count.
+func (s *System) NumCABs() int { return len(s.CABs) }
+
+// Run drives the simulation until no events remain.
+func (s *System) Run() sim.Time { return s.Eng.Run() }
+
+// RunUntil drives the simulation to time t.
+func (s *System) RunUntil(t sim.Time) sim.Time { return s.Eng.RunUntil(t) }

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func TestSingleHubAssembly(t *testing.T) {
+	sys := core.NewSingleHub(4, core.DefaultParams())
+	if sys.NumCABs() != 4 {
+		t.Fatalf("CABs = %d", sys.NumCABs())
+	}
+	if len(sys.Net.Hubs()) != 1 {
+		t.Fatalf("hubs = %d", len(sys.Net.Hubs()))
+	}
+	for i, st := range sys.CABs {
+		if st.Board == nil || st.Kernel == nil || st.DL == nil || st.TP == nil {
+			t.Fatalf("CAB %d stack incomplete", i)
+		}
+		if st.Board.ID() != i {
+			t.Fatalf("CAB %d board id %d", i, st.Board.ID())
+		}
+	}
+	if sys.CAB(2) != sys.CABs[2] {
+		t.Fatal("CAB accessor mismatch")
+	}
+}
+
+func TestZeroParamsNormalized(t *testing.T) {
+	// A zero Params must be filled with defaults rather than producing a
+	// broken system.
+	sys := core.NewSingleHub(2, core.Params{})
+	done := false
+	sys.CAB(0).Kernel.Spawn("probe", func(th *kernel.Thread) {
+		th.Sleep(100 * sim.Microsecond)
+		done = true
+	})
+	sys.Run()
+	if !done {
+		t.Fatal("system with zero params did not run")
+	}
+	if sys.Params.Kernel.ContextSwitch == 0 {
+		t.Fatal("kernel params not normalized")
+	}
+	if sys.Params.Transport.Window == 0 {
+		t.Fatal("transport params not normalized")
+	}
+	if sys.Params.Topo.HubPorts == 0 {
+		t.Fatal("topo params not normalized")
+	}
+}
+
+func TestMeshAndLineAssembly(t *testing.T) {
+	mesh := core.NewMesh(2, 3, 2, core.DefaultParams())
+	if len(mesh.Net.Hubs()) != 6 || mesh.NumCABs() != 12 {
+		t.Fatalf("mesh: %d hubs, %d cabs", len(mesh.Net.Hubs()), mesh.NumCABs())
+	}
+	line := core.NewLine(4, 1, core.DefaultParams())
+	if len(line.Net.Hubs()) != 4 || line.NumCABs() != 4 {
+		t.Fatalf("line: %d hubs, %d cabs", len(line.Net.Hubs()), line.NumCABs())
+	}
+}
+
+func TestRecorderEnabled(t *testing.T) {
+	p := core.DefaultParams()
+	p.RecorderLimit = 50
+	sys := core.NewSingleHub(2, p)
+	if sys.Rec == nil {
+		t.Fatal("recorder not created")
+	}
+	sys.CAB(0).Kernel.Spawn("tx", func(th *kernel.Thread) {
+		sys.CAB(0).TP.SendDatagram(th, 1, 1, 0, []byte("x"))
+	})
+	sys.Run()
+	if sys.Rec.Count(trace.EvCommand) == 0 {
+		t.Fatal("recorder captured no HUB commands")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	ticks := 0
+	sys.CAB(0).Kernel.SpawnDaemon("ticker", func(th *kernel.Thread) {
+		for {
+			th.Sleep(sim.Millisecond)
+			ticks++
+		}
+	})
+	sys.RunUntil(10*sim.Millisecond + sim.Microsecond)
+	if ticks < 9 || ticks > 10 {
+		t.Fatalf("ticks = %d after 10ms", ticks)
+	}
+}
+
+func TestCustomTopoOptions(t *testing.T) {
+	p := core.DefaultParams()
+	p.Topo = topo.Options{HubPorts: 32}
+	sys := core.NewSingleHub(30, p) // needs > 16 ports
+	if sys.NumCABs() != 30 {
+		t.Fatalf("CABs = %d", sys.NumCABs())
+	}
+	if sys.Net.Hub(0).NumPorts() != 32 {
+		t.Fatalf("ports = %d", sys.Net.Hub(0).NumPorts())
+	}
+}

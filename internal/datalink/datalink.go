@@ -1,0 +1,479 @@
+// Package datalink implements the CAB datalink protocol (paper §6.2.1):
+// it "transfers data packets between CABs using HUB commands, manages HUB
+// connections, and recovers from framing errors and lost HUB commands".
+//
+// Sends build the command packets of paper §4.2 — circuit switching (opens,
+// wait for reply, data, close all), packet switching (test opens with flow
+// control), and the multicast variants of both — from routes computed by
+// the topology layer. The receive path follows §6.2.1 exactly: the start of
+// packet raises an interrupt; the handler executes an upcall to the
+// transport to determine the destination; DMA then drains the packet, and
+// completion is delivered back at interrupt level. "The datalink code is
+// executed entirely by interrupt handlers and by procedures that are called
+// from transport or application threads, so there is no context switching
+// overhead at the datalink-transport interface."
+package datalink
+
+import (
+	"fmt"
+
+	"repro/internal/cab"
+	"repro/internal/fiber"
+	"repro/internal/hub"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// MaxPacketPayload is the largest payload carried by a packet-switched
+// packet: the HUB input queue is 1 KB and framing costs 2 bytes (§4.2.3).
+// Circuit-switched packets may be arbitrarily large.
+const MaxPacketPayload = hub.InputQueueBytes - fiber.FramingBytes
+
+// Params are the datalink software costs, charged to the CAB CPU.
+type Params struct {
+	// SendSetup: building the command packet and setting up outbound DMA
+	// (procedure call in the sender's thread context).
+	SendSetup sim.Time
+	// RecvInterrupt: interrupt entry + start-of-packet handling. Kept
+	// small by the SPARC's reserved trap register window.
+	RecvInterrupt sim.Time
+	// Upcall: the transport-layer upcall that determines the destination
+	// mailbox from the transport header.
+	Upcall sim.Time
+	// ReplyInterrupt: handling a HUB command reply.
+	ReplyInterrupt sim.Time
+	// OpenTimeout: how long to wait for a circuit-establishment reply
+	// before tearing down and retrying.
+	OpenTimeout sim.Time
+	// OpenAttempts: circuit establishment attempts before giving up.
+	OpenAttempts int
+}
+
+// DefaultParams returns costs consistent with the paper's latency budget
+// (<30us CAB-to-CAB including transport).
+func DefaultParams() Params {
+	return Params{
+		SendSetup:      2 * sim.Microsecond,
+		RecvInterrupt:  2 * sim.Microsecond,
+		Upcall:         1500 * sim.Nanosecond,
+		ReplyInterrupt: sim.Microsecond,
+		OpenTimeout:    200 * sim.Microsecond,
+		OpenAttempts:   3,
+	}
+}
+
+// Receiver consumes packets delivered by the datalink. It is invoked at
+// interrupt level once the packet has been DMAed out of the input queue;
+// implementations charge their own CPU costs.
+type Receiver func(payload []byte)
+
+// Stats are datalink counters.
+type Stats struct {
+	PacketsSent     int64
+	PacketsReceived int64
+	BytesSent       int64
+	BytesReceived   int64
+	FramingErrors   int64
+	OpenTimeouts    int64
+	OpenFailures    int64
+	StrayCommands   int64
+}
+
+// Datalink is one CAB's datalink instance.
+type Datalink struct {
+	k      *kernel.Kernel
+	board  *cab.Board
+	net    *topo.Network
+	params Params
+
+	recv Receiver
+
+	// mu serializes frame transmission so two threads cannot interleave
+	// route state on the outgoing fiber.
+	mu *kernel.Sem
+
+	// pending open replies by token.
+	nextToken uint64
+	pending   map[uint64]*pendingOpen
+
+	routes map[int][]topo.Hop
+
+	stats Stats
+}
+
+type pendingOpen struct {
+	want  int // replies still expected
+	ok    bool
+	cond  *kernel.Cond
+	donef bool
+}
+
+// New creates the datalink for a board and registers its receive interrupt
+// handler.
+func New(k *kernel.Kernel, net *topo.Network, params Params) *Datalink {
+	d := &Datalink{
+		k:       k,
+		board:   k.Board(),
+		net:     net,
+		params:  params,
+		mu:      k.NewSem(1),
+		pending: make(map[uint64]*pendingOpen),
+		routes:  make(map[int][]topo.Hop),
+	}
+	d.board.SetItemHandler(d.receiveItem)
+	return d
+}
+
+// SetReceiver registers the transport's packet consumer.
+func (d *Datalink) SetReceiver(r Receiver) { d.recv = r }
+
+// Stats returns a copy of the datalink counters.
+func (d *Datalink) Stats() Stats { return d.stats }
+
+// FlushRoutes discards cached routes, forcing recomputation against the
+// current topology state (used after an operator reroutes around a failed
+// link).
+func (d *Datalink) FlushRoutes() {
+	d.routes = make(map[int][]topo.Hop)
+}
+
+// route returns (and caches) the unicast route to dst.
+func (d *Datalink) route(dst int) ([]topo.Hop, error) {
+	if r, ok := d.routes[dst]; ok {
+		return r, nil
+	}
+	r, err := d.net.Route(d.board.ID(), dst)
+	if err != nil {
+		return nil, err
+	}
+	d.routes[dst] = r
+	return r, nil
+}
+
+// command builds a command item.
+func (d *Datalink) command(op hub.Opcode, hubID, param byte, token uint64) *fiber.Item {
+	return &fiber.Item{
+		Kind:    fiber.KindCommand,
+		Cmd:     fiber.Command{Op: byte(op), Hub: hubID, Param: param},
+		ReplyTo: d.board,
+		Token:   token,
+	}
+}
+
+// closeAll builds the route-teardown command.
+func (d *Datalink) closeAll() *fiber.Item {
+	return d.command(hub.OpCloseAll, 0xFF, 0, 0)
+}
+
+// SendPacket transmits payload to dst using packet switching (§4.2.3):
+// test opens with retry enforce hop-by-hop flow control; no reply is
+// awaited. payload must fit the input queues.
+func (d *Datalink) SendPacket(th *kernel.Thread, dst int, payload []byte) error {
+	if len(payload) > MaxPacketPayload {
+		return fmt.Errorf("datalink: packet of %d bytes exceeds %d (use circuit switching)",
+			len(payload), MaxPacketPayload)
+	}
+	hops, err := d.route(dst)
+	if err != nil {
+		return err
+	}
+	d.mu.P(th)
+	defer d.mu.V()
+	th.Compute("dl-send-setup", d.params.SendSetup)
+	// Our own output's flow control: the attached HUB input queue must be
+	// ready for a new packet.
+	d.board.WaitNetReady(th.Proc())
+	items := make([]*fiber.Item, 0, len(hops)+2)
+	for _, hp := range hops {
+		items = append(items, d.command(hub.OpTestOpenRetry, hp.HubID, hp.Port, 0))
+	}
+	items = append(items, &fiber.Item{Kind: fiber.KindPacket, Payload: payload})
+	items = append(items, d.closeAll())
+	d.board.ClearNetReady()
+	d.board.Send(items...)
+	d.stats.PacketsSent++
+	d.stats.BytesSent += int64(len(payload))
+	return nil
+}
+
+// TrySendPacketInterrupt transmits a packet from interrupt context — the
+// fast path for transport acknowledgments, preserving the paper's "no
+// context switching overhead at the datalink-transport interface"
+// (§6.2.1). It fails (returning false) when the datalink is busy with a
+// thread-level frame or the outgoing flow control is not ready; the caller
+// then falls back to a protocol thread. extra is additional interrupt-level
+// processing charged with the send.
+func (d *Datalink) TrySendPacketInterrupt(dst int, payload []byte, extra sim.Time) bool {
+	if len(payload) > MaxPacketPayload {
+		return false
+	}
+	hops, err := d.route(dst)
+	if err != nil {
+		return false
+	}
+	if !d.board.NetReady() || !d.mu.TryP() {
+		return false
+	}
+	d.board.ClearNetReady()
+	d.board.CPU.RunInterrupt("dl-intr-send", extra+d.params.SendSetup, func() {
+		items := make([]*fiber.Item, 0, len(hops)+2)
+		for _, hp := range hops {
+			items = append(items, d.command(hub.OpTestOpenRetry, hp.HubID, hp.Port, 0))
+		}
+		items = append(items, &fiber.Item{Kind: fiber.KindPacket, Payload: payload})
+		items = append(items, d.closeAll())
+		d.board.Send(items...)
+		d.stats.PacketsSent++
+		d.stats.BytesSent += int64(len(payload))
+		d.mu.V()
+	})
+	return true
+}
+
+// SendCircuit transmits payload to dst using circuit switching (§4.2.1):
+// the route is opened with a reply requested from the last HUB; data flows
+// only after the reply arrives; close all tears the circuit down. Payload
+// size is unlimited (large packets cut through the input queues).
+func (d *Datalink) SendCircuit(th *kernel.Thread, dst int, payload []byte) error {
+	hops, err := d.route(dst)
+	if err != nil {
+		return err
+	}
+	return d.sendCircuitHops(th, hops, payload, 1)
+}
+
+// SendMulticastCircuit opens the multicast tree to all dsts (§4.2.2),
+// waits for a reply from every branch, then sends one copy of the data.
+func (d *Datalink) SendMulticastCircuit(th *kernel.Thread, dsts []int, payload []byte) error {
+	hops, err := d.net.MulticastTree(d.board.ID(), dsts)
+	if err != nil {
+		return err
+	}
+	return d.sendCircuitHops(th, hops, payload, countTerminals(hops))
+}
+
+// SendMulticastPacket is the §4.2.4 packet-switched multicast: test opens
+// over the tree, then the packet.
+func (d *Datalink) SendMulticastPacket(th *kernel.Thread, dsts []int, payload []byte) error {
+	if len(payload) > MaxPacketPayload {
+		return fmt.Errorf("datalink: multicast packet too large (%d)", len(payload))
+	}
+	hops, err := d.net.MulticastTree(d.board.ID(), dsts)
+	if err != nil {
+		return err
+	}
+	d.mu.P(th)
+	defer d.mu.V()
+	th.Compute("dl-send-setup", d.params.SendSetup)
+	d.board.WaitNetReady(th.Proc())
+	items := make([]*fiber.Item, 0, len(hops)+2)
+	for _, hp := range hops {
+		items = append(items, d.command(hub.OpTestOpenRetry, hp.HubID, hp.Port, 0))
+	}
+	items = append(items, &fiber.Item{Kind: fiber.KindPacket, Payload: payload})
+	items = append(items, d.closeAll())
+	d.board.ClearNetReady()
+	d.board.Send(items...)
+	d.stats.PacketsSent++
+	d.stats.BytesSent += int64(len(payload))
+	return nil
+}
+
+func countTerminals(hops []topo.Hop) int {
+	n := 0
+	for _, h := range hops {
+		if h.Terminal {
+			n++
+		}
+	}
+	return n
+}
+
+// sendCircuitHops implements circuit establishment with timeout recovery:
+// "If CAB3 does not receive a reply soon enough, it... can decide to take
+// down all the existing connections by using close all, and attempt to
+// re-establish an entire route."
+func (d *Datalink) sendCircuitHops(th *kernel.Thread, hops []topo.Hop, payload []byte, wantReplies int) error {
+	d.mu.P(th)
+	defer d.mu.V()
+	for attempt := 0; attempt < d.params.OpenAttempts; attempt++ {
+		th.Compute("dl-send-setup", d.params.SendSetup)
+		d.board.WaitNetReady(th.Proc())
+
+		d.nextToken++
+		token := d.nextToken
+		pend := &pendingOpen{want: wantReplies, ok: true, cond: d.k.NewCond()}
+		d.pending[token] = pend
+
+		items := make([]*fiber.Item, 0, len(hops))
+		for _, hp := range hops {
+			op := hub.OpOpenRetry
+			if hp.Terminal {
+				op = hub.OpOpenRetryReply
+			}
+			items = append(items, d.command(op, hp.HubID, hp.Port, token))
+		}
+		d.board.Send(items...)
+
+		// Wait for all replies (or timeout).
+		deadline := d.k.Engine().Now() + d.params.OpenTimeout
+		for pend.want > 0 {
+			remain := deadline - d.k.Engine().Now()
+			if remain <= 0 || !pend.cond.WaitTimeout(th, remain) {
+				break
+			}
+		}
+		delete(d.pending, token)
+		if pend.want > 0 || !pend.ok {
+			// Tear down whatever was established and retry.
+			d.stats.OpenTimeouts++
+			d.board.Send(d.closeAll())
+			continue
+		}
+
+		// Circuit up: ship the data and close behind it.
+		d.board.ClearNetReady()
+		d.board.Send(
+			&fiber.Item{Kind: fiber.KindPacket, Payload: payload},
+			d.closeAll(),
+		)
+		d.stats.PacketsSent++
+		d.stats.BytesSent += int64(len(payload))
+		return nil
+	}
+	d.stats.OpenFailures++
+	return fmt.Errorf("datalink: circuit establishment failed after %d attempts", d.params.OpenAttempts)
+}
+
+// receiveItem is the board's raw item hook (hardware receive path).
+func (d *Datalink) receiveItem(it *fiber.Item) {
+	switch it.Kind {
+	case fiber.KindReply:
+		d.board.CPU.RunInterrupt("dl-reply-intr", d.params.ReplyInterrupt, func() {
+			if pend, ok := d.pending[it.Token]; ok {
+				if !it.ReplyOK {
+					pend.ok = false
+				}
+				pend.want--
+				pend.cond.Broadcast()
+			}
+		})
+	case fiber.KindPacket:
+		if it.FrameError {
+			// TAXI code violation detected in hardware: discard the
+			// damaged packet; the transport's retransmission recovers.
+			d.stats.FramingErrors++
+			d.board.DrainedPacket()
+			return
+		}
+		d.receivePacket(it)
+	default:
+		// Commands reaching a CAB (close all at end of route, multicast
+		// strays addressed to other HUBs) are filtered by hardware.
+		if it.FrameError {
+			d.stats.FramingErrors++
+			return
+		}
+		d.stats.StrayCommands++
+	}
+}
+
+// receivePacket runs the §6.2.1 receive pipeline: start-of-packet
+// interrupt, transport upcall, DMA drain, completion delivery. "The
+// transport layer upcalls must determine the destination mailbox and return
+// to the datalink layer before incoming data overflows the CAB input
+// queue."
+func (d *Datalink) receivePacket(it *fiber.Item) {
+	cost := d.params.RecvInterrupt + d.params.Upcall
+	d.board.CPU.RunInterrupt("dl-recv-intr", cost, func() {
+		// DMA out of the input queue into CAB memory. The start of
+		// packet emerges now; the upstream output register's ready bit
+		// is restored.
+		d.board.DrainedPacket()
+		// The drain completes when the slower of (a) the packet's
+		// arrival on the fiber and (b) the DMA channel finishing.
+		n := len(it.Payload)
+		eng := d.k.Engine()
+		dmaDone := d.board.DMA.Transfer(cab.ChanFiberIn, n, nil)
+		done := it.End()
+		if dmaDone > done {
+			done = dmaDone
+		}
+		if now := eng.Now(); done < now {
+			done = now
+		}
+		eng.At(done, func() {
+			d.stats.PacketsReceived++
+			d.stats.BytesReceived += int64(n)
+			if d.recv != nil {
+				d.recv(it.Payload)
+			}
+		})
+	})
+}
+
+// AcquireHubLock acquires hardware lock `lock` on the HUB this CAB attaches
+// to, blocking (queued at the HUB controller) until granted. HUB locks are
+// the §4.2 synchronization primitive CABs use to build higher-level
+// coordination without a message round trip to a lock server.
+//
+// While a queued lock command waits at the controller, the CAB's input
+// port on the HUB is stalled (hardware behavior), so the datalink holds
+// its transmit mutex for the duration: other outgoing traffic from this
+// CAB waits with it rather than piling into the stalled input queue.
+func (d *Datalink) AcquireHubLock(th *kernel.Thread, lock byte) error {
+	return d.lockOp(th, hub.OpLockRetry, lock)
+}
+
+// TryAcquireHubLock attempts the lock without queuing; it reports false if
+// the lock is held.
+func (d *Datalink) TryAcquireHubLock(th *kernel.Thread, lock byte) (bool, error) {
+	err := d.lockOp(th, hub.OpLock, lock)
+	if err == errLockHeld {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// ReleaseHubLock releases the lock (fire-and-forget, as on the hardware).
+func (d *Datalink) ReleaseHubLock(th *kernel.Thread, lock byte) {
+	d.mu.P(th)
+	defer d.mu.V()
+	hubID := d.net.Hub(d.net.HubOf(d.board.ID())).ID()
+	d.board.Send(d.command(hub.OpUnlock, hubID, lock, 0))
+}
+
+// errLockHeld distinguishes a contended try-lock from a transport failure.
+var errLockHeld = fmt.Errorf("datalink: hub lock held")
+
+// lockOp sends a lock command to the local HUB and waits for its reply.
+func (d *Datalink) lockOp(th *kernel.Thread, op hub.Opcode, lock byte) error {
+	d.mu.P(th)
+	defer d.mu.V()
+	th.Compute("dl-lock", d.params.SendSetup)
+	d.nextToken++
+	token := d.nextToken
+	pend := &pendingOpen{want: 1, ok: true, cond: d.k.NewCond()}
+	d.pending[token] = pend
+	defer delete(d.pending, token)
+
+	hubID := d.net.Hub(d.net.HubOf(d.board.ID())).ID()
+	d.board.Send(d.command(op, hubID, lock, token))
+
+	// Lock grants can legitimately take arbitrarily long (the holder
+	// decides); only the no-retry variant observes the reply timeout.
+	for pend.want > 0 {
+		if op == hub.OpLock {
+			if !pend.cond.WaitTimeout(th, d.params.OpenTimeout) {
+				return fmt.Errorf("datalink: lock reply lost")
+			}
+		} else {
+			pend.cond.Wait(th)
+		}
+	}
+	if !pend.ok {
+		return errLockHeld
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/fiber"
+	"repro/internal/hub"
+	"repro/internal/kernel"
+	"repro/internal/lan"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// cabLatencyOneWay builds a fresh single-HUB system and measures the
+// one-way process-to-process latency of a single datagram of `size` bytes
+// between threads on two CABs.
+func cabLatencyOneWay(size int, params core.Params) sim.Time {
+	sys := core.NewSingleHub(2, params)
+	rx := sys.CAB(1)
+	mb := rx.Kernel.NewMailbox("in", 1024*1024)
+	rx.TP.Register(1, mb)
+	var sent, recvd sim.Time
+	rx.Kernel.Spawn("rx", func(th *kernel.Thread) {
+		msg := mb.Get(th)
+		recvd = th.Proc().Now()
+		mb.Release(msg)
+	})
+	payload := make([]byte, size)
+	sys.CAB(0).Kernel.Spawn("tx", func(th *kernel.Thread) {
+		sent = th.Proc().Now()
+		sys.CAB(0).TP.SendDatagram(th, 1, 1, 0, payload)
+	})
+	sys.Run()
+	return recvd - sent
+}
+
+// streamThroughput measures one-way byte-stream throughput (Mb/s) for a
+// bulk transfer of total bytes between two CABs.
+func streamThroughput(total int, params core.Params) float64 {
+	sys := core.NewSingleHub(2, params)
+	rx := sys.CAB(1)
+	mb := rx.Kernel.NewMailbox("in", 2*1024*1024)
+	rx.TP.Register(1, mb)
+	var start, end sim.Time
+	rx.Kernel.Spawn("rx", func(th *kernel.Thread) {
+		msg := mb.Get(th)
+		end = th.Proc().Now()
+		mb.Release(msg)
+	})
+	sys.CAB(0).Kernel.Spawn("tx", func(th *kernel.Thread) {
+		start = th.Proc().Now()
+		sys.CAB(0).TP.StreamSend(th, 1, 1, 0, make([]byte, total))
+	})
+	sys.Run()
+	if end <= start {
+		return 0
+	}
+	return float64(total) * 8 / (end - start).Seconds() / 1e6
+}
+
+// rawEndpoint turns a CAB board into a raw fiber endpoint that records
+// packet arrivals and replies (for the HUB-level experiments).
+type rawEndpoint struct {
+	stack   *core.CABStack
+	pktAt   []sim.Time
+	replyAt []sim.Time
+}
+
+func captureRaw(stack *core.CABStack) *rawEndpoint {
+	r := &rawEndpoint{stack: stack}
+	stack.Board.SetItemHandler(func(it *fiber.Item) {
+		switch it.Kind {
+		case fiber.KindPacket:
+			r.pktAt = append(r.pktAt, stack.Board.Engine().Now())
+			stack.Board.DrainedPacket()
+		case fiber.KindReply:
+			r.replyAt = append(r.replyAt, stack.Board.Engine().Now())
+		}
+	})
+	return r
+}
+
+// rawCommand builds a command item originating at the stack's board.
+func rawCommand(stack *core.CABStack, op hub.Opcode, hubID, param byte) *fiber.Item {
+	return &fiber.Item{
+		Kind:    fiber.KindCommand,
+		Cmd:     fiber.Command{Op: byte(op), Hub: hubID, Param: param},
+		ReplyTo: stack.Board,
+	}
+}
+
+// rawPacket builds a packet item.
+func rawPacket(n int) *fiber.Item {
+	return &fiber.Item{Kind: fiber.KindPacket, Payload: make([]byte, n)}
+}
+
+// hubSetupMeasurement measures (a) connection setup + first byte through a
+// single HUB after the open command is received, and (b) the established-
+// circuit transfer latency, using raw HUB commands — the §4 numbers.
+func hubSetupMeasurement(params core.Params) (setup, transfer sim.Time) {
+	prop := params.Topo.Propagation
+	if prop == 0 {
+		prop = fiber.DefaultPropagation
+	}
+	sys := core.NewSingleHub(2, params)
+	a := sys.CAB(0)
+	b := captureRaw(sys.CAB(1))
+	captureRaw(a)
+	eng := sys.Eng
+
+	var t0 sim.Time
+	eng.At(0, func() {
+		t0 = eng.Now()
+		a.Board.Send(rawCommand(a, hub.OpOpenRetry, sys.Net.Hub(0).ID(), byte(sys.Net.PortOf(1))), rawPacket(1))
+	})
+	// A second packet long after the circuit is up.
+	var t1 sim.Time
+	eng.At(sim.Millisecond, func() {
+		t1 = eng.Now()
+		a.Board.Send(rawPacket(1))
+	})
+	eng.Run()
+	if len(b.pktAt) != 2 {
+		return 0, 0
+	}
+	// Command fully received at the HUB: serialization (3B) + propagation.
+	cmdReceived := t0 + 3*fiber.ByteTime + prop
+	setup = b.pktAt[0] - prop - cmdReceived
+	transfer = b.pktAt[1] - t1 - 2*prop
+	return setup, transfer
+}
+
+// nodeSharedLatency measures node-process-to-node-process latency over the
+// shared-memory CAB-node interface.
+func nodeSharedLatency(size int) sim.Time {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	a := node.New(sys.CAB(0), "nodeA", node.DefaultParams())
+	b := node.New(sys.CAB(1), "nodeB", node.DefaultParams())
+	b.OpenBox(1, node.ModeShared, 1024*1024)
+	var sent, recvd sim.Time
+	b.Go("rx", func(p *sim.Proc) {
+		b.RecvShared(p, 1)
+		recvd = p.Now()
+	})
+	a.Go("tx", func(p *sim.Proc) {
+		sent = p.Now()
+		a.SendShared(p, b.CABID(), 1, make([]byte, size))
+	})
+	sys.Run()
+	return recvd - sent
+}
+
+// nodeInterfaceRun measures one-way latency and bulk throughput for a given
+// CAB-node interface mode.
+func nodeInterfaceRun(mode node.RecvMode, size int) (lat sim.Time) {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	a := node.New(sys.CAB(0), "nodeA", node.DefaultParams())
+	b := node.New(sys.CAB(1), "nodeB", node.DefaultParams())
+	b.OpenBox(1, mode, 4*1024*1024)
+	var sent, recvd sim.Time
+	b.Go("rx", func(p *sim.Proc) {
+		switch mode {
+		case node.ModeShared:
+			b.RecvShared(p, 1)
+		case node.ModeSocket:
+			b.RecvSocket(p, 1)
+		case node.ModeDriver:
+			b.RecvDriver(p, 1)
+		}
+		recvd = p.Now()
+	})
+	a.Go("tx", func(p *sim.Proc) {
+		sent = p.Now()
+		data := make([]byte, size)
+		switch mode {
+		case node.ModeShared:
+			a.SendShared(p, b.CABID(), 1, data)
+		case node.ModeSocket:
+			a.SendSocket(p, b.CABID(), 1, data)
+		case node.ModeDriver:
+			a.SendDriver(p, b.CABID(), 1, data)
+		}
+	})
+	sys.Run()
+	return recvd - sent
+}
+
+// lanLatency measures one-way message latency on the Ethernet baseline.
+func lanLatency(size int) sim.Time {
+	eng := sim.NewEngine()
+	eth := lan.NewEthernet(eng, lan.DefaultParams())
+	a := eth.AddStation("a")
+	b := eth.AddStation("b")
+	b.OpenBox(1)
+	var sent, recvd sim.Time
+	eng.Go("rx", func(p *sim.Proc) {
+		b.Recv(p, 1)
+		recvd = p.Now()
+	})
+	eng.Go("tx", func(p *sim.Proc) {
+		sent = p.Now()
+		a.Send(p, b, 1, make([]byte, size))
+	})
+	eng.Run()
+	return recvd - sent
+}
+
+// lanThroughput measures bulk LAN throughput in Mb/s.
+func lanThroughput(total int) float64 {
+	eng := sim.NewEngine()
+	eth := lan.NewEthernet(eng, lan.DefaultParams())
+	a := eth.AddStation("a")
+	b := eth.AddStation("b")
+	b.OpenBox(1)
+	var sent, recvd sim.Time
+	eng.Go("rx", func(p *sim.Proc) {
+		b.Recv(p, 1)
+		recvd = p.Now()
+	})
+	eng.Go("tx", func(p *sim.Proc) {
+		sent = p.Now()
+		a.Send(p, b, 1, make([]byte, total))
+	})
+	eng.Run()
+	if recvd <= sent {
+		return 0
+	}
+	return float64(total) * 8 / (recvd - sent).Seconds() / 1e6
+}
+
+// nodeThroughput measures bulk node-to-node throughput (shared-memory
+// interface, pipelined) in Mb/s.
+func nodeThroughput(total, segment int) float64 {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	np := node.DefaultParams()
+	np.PipelineSegment = segment
+	a := node.New(sys.CAB(0), "nodeA", np)
+	b := node.New(sys.CAB(1), "nodeB", np)
+	b.OpenBox(1, node.ModeShared, 8*1024*1024)
+	var sent, recvd sim.Time
+	b.Go("rx", func(p *sim.Proc) {
+		b.RecvShared(p, 1)
+		recvd = p.Now()
+	})
+	a.Go("tx", func(p *sim.Proc) {
+		sent = p.Now()
+		a.SendShared(p, b.CABID(), 1, make([]byte, total))
+	})
+	sys.Run()
+	if recvd <= sent {
+		return 0
+	}
+	return float64(total) * 8 / (recvd - sent).Seconds() / 1e6
+}
+
+// coreDefaults is a test seam for the default parameter set.
+func coreDefaults() core.Params { return core.DefaultParams() }

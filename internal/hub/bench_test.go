@@ -1,0 +1,39 @@
+package hub
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Wall-clock benchmarks of the HUB model: how fast the simulator pushes
+// packets through a crossbar.
+
+func BenchmarkPacketForwarding(b *testing.B) {
+	eng := sim.NewEngine()
+	h := New(eng, 0, 4, nil)
+	a := attachCAB(eng, h, 0, "a")
+	c := attachCAB(eng, h, 1, "c")
+	eng.At(0, func() { a.send(a.cmd(OpOpenRetry, 0, 1)) })
+	eng.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.send(packet(256))
+		eng.Run()
+	}
+	if len(c.packets) != b.N {
+		b.Fatalf("delivered %d, want %d", len(c.packets), b.N)
+	}
+}
+
+func BenchmarkCircuitSetupTeardown(b *testing.B) {
+	eng := sim.NewEngine()
+	h := New(eng, 0, 4, nil)
+	a := attachCAB(eng, h, 0, "a")
+	attachCAB(eng, h, 1, "c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.send(a.cmd(OpOpenRetry, 0, 1), packet(64), a.cmd(OpCloseAll, 0xFF, 0))
+		eng.Run()
+	}
+}

@@ -1,0 +1,203 @@
+// Package hub models the Nectar HUB (paper §4): a crossbar switch with a
+// flexible datalink protocol implemented in hardware. A HUB has I/O ports
+// (each an input queue plus an output register), an 8-bit-wide crossbar that
+// can connect any input queue to any set of output registers, a status table
+// of existing connections, and a central controller that serializes
+// connection setup at one command per 70 ns cycle.
+//
+// The HUB executes a command set of 38 user commands and 14 supervisor
+// commands (paper §4.2). Each command is three bytes on the wire:
+// "command | HUB ID | param". Commands that require serialization (opens,
+// locks) are forwarded to the central controller; "localized" commands
+// (closes, status queries) execute inside the I/O port.
+package hub
+
+import "fmt"
+
+// Opcode is a HUB command opcode (the first byte of the 3-byte encoding).
+// User commands occupy 1..38; supervisor commands occupy 64..77.
+type Opcode byte
+
+// User commands: connections (paper §4.2 names the open/close family
+// explicitly; lock, status and flow-control commands are named in §4.2's
+// taxonomy: "user commands are for operations concerning connections,
+// locks, status, and flow control").
+const (
+	opInvalid Opcode = iota
+
+	// Connection commands. "Retry" variants keep trying at the central
+	// controller until the connection can be made; "Reply" variants send
+	// a reply to the originating CAB over the reverse channel. "Test"
+	// variants additionally require the target output's ready bit (the
+	// downstream input queue can accept a packet) — packet switching.
+	OpOpen               // open input->param connection, fail if busy
+	OpOpenReply          //   ... and reply success/failure
+	OpOpenRetry          //   ... keep trying until free
+	OpOpenRetryReply     //   ... keep trying, reply on success
+	OpTestOpen           // open only if output free AND ready bit set
+	OpTestOpenReply      //   ... and reply
+	OpTestOpenRetry      //   ... keep trying (packet switching, §4.2.3)
+	OpTestOpenRetryReply //   ... keep trying, reply on success
+
+	OpClose            // close this input's connection to output param
+	OpCloseReply       //   ... and reply
+	OpCloseAll         // travels the route, closing behind itself (§4.2.1)
+	OpCloseAllReply    //   ... and reply from the first HUB
+	OpCloseOutput      // force-close whatever feeds output param (recovery)
+	OpCloseOutputReply //   ... and reply
+
+	// Lock commands: each HUB holds NumLocks hardware locks that CABs
+	// use to build higher-level synchronization.
+	OpLock        // acquire lock param, fail if held; always replies
+	OpLockRetry   // acquire lock param, queue until free; replies
+	OpUnlock      // release lock param; no reply
+	OpUnlockReply // release lock param; reply
+	OpUnlockAll   // release all locks held via this port
+	OpTestLock    // reply with lock state (no acquisition)
+	OpLockHolder  // reply with the port that holds lock param
+	OpLockCount   // reply with number of locks currently held
+
+	// Status commands (localized; reply with a value byte).
+	OpStatusOutput   // reply: owner input of output param (0xFF = free)
+	OpStatusInput    // reply: an output connected from input param (0xFF = none)
+	OpStatusReady    // reply: ready bit of output param
+	OpStatusQueue    // reply: input queue occupancy of port param (bytes/8)
+	OpStatusConnCnt  // reply: number of open connections on the HUB
+	OpStatusCounters // reply: low byte of packets forwarded by port param
+	OpIdent          // reply: this HUB's ID
+	OpPing           // reply: echo of param
+
+	// Flow control and miscellaneous.
+	OpReadySet   // force the ready bit of output param set
+	OpReadyClear // force the ready bit of output param clear
+	OpMark       // reply when this point of the stream drains (sync)
+	OpFlush      // discard the rest of this input's queued frame
+	OpAbort      // immediately tear down all of this input's connections
+	OpNop        // no operation
+	OpNopReply   // no operation, but reply (round-trip probe)
+	OpEcho       // reply carrying param back (link test)
+)
+
+// Supervisor commands (paper §4.2: "for system testing and reconfiguration
+// purposes").
+const (
+	SupReset         Opcode = 64 + iota // clear all connections and locks
+	SupResetPort                        // clear state of port param
+	SupEnablePort                       // re-enable port param
+	SupDisablePort                      // disable port param (drops traffic)
+	SupLoopbackOn                       // loop port param's input to its output
+	SupLoopbackOff                      // disable loopback on port param
+	SupSetHubID                         // set this HUB's ID to param
+	SupReadConfig                       // reply: number of ports
+	SupClearCounters                    // zero all port counters
+	SupReadCounters                     // reply: low byte of total packets
+	SupTestPattern                      // emit a test packet from port param
+	SupFreeze                           // controller stops granting opens
+	SupThaw                             // controller resumes granting opens
+	SupSelfTest                         // reply: 1 if internal checks pass
+)
+
+// NumUserCommands and NumSupervisorCommands are the sizes of the command
+// set, matching the paper ("38 user commands and 14 supervisor commands").
+const (
+	NumUserCommands       = int(OpEcho)                   // 38
+	NumSupervisorCommands = int(SupSelfTest-SupReset) + 1 // 14
+)
+
+var opNames = map[Opcode]string{
+	OpOpen: "open", OpOpenReply: "open-reply", OpOpenRetry: "open-retry",
+	OpOpenRetryReply: "open-retry-reply", OpTestOpen: "test-open",
+	OpTestOpenReply: "test-open-reply", OpTestOpenRetry: "test-open-retry",
+	OpTestOpenRetryReply: "test-open-retry-reply",
+	OpClose:              "close", OpCloseReply: "close-reply", OpCloseAll: "close-all",
+	OpCloseAllReply: "close-all-reply", OpCloseOutput: "close-output",
+	OpCloseOutputReply: "close-output-reply",
+	OpLock:             "lock", OpLockRetry: "lock-retry", OpUnlock: "unlock",
+	OpUnlockReply: "unlock-reply", OpUnlockAll: "unlock-all", OpTestLock: "test-lock",
+	OpLockHolder: "lock-holder", OpLockCount: "lock-count",
+	OpStatusOutput: "status-output", OpStatusInput: "status-input",
+	OpStatusReady: "status-ready", OpStatusQueue: "status-queue",
+	OpStatusConnCnt: "status-conn-count", OpStatusCounters: "status-counters",
+	OpIdent: "ident", OpPing: "ping",
+	OpReadySet: "ready-set", OpReadyClear: "ready-clear", OpMark: "mark",
+	OpFlush: "flush", OpAbort: "abort", OpNop: "nop", OpNopReply: "nop-reply",
+	OpEcho:           "echo",
+	SupReset:         "sup-reset",
+	SupResetPort:     "sup-reset-port",
+	SupEnablePort:    "sup-enable-port",
+	SupDisablePort:   "sup-disable-port",
+	SupLoopbackOn:    "sup-loopback-on",
+	SupLoopbackOff:   "sup-loopback-off",
+	SupSetHubID:      "sup-set-hub-id",
+	SupReadConfig:    "sup-read-config",
+	SupClearCounters: "sup-clear-counters",
+	SupReadCounters:  "sup-read-counters",
+	SupTestPattern:   "sup-test-pattern",
+	SupFreeze:        "sup-freeze",
+	SupThaw:          "sup-thaw",
+	SupSelfTest:      "sup-self-test",
+}
+
+// String returns the command's mnemonic.
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", byte(op))
+}
+
+// IsSupervisor reports whether op is a supervisor command.
+func (op Opcode) IsSupervisor() bool { return op >= SupReset && op <= SupSelfTest }
+
+// IsUser reports whether op is a valid user command.
+func (op Opcode) IsUser() bool { return op >= OpOpen && op <= OpEcho }
+
+// isOpen reports whether op is any of the eight open variants.
+func (op Opcode) isOpen() bool { return op >= OpOpen && op <= OpTestOpenRetryReply }
+
+// wantsReady reports whether the open variant consults the ready bit
+// ("test open", packet switching).
+func (op Opcode) wantsReady() bool { return op >= OpTestOpen && op <= OpTestOpenRetryReply }
+
+// retries reports whether the open/lock variant keeps trying at the
+// controller rather than failing immediately.
+func (op Opcode) retries() bool {
+	switch op {
+	case OpOpenRetry, OpOpenRetryReply, OpTestOpenRetry, OpTestOpenRetryReply, OpLockRetry:
+		return true
+	}
+	return false
+}
+
+// replies reports whether the command generates a reply to the sender.
+func (op Opcode) replies() bool {
+	switch op {
+	case OpOpenReply, OpOpenRetryReply, OpTestOpenReply, OpTestOpenRetryReply,
+		OpCloseReply, OpCloseAllReply, OpCloseOutputReply,
+		OpLock, OpLockRetry, OpUnlockReply, OpTestLock, OpLockHolder, OpLockCount,
+		OpStatusOutput, OpStatusInput, OpStatusReady, OpStatusQueue,
+		OpStatusConnCnt, OpStatusCounters, OpIdent, OpPing,
+		OpMark, OpNopReply, OpEcho,
+		SupReadConfig, SupReadCounters, SupSelfTest:
+		return true
+	}
+	return false
+}
+
+// serialized reports whether the command must go through the central
+// controller (connection setup and locks) rather than executing inside the
+// I/O port (paper §4.1: "Commands that require serialization, such as
+// establishing a connection, are forwarded to the central controller, while
+// 'localized' commands, such as breaking a connection, are executed inside
+// the I/O port").
+func (op Opcode) serialized() bool {
+	if op.isOpen() {
+		return true
+	}
+	switch op {
+	case OpLock, OpLockRetry, OpUnlock, OpUnlockReply, OpUnlockAll,
+		OpTestLock, OpLockHolder, OpLockCount:
+		return true
+	}
+	return false
+}

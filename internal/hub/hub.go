@@ -1,0 +1,347 @@
+package hub
+
+import (
+	"fmt"
+
+	"repro/internal/fiber"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Timing constants from paper §4: "the latency to set up a connection and
+// transfer the first byte of a packet through a single HUB is ten cycles
+// (700 nanoseconds). Once a connection has been established, the latency to
+// transfer a byte is five cycles (350 nanoseconds)... the HUB central
+// controller can set up a new connection through the crossbar switch every
+// 70 nanosecond cycle."
+const (
+	// CycleTime is the HUB clock cycle.
+	CycleTime = 70 * sim.Nanosecond
+	// SetupLatency is the controller + crossbar setup portion of a
+	// connection open (5 cycles); together with TransferLatency it gives
+	// the 10-cycle figure for "set up and transfer the first byte".
+	SetupLatency = 5 * CycleTime
+	// TransferLatency is the input-queue-to-output-register transit time
+	// of a byte once a connection exists (5 cycles).
+	TransferLatency = 5 * CycleTime
+	// LocalizedLatency is the execution time of a localized command
+	// ("these commands can be executed in one cycle").
+	LocalizedLatency = CycleTime
+	// ReplyHopDelay approximates the reverse-channel cost per HUB: the
+	// reply steals cycles from the opposite-direction resources
+	// (§4.2.1), so it is bounded: 3 command bytes plus one transit.
+	ReplyHopDelay = 3*fiber.ByteTime + TransferLatency + fiber.DefaultPropagation
+
+	// InputQueueBytes is the input queue size, which bounds the maximum
+	// packet for packet switching (paper §4.2.3: 1 kilobyte).
+	InputQueueBytes = 1024
+
+	// DefaultPorts is the prototype HUB's port count (16 x 16 crossbar).
+	DefaultPorts = 16
+
+	// NumLocks is the number of hardware locks per HUB.
+	NumLocks = 16
+)
+
+// Hub is one crossbar switch. Create with New, then wire each port's output
+// link with ConnectOutput before running traffic.
+type Hub struct {
+	eng   *sim.Engine
+	id    byte
+	name  string
+	rec   *trace.Recorder
+	ports []*Port
+
+	// ctrlFree is when the central controller can accept the next
+	// serialized command (one per cycle).
+	ctrlFree sim.Time
+	// frozen stops the controller granting opens (SupFreeze).
+	frozen bool
+
+	locks [NumLocks]lockState
+}
+
+type lockState struct {
+	held    bool
+	holder  int // port id through which the lock was acquired
+	waiters []*pendingCmd
+}
+
+// New creates a HUB with nports ports. rec may be nil.
+func New(eng *sim.Engine, id byte, nports int, rec *trace.Recorder) *Hub {
+	h := &Hub{
+		eng:  eng,
+		id:   id,
+		name: fmt.Sprintf("hub%d", id),
+		rec:  rec,
+	}
+	h.ports = make([]*Port, nports)
+	for i := range h.ports {
+		h.ports[i] = newPort(h, i)
+	}
+	return h
+}
+
+// ID returns the HUB's datalink ID.
+func (h *Hub) ID() byte { return h.id }
+
+// Name returns the HUB's display name.
+func (h *Hub) Name() string { return h.name }
+
+// NumPorts returns the number of I/O ports.
+func (h *Hub) NumPorts() int { return len(h.ports) }
+
+// Port returns port i.
+func (h *Hub) Port(i int) *Port { return h.ports[i] }
+
+// Recorder returns the instrumentation recorder (may be nil).
+func (h *Hub) Recorder() *trace.Recorder { return h.rec }
+
+// ConnectOutput attaches the outgoing fiber of port i. The link's far end
+// is a CAB or another HUB's input.
+func (h *Hub) ConnectOutput(i int, link *fiber.Link) { h.ports[i].out = link }
+
+// Connections returns the current crossbar status table as a map from
+// output port to the input port feeding it.
+func (h *Hub) Connections() map[int]int {
+	m := make(map[int]int)
+	for _, p := range h.ports {
+		if p.owner != nil {
+			m[p.id] = p.owner.id
+		}
+	}
+	return m
+}
+
+// CheckInvariants verifies crossbar consistency: every owned output is
+// listed in its owner's connection set and vice versa, and each output has
+// at most one owner (structural). It returns an error describing the first
+// violation.
+func (h *Hub) CheckInvariants() error {
+	for _, out := range h.ports {
+		if out.owner != nil {
+			found := false
+			for _, o := range out.owner.conn {
+				if o == out {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("%s: output p%d owned by p%d but not in its conn set", h.name, out.id, out.owner.id)
+			}
+		}
+	}
+	for _, in := range h.ports {
+		for _, out := range in.conn {
+			if out.owner != in {
+				return fmt.Errorf("%s: input p%d lists output p%d but owner is %v", h.name, in.id, out.id, out.owner)
+			}
+		}
+	}
+	return nil
+}
+
+// controllerSlot allocates the next controller cycle at or after t and
+// returns when the command's crossbar action completes.
+func (h *Hub) controllerSlot(t sim.Time) sim.Time {
+	grant := t
+	if grant < h.ctrlFree {
+		grant = h.ctrlFree
+	}
+	h.ctrlFree = grant + CycleTime
+	return grant + SetupLatency
+}
+
+// reply sends a command reply back to the originating endpoint over the
+// (never-blocked) reverse channel.
+func (h *Hub) reply(orig *fiber.Item, ok bool, val byte) {
+	if orig.ReplyTo == nil {
+		return
+	}
+	h.rec.Record(trace.EvReply, h.name, "%v ok=%v val=%d", orig.Cmd, ok, val)
+	rep := &fiber.Item{
+		Kind:     fiber.KindReply,
+		Cmd:      orig.Cmd,
+		ReplyOK:  ok,
+		ReplyVal: val,
+		Token:    orig.Token,
+	}
+	delay := sim.Time(orig.Hops+1) * ReplyHopDelay
+	dst := orig.ReplyTo
+	h.eng.After(delay, func() { dst.Receive(rep) })
+}
+
+// pendingCmd is a serialized command waiting at the controller for its
+// target (output register or lock) to become available.
+type pendingCmd struct {
+	item *fiber.Item
+	in   *Port // input port the command arrived on
+}
+
+// execSerialized runs a controller command (opens and locks) for input
+// port in. It returns true when the command is complete and the input may
+// advance; false when the command is parked (retry) and the input stalls.
+func (h *Hub) execSerialized(in *Port, it *fiber.Item) bool {
+	op := Opcode(it.Cmd.Op)
+	if op.isOpen() {
+		return h.execOpen(in, it)
+	}
+	return h.execLock(in, it)
+}
+
+// execOpen attempts to establish input->output. Completion (including the
+// crossbar setup pipeline) is charged via controllerSlot.
+func (h *Hub) execOpen(in *Port, it *fiber.Item) bool {
+	op := Opcode(it.Cmd.Op)
+	outID := int(it.Cmd.Param)
+	if outID >= len(h.ports) {
+		h.reply(it, false, 0xFF)
+		return true
+	}
+	out := h.ports[outID]
+	available := out.enabled && !h.frozen && (out.owner == nil || out.owner == in) &&
+		(!op.wantsReady() || out.ready)
+	if !available {
+		h.rec.Record(trace.EvConnRetry, h.name, "p%d->p%d %v busy/not-ready", in.id, outID, op)
+		if op.retries() {
+			out.waiters = append(out.waiters, &pendingCmd{item: it, in: in})
+			return false // input stalls behind the pending open
+		}
+		h.reply(it, false, 0xFF)
+		return true
+	}
+	done := h.controllerSlot(h.eng.Now())
+	if out.owner != in {
+		out.owner = in
+		in.conn = append(in.conn, out)
+	}
+	// The connection is usable once crossbar setup completes; the reply
+	// is generated at that point.
+	out.connReady = done
+	h.rec.Record(trace.EvConnOpen, h.name, "p%d->p%d at %v", in.id, outID, done)
+	if op.replies() {
+		h.eng.At(done, func() { h.reply(it, true, byte(outID)) })
+	}
+	return true
+}
+
+// execLock runs the lock command family at the controller.
+func (h *Hub) execLock(in *Port, it *fiber.Item) bool {
+	op := Opcode(it.Cmd.Op)
+	id := int(it.Cmd.Param) % NumLocks
+	lk := &h.locks[id]
+	switch op {
+	case OpLock, OpLockRetry:
+		if !lk.held {
+			lk.held = true
+			lk.holder = in.id
+			h.rec.Record(trace.EvLock, h.name, "lock%d by p%d", id, in.id)
+			h.reply(it, true, byte(id))
+			return true
+		}
+		if op == OpLockRetry {
+			lk.waiters = append(lk.waiters, &pendingCmd{item: it, in: in})
+			return false
+		}
+		h.reply(it, false, byte(lk.holder))
+	case OpUnlock, OpUnlockReply:
+		h.unlock(id)
+		if op == OpUnlockReply {
+			h.reply(it, true, byte(id))
+		}
+	case OpUnlockAll:
+		for i := range h.locks {
+			if h.locks[i].held && h.locks[i].holder == in.id {
+				h.unlock(i)
+			}
+		}
+	case OpTestLock:
+		h.reply(it, lk.held, byte(lk.holder))
+	case OpLockHolder:
+		if lk.held {
+			h.reply(it, true, byte(lk.holder))
+		} else {
+			h.reply(it, false, 0xFF)
+		}
+	case OpLockCount:
+		n := byte(0)
+		for i := range h.locks {
+			if h.locks[i].held {
+				n++
+			}
+		}
+		h.reply(it, true, n)
+	}
+	return true
+}
+
+// unlock releases a lock and grants it to the next queued waiter, resuming
+// that waiter's input port.
+func (h *Hub) unlock(id int) {
+	lk := &h.locks[id]
+	if !lk.held {
+		return
+	}
+	lk.held = false
+	h.rec.Record(trace.EvUnlock, h.name, "lock%d", id)
+	if len(lk.waiters) > 0 {
+		w := lk.waiters[0]
+		lk.waiters = lk.waiters[1:]
+		lk.held = true
+		lk.holder = w.in.id
+		h.rec.Record(trace.EvLock, h.name, "lock%d by p%d (queued)", id, w.in.id)
+		h.reply(w.item, true, byte(id))
+		// The waiter's input port was stalled on this command; resume it
+		// one controller cycle later.
+		h.eng.After(CycleTime, w.in.advance)
+	}
+}
+
+// serveWaiters retries opens parked on output out, in FIFO order, after the
+// output frees or its ready bit sets. Each granted open resumes its input.
+func (h *Hub) serveWaiters(out *Port) {
+	for len(out.waiters) > 0 {
+		w := out.waiters[0]
+		op := Opcode(w.item.Cmd.Op)
+		available := out.enabled && !h.frozen && (out.owner == nil || out.owner == w.in) &&
+			(!op.wantsReady() || out.ready)
+		if !available {
+			return
+		}
+		out.waiters = out.waiters[1:]
+		done := h.controllerSlot(h.eng.Now())
+		if out.owner != w.in {
+			out.owner = w.in
+			w.in.conn = append(w.in.conn, out)
+		}
+		out.connReady = done
+		h.rec.Record(trace.EvConnOpen, h.name, "p%d->p%d at %v (retried)", w.in.id, out.id, done)
+		if op.replies() {
+			item := w.item
+			outID := out.id
+			h.eng.At(done, func() { h.reply(item, true, byte(outID)) })
+		}
+		h.eng.At(done, w.in.advance)
+		// A granted open with multicast semantics leaves the output
+		// owned; further waiters for this output stay parked.
+	}
+}
+
+// closeConn removes the connection in->out and retries parked opens.
+func (h *Hub) closeConn(in *Port, out *Port) {
+	if out.owner != in {
+		return
+	}
+	out.owner = nil
+	for i, o := range in.conn {
+		if o == out {
+			in.conn = append(in.conn[:i], in.conn[i+1:]...)
+			break
+		}
+	}
+	h.rec.Record(trace.EvConnClose, h.name, "p%d->p%d", in.id, out.id)
+	// Serve parked opens after one cycle.
+	if len(out.waiters) > 0 {
+		h.eng.After(CycleTime, func() { h.serveWaiters(out) })
+	}
+}

@@ -1,0 +1,497 @@
+package hub
+
+import (
+	"fmt"
+
+	"repro/internal/fiber"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Port is one HUB I/O port: an input queue plus an output register
+// (paper Figure 5), connected to a pair of fiber lines.
+//
+// The input side consumes the arriving item stream in order: commands
+// addressed to this HUB are executed (localized commands in the port,
+// serialized commands at the central controller); everything else is
+// forwarded through the crossbar over the input's current connections.
+// The output side is the output register: it is owned by at most one input
+// at a time and carries the ready bit used for packet-switched flow control.
+type Port struct {
+	hub  *Hub
+	id   int
+	name string
+
+	enabled  bool
+	loopback bool
+
+	// Input side.
+	inq []*fiber.Item
+	// inBytes counts queued PACKET bytes. Commands (3 bytes each) are
+	// consumed at line rate by the port hardware and never accumulate,
+	// so only packets count against the 1 KB queue.
+	inBytes int
+	running bool // a processing chain is active
+	stalled bool // head command parked at the controller (retry)
+	conn    []*Port
+	// upstreamReady notifies the upstream output register (on the device
+	// feeding this input) that the start of packet has emerged from this
+	// input queue (paper §4.2.3). Wired at topology-build time.
+	upstreamReady func()
+
+	// Output side.
+	out       *fiber.Link
+	owner     *Port
+	connReady sim.Time
+	ready     bool
+	waiters   []*pendingCmd
+
+	// Counters (readable via status/supervisor commands).
+	pktIn, pktOut     int64
+	bytesIn, bytesOut int64
+	cmds              int64
+	drops             int64
+	frameErrs         int64
+}
+
+func newPort(h *Hub, id int) *Port {
+	return &Port{
+		hub:     h,
+		id:      id,
+		name:    fmt.Sprintf("%s.p%d", h.name, id),
+		enabled: true,
+		ready:   true,
+	}
+}
+
+// ID returns the port number within its HUB.
+func (p *Port) ID() int { return p.id }
+
+// EndpointName implements fiber.Endpoint.
+func (p *Port) EndpointName() string { return p.name }
+
+// SetUpstreamReady registers the callback that propagates this input
+// queue's drain events to the upstream output register's ready bit.
+func (p *Port) SetUpstreamReady(fn func()) { p.upstreamReady = fn }
+
+// Ready returns the output register's ready bit.
+func (p *Port) Ready() bool { return p.ready }
+
+// Enabled reports whether the port is enabled.
+func (p *Port) Enabled() bool { return p.enabled }
+
+// QueueBytes returns the current input queue occupancy.
+func (p *Port) QueueBytes() int { return p.inBytes }
+
+// PacketsForwarded returns packets that left through this output register.
+func (p *Port) PacketsForwarded() int64 { return p.pktOut }
+
+// PacketsReceived returns packets that entered this input queue.
+func (p *Port) PacketsReceived() int64 { return p.pktIn }
+
+// Drops returns items discarded at this input.
+func (p *Port) Drops() int64 { return p.drops }
+
+// SetReady sets the output register's ready bit (the downstream input
+// queue signaled that the start of packet emerged) and retries any parked
+// test-opens.
+func (p *Port) SetReady() {
+	p.ready = true
+	if len(p.waiters) > 0 {
+		p.hub.serveWaiters(p)
+	}
+}
+
+// Receive implements fiber.Endpoint: an item's first byte has arrived at
+// this input.
+func (p *Port) Receive(it *fiber.Item) {
+	if !p.enabled {
+		p.drop(it, "port disabled")
+		return
+	}
+	if p.loopback {
+		// Supervisor loopback: reflect straight out our own output.
+		p.sendOut(it.Clone(), p.hub.eng.Now()+TransferLatency)
+		return
+	}
+	if it.Kind == fiber.KindPacket {
+		// Cut-through: an empty, unstalled input with an established
+		// connection streams the packet without occupying the queue,
+		// which is how circuit switching carries packets larger than
+		// the 1 KB input queue (paper §4.2.3).
+		cutThrough := len(p.inq) == 0 && !p.stalled && len(p.conn) > 0
+		if !cutThrough && p.inBytes+it.Bytes() > InputQueueBytes {
+			p.drop(it, "input queue overflow")
+			return
+		}
+	}
+	p.inq = append(p.inq, it)
+	if it.Kind == fiber.KindPacket {
+		p.inBytes += it.Bytes()
+	}
+	p.kick()
+}
+
+// drop discards an item, keeping the flow-control protocol consistent: a
+// dropped packet will never emerge from this queue, so the upstream ready
+// bit is restored here.
+func (p *Port) drop(it *fiber.Item, why string) {
+	p.drops++
+	p.hub.rec.Record(trace.EvPacketDrop, p.name, "%v: %s", it, why)
+	if it.Kind == fiber.KindPacket && p.upstreamReady != nil {
+		p.upstreamReady()
+	}
+}
+
+// kick starts the input processing chain if it is idle.
+func (p *Port) kick() {
+	if p.running || p.stalled || len(p.inq) == 0 {
+		return
+	}
+	p.running = true
+	p.step()
+}
+
+// advance resumes a port stalled on a controller grant.
+func (p *Port) advance() {
+	p.stalled = false
+	p.kick()
+}
+
+// step examines the head item and schedules its handling at the time the
+// hardware could act on it (all command bytes present; packet SOP arrived).
+func (p *Port) step() {
+	if p.stalled {
+		p.running = false
+		return
+	}
+	if len(p.inq) == 0 {
+		p.running = false
+		return
+	}
+	it := p.inq[0]
+	now := p.hub.eng.Now()
+	if it.Kind == fiber.KindCommand && Opcode(it.Cmd.Op) != OpCloseAll &&
+		Opcode(it.Cmd.Op) != OpCloseAllReply && it.Cmd.Hub == p.hub.id {
+		if ready := it.End(); now < ready {
+			p.hub.eng.At(ready, p.step)
+			return
+		}
+		p.execHead(it)
+		return
+	}
+	// Forwarded item (packet, close-all, or command for another HUB).
+	if now < it.Start {
+		p.hub.eng.At(it.Start, p.step)
+		return
+	}
+	p.forwardHead(it)
+}
+
+// pop removes the head item.
+func (p *Port) pop() *fiber.Item {
+	it := p.inq[0]
+	p.inq = p.inq[1:]
+	if it.Kind == fiber.KindPacket {
+		p.inBytes -= it.Bytes()
+	}
+	return it
+}
+
+// execHead executes a command addressed to this HUB.
+func (p *Port) execHead(it *fiber.Item) {
+	p.pop()
+	p.cmds++
+	op := Opcode(it.Cmd.Op)
+	if it.FrameError {
+		// A damaged command is not recognized by the hardware: this is
+		// the "lost HUB command" case the datalink must recover from.
+		p.frameErrs++
+		p.hub.rec.Record(trace.EvFrameError, p.name, "lost command %v", it.Cmd)
+		p.step()
+		return
+	}
+	p.hub.rec.Record(trace.EvCommand, p.name, "%v", it.Cmd)
+	if op.serialized() {
+		if !p.hub.execSerialized(p, it) {
+			// Parked at the controller: stall this input until granted.
+			p.stalled = true
+			p.running = false
+			return
+		}
+		// Completed synchronously; continue after one controller cycle.
+		p.hub.eng.After(CycleTime, p.step)
+		return
+	}
+	p.execLocalized(it, op)
+	p.hub.eng.After(LocalizedLatency, p.step)
+}
+
+// execLocalized runs a localized (in-port) command.
+func (p *Port) execLocalized(it *fiber.Item, op Opcode) {
+	h := p.hub
+	param := int(it.Cmd.Param)
+	portParam := func() *Port {
+		if param < len(h.ports) {
+			return h.ports[param]
+		}
+		return nil
+	}
+	switch op {
+	case OpClose, OpCloseReply:
+		if out := portParam(); out != nil {
+			h.closeConn(p, out)
+		}
+		if op == OpCloseReply {
+			h.reply(it, true, byte(param))
+		}
+	case OpCloseOutput, OpCloseOutputReply:
+		if out := portParam(); out != nil && out.owner != nil {
+			h.closeConn(out.owner, out)
+		}
+		if op == OpCloseOutputReply {
+			h.reply(it, true, byte(param))
+		}
+	case OpStatusOutput:
+		if out := portParam(); out != nil && out.owner != nil {
+			h.reply(it, true, byte(out.owner.id))
+		} else {
+			h.reply(it, false, 0xFF)
+		}
+	case OpStatusInput:
+		if in := portParam(); in != nil && len(in.conn) > 0 {
+			h.reply(it, true, byte(in.conn[0].id))
+		} else {
+			h.reply(it, false, 0xFF)
+		}
+	case OpStatusReady:
+		if out := portParam(); out != nil {
+			h.reply(it, out.ready, 0)
+		} else {
+			h.reply(it, false, 0xFF)
+		}
+	case OpStatusQueue:
+		if q := portParam(); q != nil {
+			h.reply(it, true, byte(q.inBytes/8))
+		} else {
+			h.reply(it, false, 0xFF)
+		}
+	case OpStatusConnCnt:
+		n := byte(0)
+		for _, out := range h.ports {
+			if out.owner != nil {
+				n++
+			}
+		}
+		h.reply(it, true, n)
+	case OpStatusCounters:
+		if q := portParam(); q != nil {
+			h.reply(it, true, byte(q.pktOut))
+		} else {
+			h.reply(it, false, 0xFF)
+		}
+	case OpIdent:
+		h.reply(it, true, h.id)
+	case OpPing, OpEcho:
+		h.reply(it, true, it.Cmd.Param)
+	case OpReadySet:
+		if out := portParam(); out != nil {
+			out.SetReady()
+		}
+	case OpReadyClear:
+		if out := portParam(); out != nil {
+			out.ready = false
+		}
+	case OpMark:
+		// The mark is at the head of the queue, i.e. it has drained.
+		h.reply(it, true, it.Cmd.Param)
+	case OpFlush:
+		for len(p.inq) > 0 {
+			dropped := p.pop()
+			p.drop(dropped, "flushed")
+		}
+	case OpAbort:
+		for len(p.conn) > 0 {
+			h.closeConn(p, p.conn[0])
+		}
+	case OpNop:
+	case OpNopReply:
+		h.reply(it, true, 0)
+	default:
+		if op.IsSupervisor() {
+			p.execSupervisor(it, op)
+			return
+		}
+		h.reply(it, false, 0xFE) // unknown command
+	}
+}
+
+// execSupervisor runs a supervisor command (paper §4.2: "for system testing
+// and reconfiguration purposes").
+func (p *Port) execSupervisor(it *fiber.Item, op Opcode) {
+	h := p.hub
+	param := int(it.Cmd.Param)
+	portParam := func() *Port {
+		if param < len(h.ports) {
+			return h.ports[param]
+		}
+		return nil
+	}
+	switch op {
+	case SupReset:
+		for _, out := range h.ports {
+			if out.owner != nil {
+				h.closeConn(out.owner, out)
+			}
+		}
+		for i := range h.locks {
+			h.locks[i] = lockState{}
+		}
+		h.frozen = false
+	case SupResetPort:
+		if q := portParam(); q != nil {
+			if q.owner != nil {
+				h.closeConn(q.owner, q)
+			}
+			for len(q.conn) > 0 {
+				h.closeConn(q, q.conn[0])
+			}
+			q.inq = nil
+			q.inBytes = 0
+			q.stalled = false
+			// Restoring the ready bit also retries opens that parked
+			// while the port was wedged.
+			q.SetReady()
+		}
+	case SupEnablePort:
+		if q := portParam(); q != nil {
+			q.enabled = true
+			// Opens that parked while the port was disabled can now be
+			// granted.
+			if len(q.waiters) > 0 {
+				h.serveWaiters(q)
+			}
+		}
+	case SupDisablePort:
+		if q := portParam(); q != nil {
+			q.enabled = false
+		}
+	case SupLoopbackOn:
+		if q := portParam(); q != nil {
+			q.loopback = true
+		}
+	case SupLoopbackOff:
+		if q := portParam(); q != nil {
+			q.loopback = false
+		}
+	case SupSetHubID:
+		h.id = byte(param)
+	case SupReadConfig:
+		h.reply(it, true, byte(len(h.ports)))
+	case SupClearCounters:
+		for _, q := range h.ports {
+			q.pktIn, q.pktOut, q.bytesIn, q.bytesOut, q.cmds, q.drops, q.frameErrs = 0, 0, 0, 0, 0, 0, 0
+		}
+	case SupReadCounters:
+		var total int64
+		for _, q := range h.ports {
+			total += q.pktOut
+		}
+		h.reply(it, true, byte(total))
+	case SupTestPattern:
+		if out := portParam(); out != nil && out.out != nil {
+			pkt := &fiber.Item{Kind: fiber.KindPacket, Payload: []byte{0xA5, 0x5A, 0xA5, 0x5A}}
+			out.sendOut(pkt, h.eng.Now()+TransferLatency)
+		}
+	case SupFreeze:
+		h.frozen = true
+	case SupThaw:
+		h.frozen = false
+		for _, out := range h.ports {
+			if len(out.waiters) > 0 {
+				h.serveWaiters(out)
+			}
+		}
+	case SupSelfTest:
+		h.reply(it, h.CheckInvariants() == nil, 0)
+	}
+}
+
+// forwardHead forwards the head item over the input's connections.
+func (p *Port) forwardHead(it *fiber.Item) {
+	p.pop()
+	now := p.hub.eng.Now()
+	isPacket := it.Kind == fiber.KindPacket
+	if isPacket {
+		p.pktIn++
+		p.bytesIn += int64(it.Bytes())
+	}
+	op := Opcode(it.Cmd.Op)
+	isCloseAll := it.Kind == fiber.KindCommand && (op == OpCloseAll || op == OpCloseAllReply)
+
+	if len(p.conn) == 0 {
+		if isCloseAll {
+			// End of route: nothing left to close. Reply if asked.
+			if op == OpCloseAllReply {
+				p.hub.reply(it, true, 0)
+			}
+		} else {
+			p.drop(it, "no connection")
+		}
+		p.step()
+		return
+	}
+
+	outs := make([]*Port, len(p.conn))
+	copy(outs, p.conn)
+	// The input queue streams the item once; the crossbar fans it out to
+	// every connected output register simultaneously. A byte enters the
+	// crossbar only when the newest of the connections is set up and
+	// emerges from the output registers TransferLatency later.
+	start := now
+	for _, out := range outs {
+		if start < out.connReady {
+			start = out.connReady
+		}
+	}
+	for _, out := range outs {
+		c := it.Clone()
+		c.Hops++
+		out.sendOut(c, start+TransferLatency)
+	}
+	if isPacket && p.upstreamReady != nil {
+		// The start of packet has emerged from this input queue: tell
+		// the upstream output register (paper §4.2.3).
+		p.upstreamReady()
+	}
+	if isCloseAll {
+		// close all "is recognized at the output register of each HUB in
+		// the route. After detecting the close all, the HUB closes the
+		// connection leading to the output register" (§4.2.1).
+		for _, out := range outs {
+			p.hub.closeConn(p, out)
+		}
+		if op == OpCloseAllReply {
+			p.hub.reply(it, true, 0)
+		}
+	}
+	p.step()
+}
+
+// sendOut transmits an item through this port's output register onto its
+// outgoing fiber.
+func (p *Port) sendOut(it *fiber.Item, earliest sim.Time) {
+	if p.out == nil {
+		p.drops++
+		return
+	}
+	if it.Kind == fiber.KindPacket {
+		// The start of packet passes the output register: clear the
+		// ready bit until the downstream input queue drains it.
+		p.ready = false
+		p.pktOut++
+		p.bytesOut += int64(it.Bytes())
+		p.hub.rec.Record(trace.EvPacketOut, p.name, "%v", it)
+	}
+	p.out.Send(it, earliest)
+}

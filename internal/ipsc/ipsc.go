@@ -1,0 +1,196 @@
+// Package ipsc implements the Intel iPSC communication library on top of
+// Nectarine (paper §7: "to run hypercube applications on Nectar, we have
+// implemented the Intel iPSC communication library on top of Nectarine.
+// Since Nectarine is functionally a superset of the iPSC primitives, this
+// implementation is relatively simple").
+//
+// A Cube runs nprocs logical hypercube processes as CAB-resident Nectarine
+// tasks; each process sees the iPSC primitives: csend/crecv (typed,
+// blocking), isend/msgwait (asynchronous), mynode/numnodes, gsync (barrier)
+// and the global reduction operations.
+package ipsc
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/nectarine"
+	"repro/internal/sim"
+)
+
+// Ctx is the view one hypercube process has of the library.
+type Ctx struct {
+	tc *nectarine.TaskCtx
+	me int
+	n  int
+
+	nextIsend int
+	isends    map[int]*isendState
+
+	// redSeq numbers collective operations so that tags from successive
+	// collectives cannot be confused (all processes invoke collectives
+	// in the same order, as in any SPMD program).
+	redSeq uint32
+}
+
+type isendState struct{ done bool }
+
+// taskName returns the task name of hypercube process k.
+func taskName(k int) string {
+	return "ipsc-" + string(rune('0'+k/10)) + string(rune('0'+k%10))
+}
+
+// Run builds a cube of nprocs processes (one per CAB, round-robin over the
+// system's CABs), runs body in each, and drives the simulation to
+// completion. It returns the final simulated time.
+func Run(sys *core.System, nprocs int, body func(c *Ctx)) sim.Time {
+	app := nectarine.NewApp(sys)
+	for k := 0; k < nprocs; k++ {
+		k := k
+		app.NewCABTask(taskName(k), k%sys.NumCABs(), func(tc *nectarine.TaskCtx) {
+			c := &Ctx{tc: tc, me: k, n: nprocs, isends: make(map[int]*isendState)}
+			body(c)
+		})
+	}
+	return app.Run()
+}
+
+// Mynode returns this process's hypercube node number.
+func (c *Ctx) Mynode() int { return c.me }
+
+// Numnodes returns the number of hypercube processes.
+func (c *Ctx) Numnodes() int { return c.n }
+
+// Compute charges processing time to this process.
+func (c *Ctx) Compute(d sim.Time) { c.tc.Compute(d) }
+
+// Now returns the simulated time.
+func (c *Ctx) Now() sim.Time { return c.tc.Now() }
+
+// Csend sends a typed message to node dst (blocking until accepted).
+func (c *Ctx) Csend(msgType uint32, data []byte, dst int) {
+	if err := c.tc.Send(taskName(dst), msgType, nectarine.Bytes(data)); err != nil {
+		panic(err)
+	}
+}
+
+// Crecv blocks until a message of the given type arrives and returns its
+// body.
+func (c *Ctx) Crecv(msgType uint32) []byte {
+	return c.tc.RecvTag(msgType).Data
+}
+
+// CrecvAny blocks for any message, returning its type and body.
+func (c *Ctx) CrecvAny() (uint32, []byte) {
+	m := c.tc.Recv()
+	return m.Tag, m.Data
+}
+
+// Isend starts an asynchronous send and returns a handle for Msgwait.
+// (The underlying reliable stream completes quickly; the handle exists for
+// source compatibility with iPSC programs.)
+func (c *Ctx) Isend(msgType uint32, data []byte, dst int) int {
+	c.nextIsend++
+	id := c.nextIsend
+	st := &isendState{}
+	c.isends[id] = st
+	// The send is performed synchronously in this task (the iPSC
+	// semantics only require the buffer be reusable after msgwait).
+	c.Csend(msgType, data, dst)
+	st.done = true
+	return id
+}
+
+// Msgwait blocks until the asynchronous operation completes.
+func (c *Ctx) Msgwait(id int) {
+	if st, ok := c.isends[id]; ok && st.done {
+		delete(c.isends, id)
+	}
+}
+
+// Collective message tags live in 0xFF000000+ space: a sequence number
+// distinguishes successive collectives, and the low byte the round within
+// one collective. User tags must stay below 0xFF000000.
+const collectiveBase = uint32(0xFF000000)
+
+func collTag(seq uint32, round int) uint32 {
+	return collectiveBase | (seq&0xFFFF)<<8 | uint32(round&0xFF)
+}
+
+// hypercube dimension-exchange pattern with padding to the next power of
+// two: processes beyond n wrap to a tree fallback. For simplicity, gsync
+// and the reductions use recursive doubling when n is a power of two and a
+// root-gather otherwise.
+func pow2(n int) bool { return n&(n-1) == 0 }
+
+// Gsync is the global barrier.
+func (c *Ctx) Gsync() {
+	c.reduce(0, func(a, b uint64) uint64 { return 0 })
+}
+
+// Gisum computes the global sum of v across all processes.
+func (c *Ctx) Gisum(v int64) int64 {
+	r := c.reduce(uint64(v), func(a, b uint64) uint64 {
+		return uint64(int64(a) + int64(b))
+	})
+	return int64(r)
+}
+
+// Gihigh computes the global maximum of v.
+func (c *Ctx) Gihigh(v int64) int64 {
+	r := c.reduce(uint64(v), func(a, b uint64) uint64 {
+		if int64(a) > int64(b) {
+			return a
+		}
+		return b
+	})
+	return int64(r)
+}
+
+// Gdsum computes the global sum of a float64.
+func (c *Ctx) Gdsum(v float64) float64 {
+	r := c.reduce(math.Float64bits(v), func(a, b uint64) uint64 {
+		return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+	})
+	return math.Float64frombits(r)
+}
+
+// reduce performs an all-reduce of one 64-bit value.
+func (c *Ctx) reduce(v uint64, op func(a, b uint64) uint64) uint64 {
+	c.redSeq++
+	seq := c.redSeq
+	buf := make([]byte, 8)
+	if c.n == 1 {
+		return v
+	}
+	if pow2(c.n) {
+		// Recursive doubling: log2(n) rounds of pairwise exchange.
+		round := 0
+		for d := 1; d < c.n; d <<= 1 {
+			partner := c.me ^ d
+			binary.BigEndian.PutUint64(buf, v)
+			c.Csend(collTag(seq, round), buf, partner)
+			got := c.Crecv(collTag(seq, round))
+			v = op(v, binary.BigEndian.Uint64(got))
+			round++
+		}
+		return v
+	}
+	// General n: gather to node 0, reduce, broadcast.
+	if c.me == 0 {
+		for i := 1; i < c.n; i++ {
+			got := c.Crecv(collTag(seq, 0))
+			v = op(v, binary.BigEndian.Uint64(got))
+		}
+		binary.BigEndian.PutUint64(buf, v)
+		for i := 1; i < c.n; i++ {
+			c.Csend(collTag(seq, 1), buf, i)
+		}
+		return v
+	}
+	binary.BigEndian.PutUint64(buf, v)
+	c.Csend(collTag(seq, 0), buf, 0)
+	got := c.Crecv(collTag(seq, 1))
+	return binary.BigEndian.Uint64(got)
+}

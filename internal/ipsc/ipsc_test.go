@@ -1,0 +1,179 @@
+package ipsc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ipsc"
+	"repro/internal/sim"
+)
+
+func TestCsendCrecv(t *testing.T) {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	var got []byte
+	ipsc.Run(sys, 2, func(c *ipsc.Ctx) {
+		if c.Mynode() == 0 {
+			c.Csend(5, []byte("ring"), 1)
+		} else {
+			got = c.Crecv(5)
+		}
+	})
+	if string(got) != "ring" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMynodeNumnodes(t *testing.T) {
+	sys := core.NewSingleHub(4, core.DefaultParams())
+	seen := map[int]bool{}
+	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
+		if c.Numnodes() != 4 {
+			t.Errorf("Numnodes = %d", c.Numnodes())
+		}
+		seen[c.Mynode()] = true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("nodes seen: %v", seen)
+	}
+}
+
+func TestRingPass(t *testing.T) {
+	sys := core.NewSingleHub(4, core.DefaultParams())
+	const rounds = 3
+	var final []byte
+	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
+		me, n := c.Mynode(), c.Numnodes()
+		next := (me + 1) % n
+		if me == 0 {
+			token := []byte{0}
+			for r := 0; r < rounds; r++ {
+				c.Csend(1, token, next)
+				token = c.Crecv(1)
+			}
+			final = token
+		} else {
+			for r := 0; r < rounds; r++ {
+				token := c.Crecv(1)
+				token = append(token, byte(me))
+				c.Csend(1, token, next)
+			}
+		}
+	})
+	want := []byte{0, 1, 2, 3, 1, 2, 3, 1, 2, 3}
+	if !bytes.Equal(final, want) {
+		t.Fatalf("token %v, want %v", final, want)
+	}
+}
+
+func TestGisumPowerOfTwo(t *testing.T) {
+	sys := core.NewSingleHub(8, core.DefaultParams())
+	results := make([]int64, 8)
+	ipsc.Run(sys, 8, func(c *ipsc.Ctx) {
+		results[c.Mynode()] = c.Gisum(int64(c.Mynode() + 1))
+	})
+	for i, r := range results {
+		if r != 36 { // 1+2+...+8
+			t.Fatalf("node %d: Gisum = %d, want 36", i, r)
+		}
+	}
+}
+
+func TestGisumNonPowerOfTwo(t *testing.T) {
+	sys := core.NewSingleHub(6, core.DefaultParams())
+	results := make([]int64, 6)
+	ipsc.Run(sys, 6, func(c *ipsc.Ctx) {
+		results[c.Mynode()] = c.Gisum(10)
+	})
+	for i, r := range results {
+		if r != 60 {
+			t.Fatalf("node %d: Gisum = %d, want 60", i, r)
+		}
+	}
+}
+
+func TestGihighAndGdsum(t *testing.T) {
+	sys := core.NewSingleHub(4, core.DefaultParams())
+	var hi int64
+	var sum float64
+	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
+		h := c.Gihigh(int64(c.Mynode() * 7))
+		s := c.Gdsum(0.5)
+		if c.Mynode() == 0 {
+			hi, sum = h, s
+		}
+	})
+	if hi != 21 {
+		t.Fatalf("Gihigh = %d, want 21", hi)
+	}
+	if sum != 2.0 {
+		t.Fatalf("Gdsum = %v, want 2.0", sum)
+	}
+}
+
+func TestGsyncBarrier(t *testing.T) {
+	sys := core.NewSingleHub(4, core.DefaultParams())
+	var afterMin, beforeMax sim.Time
+	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
+		// Stagger arrival at the barrier.
+		c.Compute(sim.Time(c.Mynode()) * sim.Millisecond)
+		before := c.Now()
+		if before > beforeMax {
+			beforeMax = before
+		}
+		c.Gsync()
+		after := c.Now()
+		if afterMin == 0 || after < afterMin {
+			afterMin = after
+		}
+	})
+	// No process may leave the barrier before the last one arrived.
+	if afterMin < beforeMax {
+		t.Fatalf("barrier leaked: first exit %v < last arrival %v", afterMin, beforeMax)
+	}
+}
+
+func TestConsecutiveCollectivesDoNotCross(t *testing.T) {
+	sys := core.NewSingleHub(4, core.DefaultParams())
+	bad := false
+	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
+		for i := 0; i < 10; i++ {
+			if got := c.Gisum(int64(i)); got != int64(4*i) {
+				bad = true
+			}
+		}
+	})
+	if bad {
+		t.Fatal("successive reductions interfered")
+	}
+}
+
+func TestIsendMsgwait(t *testing.T) {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	var got []byte
+	ipsc.Run(sys, 2, func(c *ipsc.Ctx) {
+		if c.Mynode() == 0 {
+			h := c.Isend(9, []byte("async"), 1)
+			c.Msgwait(h)
+		} else {
+			got = c.Crecv(9)
+		}
+	})
+	if string(got) != "async" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMoreProcsThanCABs(t *testing.T) {
+	// 8 processes on 4 CABs: round-robin placement, two tasks per CAB.
+	sys := core.NewSingleHub(4, core.DefaultParams())
+	results := make([]int64, 8)
+	ipsc.Run(sys, 8, func(c *ipsc.Ctx) {
+		results[c.Mynode()] = c.Gisum(1)
+	})
+	for i, r := range results {
+		if r != 8 {
+			t.Fatalf("node %d: %d, want 8", i, r)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package kernel implements the CAB kernel (paper §6.1): lightweight
+// threads similar to Mach C Threads executing as coroutines under a simple
+// non-preemptive scheduler, mailboxes providing temporary buffer space for
+// messages in CAB memory, and timer and memory services.
+//
+// "a thread will be awakened by an event (such as the arrival of a packet),
+// will take some action (such as processing transport protocol headers),
+// and will voluntarily go back to waiting for another event."
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/cab"
+	"repro/internal/sim"
+)
+
+// Params are the kernel cost parameters.
+type Params struct {
+	// ContextSwitch is the thread-switch cost: "Thread switching takes
+	// between 10 and 15 microseconds; almost all of this time is spent
+	// saving and restoring the SPARC register windows."
+	ContextSwitch sim.Time
+}
+
+// DefaultParams returns the prototype's costs.
+func DefaultParams() Params {
+	return Params{ContextSwitch: 12 * sim.Microsecond}
+}
+
+// ThreadState describes a thread's scheduling state.
+type ThreadState int
+
+// Thread states.
+const (
+	StateReady ThreadState = iota
+	StateRunning
+	StateBlocked
+	StateDone
+)
+
+// String returns the state name.
+func (s ThreadState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Kernel is one CAB's kernel instance.
+type Kernel struct {
+	eng    *sim.Engine
+	board  *cab.Board
+	params Params
+
+	runq []*Thread
+	cur  *Thread
+
+	switches int64
+	spawned  int64
+
+	// lastDomain tracks protection-domain assignment for user tasks.
+	lastDomain int
+}
+
+// New creates a kernel on the given board.
+func New(board *cab.Board, params Params) *Kernel {
+	return &Kernel{
+		eng:    board.Engine(),
+		board:  board,
+		params: params,
+	}
+}
+
+// Board returns the underlying CAB board.
+func (k *Kernel) Board() *cab.Board { return k.board }
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Switches returns the number of context switches performed.
+func (k *Kernel) Switches() int64 { return k.switches }
+
+// Current returns the running thread (nil if the CAB is idle).
+func (k *Kernel) Current() *Thread { return k.cur }
+
+// Thread is a lightweight CAB kernel thread ("threads have little state
+// associated with them, [so] the cost of context switching is low").
+type Thread struct {
+	k       *Kernel
+	name    string
+	proc    *sim.Proc
+	state   ThreadState
+	wakeSig *sim.Signal
+	runNow  bool
+}
+
+// Name returns the thread name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Kernel returns the owning kernel.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+// Proc returns the underlying simulation process (for use with raw sim
+// primitives from within the thread body).
+func (t *Thread) Proc() *sim.Proc { return t.proc }
+
+// Spawn creates a thread and makes it ready. The body runs when the
+// scheduler first dispatches it.
+func (k *Kernel) Spawn(name string, body func(t *Thread)) *Thread {
+	return k.spawn(name, body, false)
+}
+
+// SpawnDaemon creates a service thread that may block forever (e.g. a
+// protocol server loop); it is excluded from simulation deadlock
+// accounting.
+func (k *Kernel) SpawnDaemon(name string, body func(t *Thread)) *Thread {
+	return k.spawn(name, body, true)
+}
+
+func (k *Kernel) spawn(name string, body func(t *Thread), daemon bool) *Thread {
+	t := &Thread{
+		k:       k,
+		name:    name,
+		state:   StateReady,
+		wakeSig: sim.NewSignal(k.eng),
+	}
+	k.spawned++
+	run := func(p *sim.Proc) {
+		t.parkUntilDispatched(p)
+		body(t)
+		t.state = StateDone
+		k.cur = nil
+		k.dispatch()
+	}
+	if daemon {
+		t.proc = k.eng.GoDaemon(name, run)
+	} else {
+		t.proc = k.eng.Go(name, run)
+	}
+	k.runq = append(k.runq, t)
+	k.dispatch()
+	return t
+}
+
+// parkUntilDispatched blocks the thread's process until the scheduler runs
+// it. The runNow flag avoids missed wakeups.
+func (t *Thread) parkUntilDispatched(p *sim.Proc) {
+	for !t.runNow {
+		t.wakeSig.Wait(p)
+	}
+	t.runNow = false
+	t.state = StateRunning
+}
+
+// dispatch picks the next ready thread if the CPU's thread level is free,
+// charging the context-switch cost.
+func (k *Kernel) dispatch() {
+	if k.cur != nil || len(k.runq) == 0 {
+		return
+	}
+	t := k.runq[0]
+	k.runq = k.runq[1:]
+	k.cur = t
+	k.switches++
+	k.board.CPU.Submit(cab.PrioThread, "context-switch", k.params.ContextSwitch, func() {
+		t.runNow = true
+		t.wakeSig.Broadcast()
+	})
+}
+
+// ready marks a blocked thread runnable.
+func (t *Thread) ready() {
+	if t.state != StateBlocked {
+		return
+	}
+	t.state = StateReady
+	t.k.runq = append(t.k.runq, t)
+	t.k.dispatch()
+}
+
+// block suspends the calling thread (which must be current) until ready()
+// is called on it, letting the scheduler dispatch another thread.
+func (t *Thread) block() {
+	if t.k.cur != t {
+		panic(fmt.Sprintf("kernel: block of non-current thread %s", t.name))
+	}
+	t.state = StateBlocked
+	t.k.cur = nil
+	t.k.dispatch()
+	t.parkUntilDispatched(t.proc)
+}
+
+// Yield gives up the CPU to the next ready thread; the caller resumes after
+// a round through the scheduler.
+func (t *Thread) Yield() {
+	t.state = StateBlocked // transiently, so ready() accepts it
+	t.ready()
+	t.k.cur = nil
+	t.k.dispatch()
+	t.parkUntilDispatched(t.proc)
+}
+
+// Compute charges d of thread-level CPU time to the calling thread
+// (stretched by any interrupt-level work that arrives meanwhile).
+func (t *Thread) Compute(name string, d sim.Time) {
+	t.k.board.CPU.Compute(t.proc, name, d)
+}
+
+// Sleep blocks the thread for d using a hardware timer.
+func (t *Thread) Sleep(d sim.Time) {
+	t.k.board.Timers.Set(d, func() { t.ready() })
+	t.block()
+}
+
+// condWaiter tracks one blocked thread and whether it was signaled (as
+// opposed to timed out).
+type condWaiter struct {
+	t        *Thread
+	signaled bool
+	timer    *cab.Timer
+}
+
+// Cond is a condition variable for kernel threads. Signal/Broadcast may be
+// called from any context, including interrupt handlers.
+type Cond struct {
+	k       *Kernel
+	waiters []*condWaiter
+}
+
+// NewCond returns a condition variable.
+func (k *Kernel) NewCond() *Cond { return &Cond{k: k} }
+
+// Wait blocks the calling thread until signaled.
+func (c *Cond) Wait(t *Thread) {
+	c.waiters = append(c.waiters, &condWaiter{t: t})
+	t.block()
+}
+
+// WaitTimeout blocks until signaled or until d elapses; reports true if
+// signaled.
+func (c *Cond) WaitTimeout(t *Thread, d sim.Time) bool {
+	w := &condWaiter{t: t}
+	w.timer = t.k.board.Timers.Set(d, func() {
+		for i, x := range c.waiters {
+			if x == w {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				t.ready()
+				return
+			}
+		}
+		// Already signaled: nothing to do.
+	})
+	c.waiters = append(c.waiters, w)
+	t.block()
+	w.timer.Cancel()
+	return w.signaled
+}
+
+// Signal wakes one waiting thread (FIFO).
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.signaled = true
+	w.timer.Cancel()
+	w.t.ready()
+}
+
+// Broadcast wakes all waiting threads.
+func (c *Cond) Broadcast() {
+	for len(c.waiters) > 0 {
+		c.Signal()
+	}
+}
+
+// Waiters returns the number of blocked threads.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Sem is a counting semaphore for kernel threads. Unlike Cond, posts are
+// never lost: V from any context (including interrupts) increments the
+// count, and P consumes it.
+type Sem struct {
+	count int
+	avail *Cond
+}
+
+// NewSem returns a semaphore with an initial count.
+func (k *Kernel) NewSem(initial int) *Sem {
+	return &Sem{count: initial, avail: k.NewCond()}
+}
+
+// P decrements the semaphore, blocking while it is zero.
+func (s *Sem) P(t *Thread) {
+	for s.count == 0 {
+		s.avail.Wait(t)
+	}
+	s.count--
+}
+
+// PTimeout is P with a deadline; it reports false (without decrementing)
+// on timeout.
+func (s *Sem) PTimeout(t *Thread, d sim.Time) bool {
+	deadline := t.k.eng.Now() + d
+	for s.count == 0 {
+		remain := deadline - t.k.eng.Now()
+		if remain <= 0 || !s.avail.WaitTimeout(t, remain) {
+			return false
+		}
+	}
+	s.count--
+	return true
+}
+
+// TryP decrements the semaphore without blocking; it reports false when
+// the count is zero. Callable from any context, including interrupts.
+func (s *Sem) TryP() bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// V increments the semaphore and wakes one waiter. Callable from any
+// context.
+func (s *Sem) V() {
+	s.count++
+	s.avail.Signal()
+}
+
+// Count returns the current value.
+func (s *Sem) Count() int { return s.count }

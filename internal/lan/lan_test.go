@@ -1,0 +1,157 @@
+package lan
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func data(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 3)
+	}
+	return b
+}
+
+func TestLANRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	eth := NewEthernet(eng, DefaultParams())
+	a := eth.AddStation("a")
+	b := eth.AddStation("b")
+	b.OpenBox(1)
+	msg := data(500)
+	var got Message
+	var sent, recvd sim.Time
+	b.eth.eng.Go("rx", func(p *sim.Proc) {
+		got = b.Recv(p, 1)
+		recvd = p.Now()
+	})
+	eng.Go("tx", func(p *sim.Proc) {
+		sent = p.Now()
+		a.Send(p, b, 1, msg)
+	})
+	eng.Run()
+	if !bytes.Equal(got.Data, msg) {
+		t.Fatalf("corrupted (%d bytes)", len(got.Data))
+	}
+	lat := recvd - sent
+	// Conventional stack: the paper's premise is ~millisecond latencies.
+	if lat < 500*sim.Microsecond {
+		t.Fatalf("LAN latency %v implausibly low for a 1988 UNIX stack", lat)
+	}
+	if lat > 5*sim.Millisecond {
+		t.Fatalf("LAN latency %v implausibly high", lat)
+	}
+	t.Logf("LAN 500B latency: %v", lat)
+}
+
+func TestLANLargeTransferFragmentation(t *testing.T) {
+	eng := sim.NewEngine()
+	eth := NewEthernet(eng, DefaultParams())
+	a := eth.AddStation("a")
+	b := eth.AddStation("b")
+	b.OpenBox(1)
+	msg := data(10000) // several MTU-sized frames
+	var got Message
+	eng.Go("rx", func(p *sim.Proc) { got = b.Recv(p, 1) })
+	eng.Go("tx", func(p *sim.Proc) { a.Send(p, b, 1, msg) })
+	eng.Run()
+	if !bytes.Equal(got.Data, msg) {
+		t.Fatalf("fragmented transfer corrupted (%d bytes)", len(got.Data))
+	}
+	if eth.Frames() < 7 {
+		t.Fatalf("only %d frames for 10KB", eth.Frames())
+	}
+}
+
+func TestLANThroughputBelowWireRate(t *testing.T) {
+	eng := sim.NewEngine()
+	eth := NewEthernet(eng, DefaultParams())
+	a := eth.AddStation("a")
+	b := eth.AddStation("b")
+	b.OpenBox(1)
+	const total = 200 * 1024
+	var doneAt sim.Time
+	eng.Go("rx", func(p *sim.Proc) {
+		m := b.Recv(p, 1)
+		doneAt = p.Now()
+		if len(m.Data) != total {
+			t.Errorf("got %d bytes", len(m.Data))
+		}
+	})
+	eng.Go("tx", func(p *sim.Proc) { a.Send(p, b, 1, data(total)) })
+	eng.Run()
+	mbps := float64(total) * 8 / doneAt.Seconds() / 1e6
+	if mbps >= 10 {
+		t.Fatalf("LAN throughput %.2f Mb/s exceeds the 10 Mb/s wire", mbps)
+	}
+	if mbps < 1 {
+		t.Fatalf("LAN throughput %.2f Mb/s implausibly low", mbps)
+	}
+	t.Logf("LAN bulk throughput: %.2f Mb/s", mbps)
+}
+
+func TestCSMACollisionsUnderContention(t *testing.T) {
+	eng := sim.NewEngine()
+	eth := NewEthernet(eng, DefaultParams())
+	const n = 6
+	stations := make([]*Station, n)
+	for i := range stations {
+		stations[i] = eth.AddStation("s")
+		stations[i].OpenBox(1)
+	}
+	// Everyone blasts at station 0 simultaneously.
+	recvd := 0
+	eng.GoDaemon("rx", func(p *sim.Proc) {
+		for {
+			stations[0].Recv(p, 1)
+			recvd++
+		}
+	})
+	for i := 1; i < n; i++ {
+		s := stations[i]
+		eng.Go("tx", func(p *sim.Proc) {
+			for j := 0; j < 10; j++ {
+				s.Send(p, stations[0], 1, data(1000))
+			}
+		})
+	}
+	eng.Run()
+	if recvd != (n-1)*10 {
+		t.Fatalf("received %d messages, want %d", recvd, (n-1)*10)
+	}
+	if eth.Collisions() == 0 {
+		t.Fatal("no collisions under 5-way contention")
+	}
+	t.Logf("collisions: %d for %d frames", eth.Collisions(), eth.Frames())
+}
+
+func TestMediumSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	eth := NewEthernet(eng, DefaultParams())
+	a := eth.AddStation("a")
+	b := eth.AddStation("b")
+	c := eth.AddStation("c")
+	c.OpenBox(1)
+	done := 0
+	eng.GoDaemon("rx", func(p *sim.Proc) {
+		for {
+			c.Recv(p, 1)
+			done++
+		}
+	})
+	eng.Go("tx-a", func(p *sim.Proc) { a.Send(p, c, 1, data(1400)) })
+	eng.Go("tx-b", func(p *sim.Proc) { b.Send(p, c, 1, data(1400)) })
+	end := eng.Run()
+	if done != 2 {
+		t.Fatalf("delivered %d", done)
+	}
+	// Two ~1.4KB frames at 10 Mb/s cannot complete faster than their
+	// serialized wire time.
+	minWire := sim.Time(2*1400) * 800
+	if end < minWire {
+		t.Fatalf("end %v < serialized wire time %v", end, minWire)
+	}
+}

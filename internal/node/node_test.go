@@ -1,0 +1,345 @@
+package node_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func pair(t *testing.T) (*core.System, *node.Node, *node.Node) {
+	t.Helper()
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	a := node.New(sys.CAB(0), "nodeA", node.DefaultParams())
+	b := node.New(sys.CAB(1), "nodeB", node.DefaultParams())
+	return sys, a, b
+}
+
+func data(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 13)
+	}
+	return b
+}
+
+func TestSharedMemoryRoundTrip(t *testing.T) {
+	sys, a, b := pair(t)
+	b.OpenBox(1, node.ModeShared, 256*1024)
+	msg := data(64)
+	var got node.Message
+	var sent, recvd sim.Time
+	b.Go("rx", func(p *sim.Proc) {
+		got = b.RecvShared(p, 1)
+		recvd = p.Now()
+	})
+	a.Go("tx", func(p *sim.Proc) {
+		sent = p.Now()
+		a.SendShared(p, b.CABID(), 1, msg)
+	})
+	sys.Run()
+	if !bytes.Equal(got.Data, msg) || got.Src != 0 {
+		t.Fatalf("got %d bytes from %d", len(got.Data), got.Src)
+	}
+	lat := recvd - sent
+	// Paper §2.3: node-to-node process latency goal < 100us.
+	if lat >= 100*sim.Microsecond {
+		t.Fatalf("node-to-node latency %v, goal < 100us", lat)
+	}
+	t.Logf("node-to-node (shared memory) 64B latency: %v", lat)
+}
+
+func TestSocketRoundTrip(t *testing.T) {
+	sys, a, b := pair(t)
+	b.OpenBox(2, node.ModeSocket, 256*1024)
+	msg := data(300)
+	var got node.Message
+	var sent, recvd sim.Time
+	b.Go("rx", func(p *sim.Proc) {
+		got = b.RecvSocket(p, 2)
+		recvd = p.Now()
+	})
+	a.Go("tx", func(p *sim.Proc) {
+		sent = p.Now()
+		a.SendSocket(p, b.CABID(), 2, msg)
+	})
+	sys.Run()
+	if !bytes.Equal(got.Data, msg) {
+		t.Fatalf("socket message corrupted (%d bytes)", len(got.Data))
+	}
+	t.Logf("node-to-node (socket) 300B latency: %v", recvd-sent)
+}
+
+func TestDriverRoundTrip(t *testing.T) {
+	sys, a, b := pair(t)
+	b.OpenBox(3, node.ModeDriver, 256*1024)
+	msg := data(5000) // multiple driver fragments
+	var got node.Message
+	b.Go("rx", func(p *sim.Proc) {
+		got = b.RecvDriver(p, 3)
+	})
+	a.Go("tx", func(p *sim.Proc) {
+		a.SendDriver(p, b.CABID(), 3, msg)
+	})
+	sys.Run()
+	if !bytes.Equal(got.Data, msg) {
+		t.Fatalf("driver message corrupted (%d bytes)", len(got.Data))
+	}
+}
+
+// TestInterfaceOrdering: the three interfaces must rank shared < socket <
+// driver in latency, the central claim of §6.2.3.
+func TestInterfaceOrdering(t *testing.T) {
+	msg := data(1000)
+	measure := func(mode node.RecvMode) sim.Time {
+		sys, a, b := pair(t)
+		b.OpenBox(5, mode, 256*1024)
+		var sent, recvd sim.Time
+		b.Go("rx", func(p *sim.Proc) {
+			switch mode {
+			case node.ModeShared:
+				b.RecvShared(p, 5)
+			case node.ModeSocket:
+				b.RecvSocket(p, 5)
+			case node.ModeDriver:
+				b.RecvDriver(p, 5)
+			}
+			recvd = p.Now()
+		})
+		a.Go("tx", func(p *sim.Proc) {
+			sent = p.Now()
+			switch mode {
+			case node.ModeShared:
+				a.SendShared(p, b.CABID(), 5, msg)
+			case node.ModeSocket:
+				a.SendSocket(p, b.CABID(), 5, msg)
+			case node.ModeDriver:
+				a.SendDriver(p, b.CABID(), 5, msg)
+			}
+		})
+		sys.Run()
+		return recvd - sent
+	}
+	shared := measure(node.ModeShared)
+	socket := measure(node.ModeSocket)
+	driver := measure(node.ModeDriver)
+	t.Logf("1KB latency: shared=%v socket=%v driver=%v", shared, socket, driver)
+	if !(shared < socket && socket < driver) {
+		t.Fatalf("interface ordering violated: shared=%v socket=%v driver=%v",
+			shared, socket, driver)
+	}
+}
+
+// TestPipelineOverlap: with segment pipelining, a large node-to-node
+// transfer overlaps VME and Nectar-net time; without it they serialize.
+func TestPipelineOverlap(t *testing.T) {
+	const total = 256 * 1024
+	run := func(segment int) sim.Time {
+		params := core.DefaultParams()
+		sys := core.NewSingleHub(2, params)
+		np := node.DefaultParams()
+		np.PipelineSegment = segment
+		a := node.New(sys.CAB(0), "nodeA", np)
+		b := node.New(sys.CAB(1), "nodeB", np)
+		b.OpenBox(1, node.ModeShared, 1024*1024)
+		var sent, recvd sim.Time
+		b.Go("rx", func(p *sim.Proc) {
+			b.RecvShared(p, 1)
+			recvd = p.Now()
+		})
+		a.Go("tx", func(p *sim.Proc) {
+			sent = p.Now()
+			a.SendShared(p, b.CABID(), 1, data(total))
+		})
+		sys.Run()
+		return recvd - sent
+	}
+	pipelined := run(8 * 1024)
+	monolithic := run(0)
+	t.Logf("256KB transfer: pipelined=%v monolithic=%v", pipelined, monolithic)
+	if pipelined >= monolithic {
+		t.Fatalf("pipelining did not help: %v >= %v", pipelined, monolithic)
+	}
+	// The win should be substantial: VME (10 MB/s) and fiber (12.5 MB/s)
+	// are comparable, so overlap should save roughly a third.
+	if float64(pipelined) > 0.85*float64(monolithic) {
+		t.Fatalf("pipeline overlap too small: %v vs %v", pipelined, monolithic)
+	}
+}
+
+func TestRecvWrongModePanics(t *testing.T) {
+	sys, _, b := pair(t)
+	b.OpenBox(1, node.ModeShared, 1024)
+	panicked := false
+	b.Go("rx", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		b.RecvSocket(p, 1)
+	})
+	sys.Run()
+	if !panicked {
+		t.Error("RecvSocket on a shared box should panic")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []node.RecvMode{node.ModeShared, node.ModeSocket, node.ModeDriver, node.RecvMode(9)} {
+		if m.String() == "" {
+			t.Fatal("empty mode name")
+		}
+	}
+}
+
+func TestManyMessagesAllModes(t *testing.T) {
+	sys, a, b := pair(t)
+	b.OpenBox(1, node.ModeShared, 512*1024)
+	b.OpenBox(2, node.ModeSocket, 512*1024)
+	const n = 10
+	var sharedGot, socketGot int
+	b.Go("rx-shared", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			m := b.RecvShared(p, 1)
+			if len(m.Data) != 100+i {
+				t.Errorf("shared msg %d: %d bytes", i, len(m.Data))
+			}
+			sharedGot++
+		}
+	})
+	b.Go("rx-socket", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			m := b.RecvSocket(p, 2)
+			if len(m.Data) != 200+i {
+				t.Errorf("socket msg %d: %d bytes", i, len(m.Data))
+			}
+			socketGot++
+		}
+	})
+	a.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			a.SendShared(p, b.CABID(), 1, data(100+i))
+			a.SendSocket(p, b.CABID(), 2, data(200+i))
+		}
+	})
+	sys.Run()
+	if sharedGot != n || socketGot != n {
+		t.Fatalf("shared=%d socket=%d, want %d each", sharedGot, socketGot, n)
+	}
+}
+
+func TestSocketListenDialEcho(t *testing.T) {
+	sys, a, b := pair(t)
+	lis := b.Listen(80)
+	// Echo server.
+	b.GoDaemon("server", func(p *sim.Proc) {
+		for {
+			c := lis.Accept(p)
+			b.GoDaemon("handler", func(p *sim.Proc) {
+				for {
+					req := c.Recv(p)
+					if req == nil {
+						return // EOF
+					}
+					c.Send(p, append([]byte("echo:"), req...))
+				}
+			})
+		}
+	})
+
+	var replies []string
+	a.Go("client", func(p *sim.Proc) {
+		c, err := a.Dial(p, b.CABID(), 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for _, msg := range []string{"one", "two", "three"} {
+			c.Send(p, []byte(msg))
+			replies = append(replies, string(c.Recv(p)))
+		}
+		c.Close(p)
+	})
+	sys.Run()
+	want := []string{"echo:one", "echo:two", "echo:three"}
+	if len(replies) != 3 {
+		t.Fatalf("replies %v", replies)
+	}
+	for i := range want {
+		if replies[i] != want[i] {
+			t.Fatalf("replies %v, want %v", replies, want)
+		}
+	}
+}
+
+func TestSocketMultipleConnections(t *testing.T) {
+	// Three clients on one node talk to one server concurrently; each
+	// connection keeps its own ordering.
+	sys, a, b := pair(t)
+	lis := b.Listen(80)
+	served := 0
+	b.GoDaemon("server", func(p *sim.Proc) {
+		for {
+			c := lis.Accept(p)
+			b.GoDaemon("handler", func(p *sim.Proc) {
+				for {
+					req := c.Recv(p)
+					if req == nil {
+						served++
+						return
+					}
+					c.Send(p, req)
+				}
+			})
+		}
+	})
+	okCount := 0
+	for i := 0; i < 3; i++ {
+		id := byte(i)
+		a.Go("client", func(p *sim.Proc) {
+			c, err := a.Dial(p, b.CABID(), 80)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			for j := 0; j < 5; j++ {
+				c.Send(p, []byte{id, byte(j)})
+				got := c.Recv(p)
+				if len(got) != 2 || got[0] != id || got[1] != byte(j) {
+					t.Errorf("client %d msg %d: got %v", id, j, got)
+				}
+			}
+			c.Close(p)
+			okCount++
+		})
+	}
+	sys.RunUntil(2 * sim.Second)
+	if okCount != 3 {
+		t.Fatalf("%d clients completed", okCount)
+	}
+	if served != 3 {
+		t.Fatalf("%d connections saw EOF", served)
+	}
+}
+
+func TestSocketSendOnClosed(t *testing.T) {
+	sys, a, b := pair(t)
+	b.Listen(80)
+	var err error
+	a.Go("client", func(p *sim.Proc) {
+		c, derr := a.Dial(p, b.CABID(), 80)
+		if derr != nil {
+			t.Errorf("dial: %v", derr)
+			return
+		}
+		c.Close(p)
+		err = c.Send(p, []byte("too late"))
+	})
+	sys.RunUntil(sim.Second)
+	if err == nil {
+		t.Fatal("send on closed connection should fail")
+	}
+}

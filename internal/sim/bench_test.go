@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+// Wall-clock micro-benchmarks of the engine itself (the substrate's own
+// speed, as opposed to the simulated-time results in the root bench file).
+
+func BenchmarkEventScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.RunUntil(e.Now() + 1)
+	}
+}
+
+func BenchmarkEventHeapChurn(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Keep ~64 events in flight.
+		for j := 0; j < 64; j++ {
+			e.After(Time(j%7+1), func() {})
+		}
+		e.RunUntil(e.Now() + 8)
+	}
+	e.Run()
+}
+
+func BenchmarkProcSleepWake(b *testing.B) {
+	e := NewEngine()
+	stop := false
+	e.GoDaemon("sleeper", func(p *Proc) {
+		for !stop {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + 1)
+	}
+	stop = true
+	e.RunUntil(e.Now() + 2)
+}
+
+func BenchmarkSignalHandoff(b *testing.B) {
+	e := NewEngine()
+	ping := NewSignal(e)
+	pong := NewSignal(e)
+	stop := false
+	e.GoDaemon("a", func(p *Proc) {
+		for !stop {
+			pong.Signal()
+			ping.Wait(p)
+		}
+	})
+	e.GoDaemon("b", func(p *Proc) {
+		for !stop {
+			pong.Wait(p)
+			ping.Signal()
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + 1)
+	}
+	stop = true
+	ping.Broadcast()
+	pong.Broadcast()
+	e.RunUntil(e.Now() + 2)
+}

@@ -1,0 +1,210 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate for the whole Nectar reproduction: hardware
+// components (HUB ports, DMA engines, fiber links) schedule plain events,
+// while software components (CAB kernel threads, node processes) run as
+// cooperative processes (Proc) whose sequential code blocks on virtual time
+// and on synchronization primitives (Signal, Queue, Resource).
+//
+// Determinism: events fire in (time, sequence) order, exactly one process
+// goroutine runs at a time, and all randomness is drawn from seeded
+// math/rand sources owned by individual components. Two runs with the same
+// seeds produce identical event orders and identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Convenient durations in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// String formats a Time with an adaptive unit, e.g. "700ns", "26.40us".
+func (t Time) String() string {
+	switch {
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(t)/1000)
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/1e9)
+	}
+}
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Event is a scheduled callback. It is returned by At/After so callers can
+// Cancel it (used for retransmission timers and preemption).
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Time returns the simulated time at which the event is scheduled to fire.
+func (ev *Event) Time() Time { return ev.at }
+
+// Canceled reports whether the event was canceled before firing.
+func (ev *Event) Canceled() bool { return ev.fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// procs counts live processes, used by Run to detect termination
+	// versus deadlock. live tracks them by name for diagnostics.
+	procs int
+	live  map[*Proc]bool
+
+	// executed counts events fired, for diagnostics and tests.
+	executed uint64
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of scheduled (uncanceled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.fn = nil
+	}
+}
+
+// step fires the next event. It reports false when no events remain.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.fn == nil {
+			continue // canceled
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until none remain. It returns the final time.
+// If live processes remain blocked with no pending events, the simulation is
+// deadlocked and Run panics with a diagnostic (a silent hang would otherwise
+// be indistinguishable from completion).
+func (e *Engine) Run() Time {
+	for e.step() {
+	}
+	if e.procs > 0 {
+		names := ""
+		for p := range e.live {
+			if !p.daemon && !p.done {
+				names += " " + p.name
+			}
+		}
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events:%s", e.procs, names))
+	}
+	return e.now
+}
+
+// RunUntil processes events with firing time <= t, then sets the clock to t.
+// Processes may still be blocked; RunUntil does not treat that as deadlock.
+func (e *Engine) RunUntil(t Time) Time {
+	for len(e.events) > 0 {
+		// Peek at the earliest event.
+		next := e.events[0]
+		if next.fn == nil {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+	return e.now
+}

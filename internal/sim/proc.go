@@ -1,0 +1,232 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: sequential code that runs in virtual time.
+//
+// A Proc is backed by a goroutine, but the engine guarantees that exactly one
+// process goroutine executes at any moment, and only while the engine itself
+// is paused waiting for it. The result is fully deterministic cooperative
+// scheduling: a process runs until it blocks (Sleep, Wait, Queue ops, ...),
+// at which point control returns to the event loop.
+//
+// All Proc methods must be called from within the process's own body.
+type Proc struct {
+	eng  *Engine
+	name string
+
+	wake chan struct{} // engine -> proc: run a slice
+	park chan struct{} // proc -> engine: slice done (blocked or finished)
+
+	done bool
+
+	// daemon processes are expected to block forever (service loops);
+	// they are excluded from the engine's deadlock accounting.
+	daemon bool
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Go time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go starts a new process at the current simulated time. The body begins
+// executing when the engine reaches the start event.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	return e.GoAt(e.now, name, body)
+}
+
+// GoDaemon starts a process excluded from deadlock accounting: a service
+// loop that legitimately blocks forever (e.g. a protocol server thread).
+func (e *Engine) GoDaemon(name string, body func(p *Proc)) *Proc {
+	p := e.GoAt(e.now, name, body)
+	p.daemon = true
+	e.procs--
+	return p
+}
+
+// GoAt starts a new process at absolute time t.
+func (e *Engine) GoAt(t Time, name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:  e,
+		name: name,
+		wake: make(chan struct{}),
+		park: make(chan struct{}),
+	}
+	e.procs++
+	if e.live == nil {
+		e.live = make(map[*Proc]bool)
+	}
+	e.live[p] = true
+	go func() {
+		<-p.wake // wait for the start event
+		body(p)
+		p.done = true
+		delete(e.live, p)
+		if !p.daemon {
+			e.procs--
+		}
+		p.park <- struct{}{}
+	}()
+	e.At(t, func() { e.runSlice(p) })
+	return p
+}
+
+// runSlice hands control to the process goroutine and waits for it to block
+// again or finish. Must only be called from event context.
+func (e *Engine) runSlice(p *Proc) {
+	if p.done {
+		return
+	}
+	p.wake <- struct{}{}
+	<-p.park
+}
+
+// block parks the calling process goroutine and returns control to the
+// engine; it returns when the engine next resumes the process.
+func (p *Proc) block() {
+	p.park <- struct{}{}
+	<-p.wake
+}
+
+// resumeAt schedules the process to resume at absolute time t and returns
+// the resume event (so it can be canceled, e.g. for timeouts).
+func (p *Proc) resumeAt(t Time) *Event {
+	return p.eng.At(t, func() { p.eng.runSlice(p) })
+}
+
+// Sleep blocks the process for d nanoseconds of simulated time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		// Still yield through the event queue so same-time events
+		// scheduled earlier run first.
+	}
+	p.resumeAt(p.eng.now + d)
+	p.block()
+}
+
+// Yield reschedules the process at the current time, letting other pending
+// same-time events run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// waiter is a parked process plus an optional timeout event.
+type waiter struct {
+	p       *Proc
+	timeout *Event
+	fired   bool // set when the signal (not the timeout) woke the waiter
+}
+
+// Signal is a broadcast/wakeup primitive for processes (a condition
+// variable in virtual time). The zero value is invalid; use NewSignal.
+type Signal struct {
+	eng     *Engine
+	waiters []*waiter
+}
+
+// NewSignal returns a Signal bound to the engine.
+func NewSignal(e *Engine) *Signal {
+	return &Signal{eng: e}
+}
+
+// Waiters returns the number of processes currently blocked on the signal.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Wait blocks the process until Signal or Broadcast wakes it.
+func (s *Signal) Wait(p *Proc) {
+	w := &waiter{p: p}
+	s.waiters = append(s.waiters, w)
+	p.block()
+}
+
+// WaitTimeout blocks until woken or until d elapses. It reports true if the
+// process was woken by the signal and false on timeout.
+func (s *Signal) WaitTimeout(p *Proc, d Time) bool {
+	w := &waiter{p: p}
+	w.timeout = p.eng.At(p.eng.now+d, func() {
+		// Timeout fired before the signal: remove from waiters, resume.
+		for i, x := range s.waiters {
+			if x == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+		p.eng.runSlice(p)
+	})
+	s.waiters = append(s.waiters, w)
+	p.block()
+	return w.fired
+}
+
+// wakeOne removes and schedules the resume of a single waiter.
+func (s *Signal) wakeOne() {
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	w.fired = true
+	if w.timeout != nil {
+		s.eng.Cancel(w.timeout)
+	}
+	w.p.resumeAt(s.eng.now)
+}
+
+// Signal wakes one waiting process (FIFO), if any. The wakeup is delivered
+// through the event queue, so the caller continues first.
+func (s *Signal) Signal() {
+	if len(s.waiters) > 0 {
+		s.wakeOne()
+	}
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (s *Signal) Broadcast() {
+	for len(s.waiters) > 0 {
+		s.wakeOne()
+	}
+}
+
+// Resource is a FIFO mutual-exclusion resource for processes (e.g. a shared
+// bus). The zero value is invalid; use NewResource.
+type Resource struct {
+	eng  *Engine
+	held bool
+	free *Signal
+}
+
+// NewResource returns an unheld resource.
+func NewResource(e *Engine) *Resource {
+	return &Resource{eng: e, free: NewSignal(e)}
+}
+
+// Held reports whether the resource is currently acquired.
+func (r *Resource) Held() bool { return r.held }
+
+// Acquire blocks until the resource is free, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.held {
+		r.free.Wait(p)
+	}
+	r.held = true
+}
+
+// Release frees the resource and wakes one waiter. Releasing an unheld
+// resource panics: it is always a model bug.
+func (r *Resource) Release() {
+	if !r.held {
+		panic("sim: release of unheld resource")
+	}
+	r.held = false
+	r.free.Signal()
+}
+
+// Use acquires the resource, holds it for d, and releases it.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}

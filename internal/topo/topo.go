@@ -1,0 +1,387 @@
+// Package topo builds Nectar networks: HUBs, CABs, and the fiber pairs
+// wiring them together, for the topologies of paper Figures 1-4 (single-HUB
+// systems, HUB clusters, and multi-HUB systems such as 2-D meshes: "The HUB
+// clusters may be connected in any topology appropriate to the application
+// environment"). It also computes routes — the per-HUB output-port hop
+// lists from which the datalink builds its command packets — including
+// multicast trees.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/cab"
+	"repro/internal/fiber"
+	"repro/internal/hub"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options configure network construction.
+type Options struct {
+	// HubPorts is the port count per HUB (prototype: 16).
+	HubPorts int
+	// Propagation is the per-fiber propagation delay.
+	Propagation sim.Time
+	// Errors, if non-zero, is applied to every fiber link.
+	Errors fiber.ErrorModel
+}
+
+// DefaultOptions returns prototype parameters.
+func DefaultOptions() Options {
+	return Options{
+		HubPorts:    hub.DefaultPorts,
+		Propagation: fiber.DefaultPropagation,
+	}
+}
+
+// Hop is one step of a route: an output port on a specific HUB. Terminal
+// reports that the open targets a destination CAB (the datalink puts the
+// "and reply" variant on terminal opens).
+type Hop struct {
+	HubID    byte
+	Port     byte
+	Terminal bool
+}
+
+// Network is a wired Nectar system.
+type Network struct {
+	eng  *sim.Engine
+	rec  *trace.Recorder
+	opts Options
+
+	hubs   []*hub.Hub
+	boards []*cab.Board
+
+	// attachHub[cabID]/attachPort[cabID]: where each CAB plugs in.
+	attachHub  []int
+	attachPort []int
+
+	// nextPort[hubIdx] is the next unassigned port (CABs from 0 up,
+	// HUB-HUB links from the top down).
+	nextCABPort []int
+	nextHubPort []int
+
+	// adj[hubIdx] lists inter-HUB edges.
+	adj [][]edge
+
+	linkSeed int64
+}
+
+type edge struct {
+	to       int // neighbor hub index
+	portHere int // output port on this hub leading to neighbor
+	down     bool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(eng *sim.Engine, rec *trace.Recorder, opts Options) *Network {
+	if opts.HubPorts == 0 {
+		opts.HubPorts = hub.DefaultPorts
+	}
+	return &Network{eng: eng, rec: rec, opts: opts}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddHub creates a HUB and returns its index. HUB IDs are assigned
+// sequentially starting at 1 (0 is reserved).
+func (n *Network) AddHub() int {
+	id := byte(len(n.hubs) + 1)
+	h := hub.New(n.eng, id, n.opts.HubPorts, n.rec)
+	n.hubs = append(n.hubs, h)
+	n.adj = append(n.adj, nil)
+	n.nextCABPort = append(n.nextCABPort, 0)
+	n.nextHubPort = append(n.nextHubPort, n.opts.HubPorts-1)
+	return len(n.hubs) - 1
+}
+
+// Hubs returns the HUBs.
+func (n *Network) Hubs() []*hub.Hub { return n.hubs }
+
+// Hub returns hub i.
+func (n *Network) Hub(i int) *hub.Hub { return n.hubs[i] }
+
+// Boards returns the CAB boards in id order.
+func (n *Network) Boards() []*cab.Board { return n.boards }
+
+// Board returns the CAB with the given id.
+func (n *Network) Board(id int) *cab.Board { return n.boards[id] }
+
+// HubOf returns the hub index a CAB attaches to.
+func (n *Network) HubOf(cabID int) int { return n.attachHub[cabID] }
+
+// PortOf returns the HUB port a CAB attaches to.
+func (n *Network) PortOf(cabID int) int { return n.attachPort[cabID] }
+
+// newLink builds a fiber link with the network's options.
+func (n *Network) newLink(name string, dst fiber.Endpoint) *fiber.Link {
+	l := fiber.NewLink(n.eng, name, dst)
+	l.SetPropagation(n.opts.Propagation)
+	if n.opts.Errors.BitErrorRate != 0 {
+		m := n.opts.Errors
+		n.linkSeed++
+		m.Seed += n.linkSeed
+		l.SetErrorModel(m)
+	}
+	return l
+}
+
+// AttachCAB creates a CAB board and wires it to the next free low port of
+// hub hubIdx. It returns the board.
+func (n *Network) AttachCAB(hubIdx int, name string) *cab.Board {
+	id := len(n.boards)
+	if name == "" {
+		name = fmt.Sprintf("cab%d", id)
+	}
+	b := cab.NewBoard(n.eng, id, name)
+	port := n.nextCABPort[hubIdx]
+	if port > n.nextHubPort[hubIdx] {
+		panic(fmt.Sprintf("topo: hub %d out of ports", hubIdx))
+	}
+	n.nextCABPort[hubIdx]++
+	n.wireCAB(b, hubIdx, port)
+	return b
+}
+
+// wireCAB connects board b to (hubIdx, port) with a fiber pair and the
+// ready-bit back-channels.
+func (n *Network) wireCAB(b *cab.Board, hubIdx, port int) {
+	h := n.hubs[hubIdx]
+	in := h.Port(port)
+	// CAB -> HUB input queue.
+	toHub := n.newLink(b.Name()+"->"+h.Name(), in)
+	// When the HUB input queue drains our packet, our ready bit sets.
+	in.SetUpstreamReady(b.SetNetReady)
+	// HUB output register -> CAB.
+	h.ConnectOutput(port, n.newLink(h.Name()+"->"+b.Name(), b))
+	// When the CAB input queue drains, the HUB output's ready bit sets.
+	b.AttachNet(toHub, h.Port(port).SetReady)
+
+	n.boards = append(n.boards, b)
+	n.attachHub = append(n.attachHub, hubIdx)
+	n.attachPort = append(n.attachPort, port)
+}
+
+// ConnectHubs wires two HUBs with a fiber pair using the next free high
+// port on each side, and records the edge for routing.
+func (n *Network) ConnectHubs(a, b int) {
+	pa := n.nextHubPort[a]
+	pb := n.nextHubPort[b]
+	if pa < n.nextCABPort[a] || pb < n.nextCABPort[b] {
+		panic("topo: out of ports for inter-hub link")
+	}
+	n.nextHubPort[a]--
+	n.nextHubPort[b]--
+	ha, hb := n.hubs[a], n.hubs[b]
+	ha.ConnectOutput(pa, n.newLink(ha.Name()+"->"+hb.Name(), hb.Port(pb)))
+	hb.ConnectOutput(pb, n.newLink(hb.Name()+"->"+ha.Name(), ha.Port(pa)))
+	hb.Port(pb).SetUpstreamReady(ha.Port(pa).SetReady)
+	ha.Port(pa).SetUpstreamReady(hb.Port(pb).SetReady)
+	n.adj[a] = append(n.adj[a], edge{to: b, portHere: pa})
+	n.adj[b] = append(n.adj[b], edge{to: a, portHere: pb})
+}
+
+// SetLinkState marks the inter-HUB link between hubs a and b up or down
+// for route computation — the routing half of "recovery from hardware
+// failures" (paper §4): an operator marks a failed link out of service and
+// CABs flush their cached routes; subsequent traffic takes the surviving
+// paths. The fibers themselves are untouched.
+func (n *Network) SetLinkState(a, b int, up bool) {
+	for i := range n.adj[a] {
+		if n.adj[a][i].to == b {
+			n.adj[a][i].down = !up
+		}
+	}
+	for i := range n.adj[b] {
+		if n.adj[b][i].to == a {
+			n.adj[b][i].down = !up
+		}
+	}
+}
+
+// hubPath returns the hub-index path from hub `from` to hub `to` (BFS,
+// fewest hops), including both endpoints.
+func (n *Network) hubPath(from, to int) ([]int, bool) {
+	if from == to {
+		return []int{from}, true
+	}
+	prev := make([]int, len(n.hubs))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[from] = from
+	queue := []int{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range n.adj[cur] {
+			if e.down || prev[e.to] != -1 {
+				continue
+			}
+			prev[e.to] = cur
+			if e.to == to {
+				// Reconstruct.
+				path := []int{to}
+				for at := to; at != from; {
+					at = prev[at]
+					path = append([]int{at}, path...)
+				}
+				return path, true
+			}
+			queue = append(queue, e.to)
+		}
+	}
+	return nil, false
+}
+
+// portToward returns the output port on hub a leading to adjacent hub b.
+func (n *Network) portToward(a, b int) (int, bool) {
+	for _, e := range n.adj[a] {
+		if e.to == b && !e.down {
+			return e.portHere, true
+		}
+	}
+	return 0, false
+}
+
+// Route computes the hop list from CAB src to CAB dst: one open per HUB on
+// the path, ending with the open onto the destination CAB's port.
+func (n *Network) Route(src, dst int) ([]Hop, error) {
+	if src == dst {
+		return nil, fmt.Errorf("topo: route from CAB %d to itself", src)
+	}
+	path, ok := n.hubPath(n.attachHub[src], n.attachHub[dst])
+	if !ok {
+		return nil, fmt.Errorf("topo: no path from CAB %d to CAB %d", src, dst)
+	}
+	var hops []Hop
+	for i := 0; i < len(path)-1; i++ {
+		port, _ := n.portToward(path[i], path[i+1])
+		hops = append(hops, Hop{HubID: n.hubs[path[i]].ID(), Port: byte(port)})
+	}
+	last := path[len(path)-1]
+	hops = append(hops, Hop{
+		HubID:    n.hubs[last].ID(),
+		Port:     byte(n.attachPort[dst]),
+		Terminal: true,
+	})
+	return hops, nil
+}
+
+// MulticastTree computes the DFS-ordered open list reaching every
+// destination CAB, as in paper §4.2.2: the shortest-path tree is opened
+// hop by hop, and each terminal open (onto a destination CAB's port)
+// carries the reply flag.
+func (n *Network) MulticastTree(src int, dsts []int) ([]Hop, error) {
+	if len(dsts) == 0 {
+		return nil, fmt.Errorf("topo: empty multicast set")
+	}
+	root := n.attachHub[src]
+	// children[h] = hubs below h in the tree; terminals[h] = CAB ports on
+	// h that are destinations.
+	children := make(map[int][]int)
+	terminals := make(map[int][]int)
+	inTree := map[int]bool{root: true}
+	for _, d := range dsts {
+		if d == src {
+			return nil, fmt.Errorf("topo: multicast to self")
+		}
+		path, ok := n.hubPath(root, n.attachHub[d])
+		if !ok {
+			return nil, fmt.Errorf("topo: no path to CAB %d", d)
+		}
+		for i := 1; i < len(path); i++ {
+			if !inTree[path[i]] {
+				inTree[path[i]] = true
+				children[path[i-1]] = append(children[path[i-1]], path[i])
+			}
+		}
+		leaf := path[len(path)-1]
+		terminals[leaf] = append(terminals[leaf], n.attachPort[d])
+	}
+	var hops []Hop
+	var dfs func(h int)
+	dfs = func(h int) {
+		for _, p := range terminals[h] {
+			hops = append(hops, Hop{HubID: n.hubs[h].ID(), Port: byte(p), Terminal: true})
+		}
+		for _, c := range children[h] {
+			port, _ := n.portToward(h, c)
+			hops = append(hops, Hop{HubID: n.hubs[h].ID(), Port: byte(port)})
+			dfs(c)
+		}
+	}
+	dfs(root)
+	return hops, nil
+}
+
+// CheckInvariants verifies every HUB's crossbar state.
+func (n *Network) CheckInvariants() error {
+	for _, h := range n.hubs {
+		if err := h.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SingleHub builds the Figure 2 system: one HUB with nCABs CABs.
+func SingleHub(eng *sim.Engine, rec *trace.Recorder, opts Options, nCABs int) *Network {
+	n := NewNetwork(eng, rec, opts)
+	h := n.AddHub()
+	for i := 0; i < nCABs; i++ {
+		n.AttachCAB(h, "")
+	}
+	return n
+}
+
+// Mesh2D builds the Figure 4 system: a rows x cols mesh of HUB clusters
+// with cabsPerHub CABs on each HUB.
+func Mesh2D(eng *sim.Engine, rec *trace.Recorder, opts Options, rows, cols, cabsPerHub int) *Network {
+	n := NewNetwork(eng, rec, opts)
+	idx := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		idx[r] = make([]int, cols)
+		for c := 0; c < cols; c++ {
+			idx[r][c] = n.AddHub()
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				n.ConnectHubs(idx[r][c], idx[r][c+1])
+			}
+			if r+1 < rows {
+				n.ConnectHubs(idx[r][c], idx[r+1][c])
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for k := 0; k < cabsPerHub; k++ {
+				n.AttachCAB(idx[r][c], "")
+			}
+		}
+	}
+	return n
+}
+
+// Line builds a chain of nHubs HUBs with cabsPerHub CABs each (useful for
+// hop-count sweeps).
+func Line(eng *sim.Engine, rec *trace.Recorder, opts Options, nHubs, cabsPerHub int) *Network {
+	n := NewNetwork(eng, rec, opts)
+	prev := -1
+	for i := 0; i < nHubs; i++ {
+		h := n.AddHub()
+		if prev >= 0 {
+			n.ConnectHubs(prev, h)
+		}
+		for k := 0; k < cabsPerHub; k++ {
+			n.AttachCAB(h, "")
+		}
+		prev = h
+	}
+	return n
+}

@@ -1,0 +1,239 @@
+// Package trace provides instrumentation for the Nectar simulation: counters,
+// latency histograms, throughput meters, and an event recorder modeled on the
+// prototype's instrumentation board (paper §4.1), which "can monitor and
+// record events related to the crossbar and its controller".
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Histogram accumulates sim.Time samples (latencies) and reports summary
+// statistics. Samples are retained exactly, so quantiles are exact; the
+// experiment harness uses modest sample counts.
+type Histogram struct {
+	name    string
+	samples []sim.Time
+	sorted  bool
+	sum     float64
+	min     sim.Time
+	max     sim.Time
+}
+
+// NewHistogram returns an empty histogram with a display name.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name, min: math.MaxInt64}
+}
+
+// Name returns the histogram's display name.
+func (h *Histogram) Name() string { return h.name }
+
+// Add records one sample.
+func (h *Histogram) Add(v sim.Time) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 if empty).
+func (h *Histogram) Max() sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (h *Histogram) Mean() sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / float64(len(h.samples)))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
+// method. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Median returns the 0.5 quantile.
+func (h *Histogram) Median() sim.Time { return h.Quantile(0.5) }
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	if len(h.samples) == 0 {
+		return fmt.Sprintf("%s: no samples", h.name)
+	}
+	return fmt.Sprintf("%s: n=%d min=%v p50=%v mean=%v p95=%v max=%v",
+		h.name, h.Count(), h.Min(), h.Median(), h.Mean(), h.Quantile(0.95), h.Max())
+}
+
+// Counter is a named monotonically non-negative event counter.
+type Counter struct {
+	name string
+	n    int64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Name returns the counter's display name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (which may be negative, e.g. queue occupancy deltas).
+func (c *Counter) Add(delta int64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Meter measures throughput: bytes (or other units) accumulated over the
+// window between Start and the last Add.
+type Meter struct {
+	name  string
+	start sim.Time
+	last  sim.Time
+	total int64
+}
+
+// NewMeter returns a meter whose window opens at start.
+func NewMeter(name string, start sim.Time) *Meter {
+	return &Meter{name: name, start: start, last: start}
+}
+
+// Add records n units delivered at time t.
+func (m *Meter) Add(t sim.Time, n int64) {
+	m.total += n
+	if t > m.last {
+		m.last = t
+	}
+}
+
+// Total returns the accumulated units.
+func (m *Meter) Total() int64 { return m.total }
+
+// Elapsed returns the window length.
+func (m *Meter) Elapsed() sim.Time { return m.last - m.start }
+
+// Rate returns units per second over the window (0 if the window is empty).
+func (m *Meter) Rate() float64 {
+	if m.last <= m.start {
+		return 0
+	}
+	return float64(m.total) / (m.last - m.start).Seconds()
+}
+
+// RateMbps returns the rate in megabits per second, treating units as bytes.
+func (m *Meter) RateMbps() float64 { return m.Rate() * 8 / 1e6 }
+
+// RateMBps returns the rate in megabytes per second, treating units as bytes.
+func (m *Meter) RateMBps() float64 { return m.Rate() / 1e6 }
+
+// Table is a simple fixed-width text table builder used by the experiment
+// harness to print paper-style result tables.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.headers)
+	widths := make([]int, ncol)
+	for i, hd := range t.headers {
+		widths[i] = len(hd)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < ncol && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, ncol)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

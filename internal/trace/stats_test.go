@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram("lat")
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Median() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []sim.Time{10, 20, 30, 40, 50} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 10 || h.Max() != 50 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 30 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Median() != 30 {
+		t.Fatalf("Median = %v", h.Median())
+	}
+	if q := h.Quantile(1.0); q != 50 {
+		t.Fatalf("Q100 = %v", q)
+	}
+	if q := h.Quantile(0.0); q != 10 {
+		t.Fatalf("Q0 = %v", q)
+	}
+	if !strings.Contains(h.String(), "n=5") {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistogramQuantileAfterAdd(t *testing.T) {
+	h := NewHistogram("x")
+	h.Add(5)
+	h.Add(1)
+	_ = h.Median() // sorts
+	h.Add(3)       // must invalidate sort
+	if h.Median() != 3 {
+		t.Fatalf("Median after re-add = %v, want 3", h.Median())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("drops")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value after reset = %d", c.Value())
+	}
+	if c.Name() != "drops" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter("tx", 0)
+	// 1,000,000 bytes over 1 second of sim time = 1 MB/s = 8 Mb/s.
+	m.Add(sim.Second, 1_000_000)
+	if m.Total() != 1_000_000 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	if got := m.RateMBps(); got < 0.99 || got > 1.01 {
+		t.Fatalf("RateMBps = %v, want ~1", got)
+	}
+	if got := m.RateMbps(); got < 7.9 || got > 8.1 {
+		t.Fatalf("RateMbps = %v, want ~8", got)
+	}
+	if m.Elapsed() != sim.Second {
+		t.Fatalf("Elapsed = %v", m.Elapsed())
+	}
+}
+
+func TestMeterEmptyWindow(t *testing.T) {
+	m := NewMeter("rx", 100)
+	if m.Rate() != 0 {
+		t.Fatalf("Rate on empty window = %v", m.Rate())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1", "size", "latency", "mbps")
+	tb.AddRow(64, sim.Time(700), 99.456)
+	tb.AddRow(1024, sim.Time(30*sim.Microsecond), 1.0)
+	s := tb.String()
+	if !strings.Contains(s, "T1") || !strings.Contains(s, "700ns") || !strings.Contains(s, "99.46") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 2)
+	e.At(10, func() { r.Record(EvConnOpen, "hub0.p1", "in=%d out=%d", 1, 2) })
+	e.At(20, func() { r.Record(EvConnClose, "hub0.p1", "out=%d", 2) })
+	e.At(30, func() { r.Record(EvConnOpen, "hub0.p2", "in=%d out=%d", 2, 3) })
+	e.Run()
+	if r.Count(EvConnOpen) != 2 {
+		t.Fatalf("Count(open) = %d", r.Count(EvConnOpen))
+	}
+	if len(r.Events()) != 2 { // limited to 2 retained
+		t.Fatalf("retained %d events", len(r.Events()))
+	}
+	if r.Events()[0].At != 10 {
+		t.Fatalf("first event at %v", r.Events()[0].At)
+	}
+	if !strings.Contains(r.Dump(), "conn-open") {
+		t.Fatalf("Dump:\n%s", r.Dump())
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(EvCommand, "x", "y")
+	if r.Count(EvCommand) != 0 || r.Events() != nil || r.Dump() != "" {
+		t.Fatal("nil recorder should be inert")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvPacketDrop.String() != "packet-drop" {
+		t.Fatalf("String = %q", EvPacketDrop.String())
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Fatalf("unknown kind String = %q", EventKind(99).String())
+	}
+}

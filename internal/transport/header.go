@@ -1,0 +1,135 @@
+// Package transport implements the Nectar transport protocols (paper
+// §6.2.2): the unreliable datagram protocol, the reliable byte-stream
+// protocol (acknowledgments, retransmissions, and a sliding window for flow
+// control), and the request-response protocol for client-server
+// interaction. The transport layer "is responsible for message transfer
+// between mailboxes on different CABs. This involves breaking messages into
+// packets, reassembling messages, flow control, and retransmission of lost
+// and damaged packets."
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cab"
+)
+
+// Proto identifies the protocol of a packet.
+type Proto byte
+
+// Wire protocols.
+const (
+	ProtoDatagram Proto = 1 + iota
+	ProtoStream
+	ProtoStreamAck
+	ProtoRequest
+	ProtoResponse
+	ProtoVSend // VMTP transaction request group
+	ProtoVResp // VMTP transaction response group
+	ProtoVNack // VMTP selective-retransmission mask
+)
+
+// String returns the protocol name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoDatagram:
+		return "datagram"
+	case ProtoStream:
+		return "stream"
+	case ProtoStreamAck:
+		return "stream-ack"
+	case ProtoRequest:
+		return "request"
+	case ProtoResponse:
+		return "response"
+	case ProtoVSend:
+		return "vmtp-send"
+	case ProtoVResp:
+		return "vmtp-resp"
+	case ProtoVNack:
+		return "vmtp-nack"
+	default:
+		return fmt.Sprintf("proto(%d)", byte(p))
+	}
+}
+
+// HeaderSize is the encoded transport header length.
+const HeaderSize = 32
+
+// AckDone is the Seq value in a stream ack meaning "message fully
+// received".
+const AckDone = 0xFFFFFFFF
+
+// Header is the transport packet header. The checksum covers the header
+// (with the checksum field zeroed) and the payload; the CAB computes and
+// verifies it in hardware during DMA ("hardware checksum computation
+// removes this burden from protocol software", §5.1), so no CPU cost is
+// charged for it.
+type Header struct {
+	Proto  Proto
+	Src    uint16 // source CAB id
+	Dst    uint16 // destination CAB id
+	SrcBox uint16 // source mailbox
+	DstBox uint16 // destination mailbox
+	MsgID  uint32 // message / request identifier
+	Seq    uint32 // packet index within the message (streams)
+	Total  uint32 // total message length in bytes
+	Offset uint32 // byte offset of this packet's payload
+}
+
+// Encode builds the wire packet: header, checksum, payload.
+func Encode(h *Header, payload []byte) []byte {
+	buf := make([]byte, HeaderSize+len(payload))
+	buf[0] = byte(h.Proto)
+	// buf[1] reserved.
+	binary.BigEndian.PutUint16(buf[2:], h.Src)
+	binary.BigEndian.PutUint16(buf[4:], h.Dst)
+	binary.BigEndian.PutUint16(buf[6:], h.SrcBox)
+	binary.BigEndian.PutUint16(buf[8:], h.DstBox)
+	binary.BigEndian.PutUint32(buf[10:], h.MsgID)
+	binary.BigEndian.PutUint32(buf[14:], h.Seq)
+	binary.BigEndian.PutUint32(buf[18:], h.Total)
+	binary.BigEndian.PutUint32(buf[22:], h.Offset)
+	binary.BigEndian.PutUint32(buf[26:], uint32(len(payload)))
+	copy(buf[HeaderSize:], payload)
+	// Checksum computed with its own field (30:32) still zero.
+	binary.BigEndian.PutUint16(buf[30:], cab.Checksum(buf))
+	return buf
+}
+
+// Decode parses and verifies a wire packet. A checksum mismatch (payload
+// damaged in transit) is reported as an error; the caller drops the packet
+// and relies on protocol recovery.
+func Decode(buf []byte) (*Header, []byte, error) {
+	if len(buf) < HeaderSize {
+		return nil, nil, fmt.Errorf("transport: short packet (%d bytes)", len(buf))
+	}
+	sum := binary.BigEndian.Uint16(buf[30:])
+	// Verify over a copy with the checksum field zeroed (the hardware
+	// excludes the field as it streams).
+	scratch := make([]byte, len(buf))
+	copy(scratch, buf)
+	scratch[30], scratch[31] = 0, 0
+	if cab.Checksum(scratch) != sum {
+		return nil, nil, fmt.Errorf("transport: checksum mismatch")
+	}
+	h := &Header{
+		Proto:  Proto(buf[0]),
+		Src:    binary.BigEndian.Uint16(buf[2:]),
+		Dst:    binary.BigEndian.Uint16(buf[4:]),
+		SrcBox: binary.BigEndian.Uint16(buf[6:]),
+		DstBox: binary.BigEndian.Uint16(buf[8:]),
+		MsgID:  binary.BigEndian.Uint32(buf[10:]),
+		Seq:    binary.BigEndian.Uint32(buf[14:]),
+		Total:  binary.BigEndian.Uint32(buf[18:]),
+		Offset: binary.BigEndian.Uint32(buf[22:]),
+	}
+	paylen := int(binary.BigEndian.Uint32(buf[26:]))
+	payload := buf[HeaderSize:]
+	if paylen != len(payload) {
+		return nil, nil, fmt.Errorf("transport: length mismatch: header %d, got %d",
+			paylen, len(payload))
+	}
+	return h, payload, nil
+}

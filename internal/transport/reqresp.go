@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// The request-response protocol (paper §6.2.2): "supports client-server
+// interactions such as remote procedure calls." The client retransmits
+// unanswered requests; the server suppresses duplicates that are still in
+// service and answers duplicates of completed requests from a bounded
+// response cache, giving at-most-once execution under loss.
+
+// pendingReq tracks a client-side outstanding request.
+type pendingReq struct {
+	cond *kernel.Cond
+	resp []byte
+	done bool
+}
+
+// ErrTimeout is returned when a request exhausts its retries.
+type ErrTimeout struct {
+	Dst   int
+	ReqID uint32
+}
+
+func (e *ErrTimeout) Error() string {
+	return fmt.Sprintf("transport: request %d to CAB %d timed out", e.ReqID, e.Dst)
+}
+
+// Request sends data to the server mailbox (dst, dstBox) and blocks until
+// the response arrives, retransmitting on timeout.
+func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte) ([]byte, error) {
+	t.nextReq++
+	reqID := t.nextReq
+	pend := &pendingReq{cond: t.k.NewCond()}
+	t.pending[reqID] = pend
+	defer delete(t.pending, reqID)
+
+	h := &Header{
+		Proto: ProtoRequest, Src: uint16(t.self), Dst: uint16(dst),
+		SrcBox: srcBox, DstBox: dstBox,
+		MsgID: reqID, Total: uint32(len(data)),
+	}
+	wire := Encode(h, data)
+	t.stats.Requests++
+
+	for attempt := 0; attempt <= t.params.ReqRetries; attempt++ {
+		if attempt > 0 {
+			t.stats.Retransmits++
+		}
+		if err := t.sendWire(th, dst, wire); err != nil {
+			return nil, err
+		}
+		deadline := t.k.Engine().Now() + t.params.ReqTimeout
+		for !pend.done {
+			remain := deadline - t.k.Engine().Now()
+			if remain <= 0 || !pend.cond.WaitTimeout(th, remain) {
+				break
+			}
+		}
+		if pend.done {
+			return pend.resp, nil
+		}
+	}
+	return nil, &ErrTimeout{Dst: dst, ReqID: reqID}
+}
+
+// recvRequest handles an arriving request at the server (interrupt level).
+func (t *Transport) recvRequest(h *Header, payload []byte) {
+	key := reqKey{src: h.Src, reqID: h.MsgID}
+	if wire, ok := t.respCache[key]; ok {
+		// Duplicate of an answered request: retransmit the response.
+		t.stats.DupRequests++
+		t.enqueueControl(int(h.Src), wire)
+		return
+	}
+	if t.inflight[key] {
+		// Duplicate of a request still being served: suppress.
+		t.stats.DupRequests++
+		return
+	}
+	if t.deliver(h, payload) {
+		t.inflight[key] = true
+	}
+}
+
+// Respond sends the response for a request message previously taken out of
+// a server mailbox, and caches it for duplicate suppression.
+func (t *Transport) Respond(th *kernel.Thread, req *kernel.Message, data []byte) error {
+	h := &Header{
+		Proto: ProtoResponse, Src: uint16(t.self), Dst: uint16(req.Src),
+		SrcBox: 0, DstBox: req.SrcBox,
+		MsgID: req.Tag, Total: uint32(len(data)),
+	}
+	wire := Encode(h, data)
+	key := reqKey{src: uint16(req.Src), reqID: req.Tag}
+	delete(t.inflight, key)
+	t.cacheResponse(key, wire)
+	t.stats.Responses++
+	return t.sendWire(th, int(req.Src), wire)
+}
+
+// cacheResponse stores a response for duplicate suppression, evicting the
+// oldest entries beyond the cache bound.
+func (t *Transport) cacheResponse(key reqKey, wire []byte) {
+	if _, ok := t.respCache[key]; !ok {
+		t.respOrder = append(t.respOrder, key)
+		if len(t.respOrder) > respCacheMax {
+			evict := t.respOrder[0]
+			t.respOrder = t.respOrder[1:]
+			delete(t.respCache, evict)
+		}
+	}
+	t.respCache[key] = wire
+}
+
+// recvResponse handles an arriving response at the client (interrupt
+// level).
+func (t *Transport) recvResponse(h *Header, payload []byte) {
+	pend, ok := t.pending[h.MsgID]
+	if !ok || pend.done {
+		return // response to an abandoned or already-answered request
+	}
+	pend.resp = append([]byte(nil), payload...)
+	pend.done = true
+	pend.cond.Broadcast()
+}

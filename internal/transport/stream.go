@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// The byte-stream protocol (paper §6.2.2): "reliable communication using
+// acknowledgments, retransmissions, and a sliding window for flow control."
+//
+// Each StreamSend is one message; the message is fragmented into packets of
+// at most MaxData bytes, transmitted go-back-N within a window, and
+// reassembled in order at the receiver, which returns cumulative
+// acknowledgments (and AckDone when the message is complete and has been
+// delivered to its mailbox). A connection — identified by (peer, local box,
+// remote box) — carries one message at a time; senders of the same
+// connection serialize.
+
+// streamKey identifies a stream connection from the local CAB's viewpoint.
+type streamKey struct {
+	peer int
+	lbox uint16 // local box
+	rbox uint16 // remote box
+}
+
+// streamSender is the send side of one connection.
+type streamSender struct {
+	mu      *kernel.Sem // one in-flight message per connection
+	cond    *kernel.Cond
+	curMsg  uint32
+	acked   int  // packets cumulatively acknowledged for curMsg
+	done    bool // AckDone received for curMsg
+	nextMsg uint32
+}
+
+// streamRecv is the receive side of one connection.
+type streamRecv struct {
+	cur    uint32 // message currently being assembled
+	expect uint32 // next packet index expected
+	buf    []byte
+	total  int
+}
+
+func (t *Transport) streamOut(key streamKey) *streamSender {
+	s, ok := t.streamsOut[key]
+	if !ok {
+		s = &streamSender{mu: t.k.NewSem(1), cond: t.k.NewCond()}
+		t.streamsOut[key] = s
+	}
+	return s
+}
+
+func (t *Transport) streamIn(key streamKey) *streamRecv {
+	s, ok := t.streamsIn[key]
+	if !ok {
+		s = &streamRecv{}
+		t.streamsIn[key] = s
+	}
+	return s
+}
+
+// StreamSend reliably transfers data to (dst, dstBox), blocking the thread
+// until the receiver has accepted the whole message into its mailbox.
+func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte) error {
+	key := streamKey{peer: dst, lbox: srcBox, rbox: dstBox}
+	s := t.streamOut(key)
+	s.mu.P(th)
+	defer s.mu.V()
+
+	msgID := s.nextMsg
+	s.nextMsg++
+	s.curMsg = msgID
+	s.acked = 0
+	s.done = false
+
+	// Fragment.
+	n := (len(data) + MaxData - 1) / MaxData
+	if n == 0 {
+		n = 1 // empty message still sends one packet
+	}
+	sendPkt := func(i int) error {
+		lo := i * MaxData
+		hi := lo + MaxData
+		if hi > len(data) {
+			hi = len(data)
+		}
+		h := &Header{
+			Proto: ProtoStream, Src: uint16(t.self), Dst: uint16(dst),
+			SrcBox: srcBox, DstBox: dstBox,
+			MsgID: msgID, Seq: uint32(i),
+			Total: uint32(len(data)), Offset: uint32(lo),
+		}
+		return t.sendWire(th, dst, Encode(h, data[lo:hi]))
+	}
+
+	base, next := 0, 0
+	for !s.done {
+		for next < n && next < base+t.params.Window {
+			if err := sendPkt(next); err != nil {
+				return err
+			}
+			next++
+		}
+		got := s.cond.WaitTimeout(th, t.params.RTO)
+		if s.done {
+			break
+		}
+		if s.acked > base {
+			base = s.acked
+			continue
+		}
+		if !got {
+			// Retransmission timeout: go-back-N from the last
+			// cumulative ack.
+			t.stats.Retransmits++
+			next = base
+		}
+	}
+	t.stats.StreamMsgsSent++
+	return nil
+}
+
+// recvStream handles an arriving stream data packet (interrupt level).
+func (t *Transport) recvStream(h *Header, payload []byte) {
+	key := streamKey{peer: int(h.Src), lbox: h.DstBox, rbox: h.SrcBox}
+	rs := t.streamIn(key)
+
+	ack := func(seq uint32) {
+		ah := &Header{
+			Proto: ProtoStreamAck, Src: uint16(t.self), Dst: h.Src,
+			SrcBox: h.DstBox, DstBox: h.SrcBox,
+			MsgID: h.MsgID, Seq: seq,
+		}
+		t.stats.AcksSent++
+		t.enqueueControl(int(h.Src), Encode(ah, nil))
+	}
+
+	switch {
+	case h.MsgID < rs.cur:
+		// Stale retransmission of a message we already delivered.
+		ack(AckDone)
+		return
+	case h.MsgID > rs.cur:
+		// The receiver lost track (e.g. restart): resynchronize on a
+		// fresh message head; otherwise drop.
+		if h.Seq != 0 {
+			return
+		}
+		rs.cur = h.MsgID
+		rs.expect = 0
+		rs.buf = nil
+	}
+	if h.Seq != rs.expect {
+		// Gap (loss) or duplicate: re-ack the cumulative position.
+		ack(rs.expect)
+		return
+	}
+	if int(h.Offset) != len(rs.buf) {
+		// Corrupt sequencing; drop and re-ack.
+		ack(rs.expect)
+		return
+	}
+	rs.buf = append(rs.buf, payload...)
+	rs.expect++
+	rs.total = int(h.Total)
+	if len(rs.buf) < rs.total {
+		ack(rs.expect)
+		return
+	}
+	// Message complete: deliver, then AckDone. If the mailbox is full the
+	// last packet is treated as unreceived so the sender retries.
+	if t.deliver(h, rs.buf) {
+		t.stats.StreamMsgsRecv++
+		rs.cur = h.MsgID + 1
+		rs.expect = 0
+		rs.buf = nil
+		ack(AckDone)
+	} else {
+		rs.buf = rs.buf[:len(rs.buf)-len(payload)]
+		rs.expect--
+		ack(rs.expect)
+	}
+}
+
+// recvStreamAck handles an acknowledgment at the sender (interrupt level).
+func (t *Transport) recvStreamAck(h *Header) {
+	key := streamKey{peer: int(h.Src), lbox: h.DstBox, rbox: h.SrcBox}
+	s, ok := t.streamsOut[key]
+	if !ok || h.MsgID != s.curMsg {
+		return
+	}
+	if h.Seq == AckDone {
+		s.done = true
+	} else if int(h.Seq) > s.acked {
+		s.acked = int(h.Seq)
+	}
+	s.cond.Broadcast()
+}
+
+func (k streamKey) String() string {
+	return fmt.Sprintf("stream(%d:%d->%d)", k.lbox, k.peer, k.rbox)
+}

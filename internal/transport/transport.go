@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/datalink"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// MaxData is the largest payload of a single packet-switched transport
+// packet. Larger messages either use circuit switching (datagrams,
+// requests) or are fragmented (byte streams).
+const MaxData = datalink.MaxPacketPayload - HeaderSize
+
+// Params are the transport cost and protocol parameters.
+type Params struct {
+	// ProcSend is per-packet send-side protocol processing (charged in
+	// the sending thread's context).
+	ProcSend sim.Time
+	// ProcRecv is per-packet receive-side processing (interrupt level).
+	ProcRecv sim.Time
+	// Window is the byte-stream sliding window, in packets.
+	Window int
+	// RTO is the byte-stream retransmission timeout.
+	RTO sim.Time
+	// ReqTimeout and ReqRetries govern request-response retransmission.
+	ReqTimeout sim.Time
+	ReqRetries int
+	// MailboxBytes is the capacity given to internally-created reply
+	// mailboxes.
+	MailboxBytes int
+	// DisableAckFastPath forces all control packets (acks, cached
+	// responses) through the service thread instead of the
+	// interrupt-level datalink fast path — an ablation of the paper's
+	// "no context switching overhead at the datalink-transport
+	// interface" design point (§6.2.1).
+	DisableAckFastPath bool
+}
+
+// DefaultParams returns parameters meeting the paper's latency budget.
+func DefaultParams() Params {
+	return Params{
+		ProcSend:     3 * sim.Microsecond,
+		ProcRecv:     2500 * sim.Nanosecond,
+		Window:       8,
+		RTO:          2 * sim.Millisecond,
+		ReqTimeout:   5 * sim.Millisecond,
+		ReqRetries:   3,
+		MailboxBytes: 256 * 1024,
+	}
+}
+
+// Stats are transport counters.
+type Stats struct {
+	DatagramsSent  int64
+	DatagramsRecv  int64
+	StreamMsgsSent int64
+	StreamMsgsRecv int64
+	Requests       int64
+	Responses      int64
+	Retransmits    int64
+	AcksSent       int64
+	ChecksumDrops  int64
+	MailboxDrops   int64
+	DupRequests    int64
+}
+
+// outItem is a control packet queued for the service thread.
+type outItem struct {
+	dst  int
+	wire []byte
+}
+
+// Transport is one CAB's transport instance.
+type Transport struct {
+	k      *kernel.Kernel
+	dl     *datalink.Datalink
+	params Params
+	self   int
+
+	boxes map[uint16]*kernel.Mailbox
+
+	// Byte-stream state.
+	streamsOut map[streamKey]*streamSender
+	streamsIn  map[streamKey]*streamRecv
+
+	// Request-response state.
+	nextReq   uint32
+	pending   map[uint32]*pendingReq
+	inflight  map[reqKey]bool
+	respCache map[reqKey][]byte
+	respOrder []reqKey
+
+	// Service thread: sends control packets (acks, cached responses)
+	// that originate at interrupt level.
+	outq    []outItem
+	outSem  *kernel.Sem
+	nextMsg uint32
+
+	// vm holds the VMTP transaction state (created on first use).
+	vm *vmtpState
+
+	stats Stats
+}
+
+type reqKey struct {
+	src   uint16
+	reqID uint32
+}
+
+const respCacheMax = 256
+
+// New creates the transport on a datalink and starts its service thread.
+func New(k *kernel.Kernel, dl *datalink.Datalink, params Params) *Transport {
+	t := &Transport{
+		k:          k,
+		dl:         dl,
+		params:     params,
+		self:       k.Board().ID(),
+		boxes:      make(map[uint16]*kernel.Mailbox),
+		streamsOut: make(map[streamKey]*streamSender),
+		streamsIn:  make(map[streamKey]*streamRecv),
+		pending:    make(map[uint32]*pendingReq),
+		inflight:   make(map[reqKey]bool),
+		respCache:  make(map[reqKey][]byte),
+		outSem:     k.NewSem(0),
+	}
+	dl.SetReceiver(t.handlePacket)
+	k.SpawnDaemon("transport-service", t.serviceLoop)
+	return t
+}
+
+// Stats returns a copy of the counters.
+func (t *Transport) Stats() Stats { return t.stats }
+
+// Kernel returns the owning kernel.
+func (t *Transport) Kernel() *kernel.Kernel { return t.k }
+
+// Self returns the local CAB id.
+func (t *Transport) Self() int { return t.self }
+
+// Register binds a mailbox to a local box number; incoming messages
+// addressed to it are delivered there.
+func (t *Transport) Register(box uint16, mb *kernel.Mailbox) {
+	t.boxes[box] = mb
+}
+
+// Mailbox returns the mailbox registered at box (nil if none).
+func (t *Transport) Mailbox(box uint16) *kernel.Mailbox { return t.boxes[box] }
+
+// serviceLoop drains the control-packet queue. Acks and cached-response
+// retransmissions are generated at interrupt level but must be transmitted
+// from thread context (frame transmission can block on flow control).
+func (t *Transport) serviceLoop(th *kernel.Thread) {
+	for {
+		t.outSem.P(th)
+		if len(t.outq) == 0 {
+			continue
+		}
+		it := t.outq[0]
+		t.outq = t.outq[1:]
+		t.sendWire(th, it.dst, it.wire)
+	}
+}
+
+// enqueueControl sends a control packet (ack, cached response). The fast
+// path transmits straight from interrupt context; when the datalink is
+// busy or flow-controlled, the packet is handed to the service thread.
+func (t *Transport) enqueueControl(dst int, wire []byte) {
+	if !t.params.DisableAckFastPath && dst != t.self &&
+		len(wire) <= datalink.MaxPacketPayload &&
+		t.dl.TrySendPacketInterrupt(dst, wire, t.params.ProcSend) {
+		return
+	}
+	t.outq = append(t.outq, outItem{dst: dst, wire: wire})
+	t.outSem.V()
+}
+
+// loopbackDelay approximates the cost of a packet looping through the CAB's
+// own fiber interface (the HUB can connect a port to itself, but local
+// deliveries never leave the board: the datalink hands them straight back).
+const loopbackDelay = 2 * sim.Microsecond
+
+// sendWire transmits an encoded packet, choosing packet switching for
+// anything that fits an input queue and circuit switching otherwise.
+// Packets addressed to this CAB (tasks co-resident on one CAB) are looped
+// back locally.
+func (t *Transport) sendWire(th *kernel.Thread, dst int, wire []byte) error {
+	th.Compute("tp-send", t.params.ProcSend)
+	if dst == t.self {
+		t.k.Engine().After(loopbackDelay, func() { t.handlePacket(wire) })
+		return nil
+	}
+	if len(wire) <= datalink.MaxPacketPayload {
+		return t.dl.SendPacket(th, dst, wire)
+	}
+	return t.dl.SendCircuit(th, dst, wire)
+}
+
+// SendDatagram transmits data to (dst, dstBox) with no delivery guarantee
+// ("a direct interface to the datalink layer... should only be used by
+// applications that can tolerate or recover from lost packets").
+func (t *Transport) SendDatagram(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte) error {
+	t.nextMsg++
+	h := &Header{
+		Proto: ProtoDatagram, Src: uint16(t.self), Dst: uint16(dst),
+		SrcBox: srcBox, DstBox: dstBox,
+		MsgID: t.nextMsg, Total: uint32(len(data)),
+	}
+	t.stats.DatagramsSent++
+	return t.sendWire(th, dst, Encode(h, data))
+}
+
+// handlePacket is the datalink receiver: it runs at interrupt level after
+// the packet has been DMAed out of the input queue.
+func (t *Transport) handlePacket(wire []byte) {
+	t.k.Board().CPU.RunInterrupt("tp-recv", t.params.ProcRecv, func() {
+		h, payload, err := Decode(wire)
+		if err != nil {
+			// Damaged or malformed: drop; peers recover by
+			// retransmission where the protocol provides it.
+			t.stats.ChecksumDrops++
+			return
+		}
+		switch h.Proto {
+		case ProtoDatagram:
+			t.recvDatagram(h, payload)
+		case ProtoStream:
+			t.recvStream(h, payload)
+		case ProtoStreamAck:
+			t.recvStreamAck(h)
+		case ProtoRequest:
+			t.recvRequest(h, payload)
+		case ProtoResponse:
+			t.recvResponse(h, payload)
+		case ProtoVSend:
+			t.recvVSend(h, payload)
+		case ProtoVResp:
+			t.recvVResp(h, payload)
+		case ProtoVNack:
+			t.recvVNack(h, payload)
+		}
+	})
+}
+
+// deliver places a complete message into a registered mailbox. It reports
+// false when the box is missing or full (the message is dropped; reliable
+// protocols then withhold acknowledgment).
+func (t *Transport) deliver(h *Header, data []byte) bool {
+	mb := t.boxes[h.DstBox]
+	if mb == nil {
+		t.stats.MailboxDrops++
+		return false
+	}
+	msg, ok := mb.TryPut(data, int(h.Src), h.MsgID)
+	if !ok {
+		t.stats.MailboxDrops++
+		return false
+	}
+	msg.SrcBox = h.SrcBox
+	return true
+}
+
+func (t *Transport) recvDatagram(h *Header, payload []byte) {
+	if t.deliver(h, payload) {
+		t.stats.DatagramsRecv++
+	}
+}
+
+func (t *Transport) String() string {
+	return fmt.Sprintf("transport(cab%d)", t.self)
+}
+
+// BroadcastDst is the Dst value of a multicast datagram (no single
+// destination: the crossbar tree fans the one copy out).
+const BroadcastDst = 0xFFFF
+
+// SendDatagramMulticast delivers one datagram to the same box on every CAB
+// in dsts, with a single copy on the sender's fiber — the hardware
+// multicast of paper §4.2.2/§4.2.4. Like the unicast datagram it is
+// unreliable: the crossbar tree has no per-branch acknowledgments.
+func (t *Transport) SendDatagramMulticast(th *kernel.Thread, dsts []int, dstBox, srcBox uint16, data []byte) error {
+	t.nextMsg++
+	h := &Header{
+		Proto: ProtoDatagram, Src: uint16(t.self), Dst: BroadcastDst,
+		SrcBox: srcBox, DstBox: dstBox,
+		MsgID: t.nextMsg, Total: uint32(len(data)),
+	}
+	wire := Encode(h, data)
+	th.Compute("tp-mcast", t.params.ProcSend)
+	t.stats.DatagramsSent++
+	if len(wire) <= datalink.MaxPacketPayload {
+		return t.dl.SendMulticastPacket(th, dsts, wire)
+	}
+	return t.dl.SendMulticastCircuit(th, dsts, wire)
+}

@@ -1,0 +1,363 @@
+package transport
+
+import (
+	"fmt"
+
+	"encoding/binary"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// VMTP-style message transactions — the paper's stated next step ("We plan
+// to experiment with the corresponding Internet protocols (IP, TCP, and
+// VMTP) over Nectar in the coming year", §6.2.2; VMTP is Cheriton's
+// Versatile Message Transaction Protocol, the paper's reference [4]).
+//
+// The implementation carries VMTP's two signature ideas:
+//
+//   - packet groups: a message transaction (request or response) of up to
+//     MaxGroupPackets packets is blasted onto the network without
+//     per-packet or windowed acknowledgments;
+//   - selective retransmission: the receiver acknowledges a whole group
+//     with a delivery bitmask; only the missing packets are retransmitted
+//     (unlike the byte stream's go-back-N).
+//
+// Like the request-response protocol, the response acknowledges the
+// request, and a bounded response cache gives at-most-once semantics.
+
+// MaxGroupPackets is the VMTP packet-group size (VMTP used 32-packet
+// groups of 16 KB).
+const MaxGroupPackets = 32
+
+// MaxTransaction is the largest request or response payload.
+const MaxTransaction = MaxGroupPackets * MaxData
+
+// VMTPParams tune the transaction protocol.
+type VMTPParams struct {
+	// GroupTimeout is how long a receiver waits for a group's missing
+	// packets before sending a selective NACK.
+	GroupTimeout sim.Time
+	// ClientTimeout is the transaction timeout before the client
+	// re-probes (retransmits unacknowledged request packets).
+	ClientTimeout sim.Time
+	// Retries bounds client retransmission rounds.
+	Retries int
+}
+
+// DefaultVMTPParams returns timeouts matched to Nectar's latencies.
+func DefaultVMTPParams() VMTPParams {
+	return VMTPParams{
+		GroupTimeout:  500 * sim.Microsecond,
+		ClientTimeout: 4 * sim.Millisecond,
+		Retries:       8,
+	}
+}
+
+// vmtpGroup reassembles one packet group.
+type vmtpGroup struct {
+	segs  map[uint32][]byte
+	nPkts uint32
+	total uint32
+	timer *timerRef
+}
+
+type timerRef struct{ cancel func() }
+
+func (g *vmtpGroup) mask() uint32 {
+	var m uint32
+	for i := uint32(0); i < g.nPkts && i < 32; i++ {
+		if _, ok := g.segs[i]; ok {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+func (g *vmtpGroup) complete() bool { return uint32(len(g.segs)) == g.nPkts }
+
+func (g *vmtpGroup) assemble() []byte {
+	out := make([]byte, 0, g.total)
+	for i := uint32(0); i < g.nPkts; i++ {
+		out = append(out, g.segs[i]...)
+	}
+	return out
+}
+
+// vmtpPending is a client-side outstanding transaction.
+type vmtpPending struct {
+	cond    *kernel.Cond
+	resp    *vmtpGroup
+	done    bool
+	ackMask uint32 // request packets the server has confirmed
+	reqPkts uint32
+}
+
+// vmtpState is lazily created per transport.
+type vmtpState struct {
+	params   VMTPParams
+	nextTxn  uint32
+	pending  map[uint32]*vmtpPending
+	inflight map[reqKey]bool
+	// Server reassembly of requests and cached response groups.
+	reqs  map[reqKey]*vmtpGroup
+	cache map[reqKey][][]byte
+	order []reqKey
+}
+
+func (t *Transport) vmtp() *vmtpState {
+	if t.vm == nil {
+		t.vm = &vmtpState{
+			params:   DefaultVMTPParams(),
+			pending:  make(map[uint32]*vmtpPending),
+			inflight: make(map[reqKey]bool),
+			reqs:     make(map[reqKey]*vmtpGroup),
+			cache:    make(map[reqKey][][]byte),
+		}
+	}
+	return t.vm
+}
+
+// SetVMTPParams overrides the transaction timeouts.
+func (t *Transport) SetVMTPParams(p VMTPParams) { t.vmtp().params = p }
+
+// groupPackets fragments data into a packet group's wire packets.
+func (t *Transport) groupPackets(proto Proto, dst int, dstBox, srcBox uint16, txn uint32, data []byte) [][]byte {
+	n := (len(data) + MaxData - 1) / MaxData
+	if n == 0 {
+		n = 1
+	}
+	wires := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		lo := i * MaxData
+		hi := lo + MaxData
+		if hi > len(data) {
+			hi = len(data)
+		}
+		h := &Header{
+			Proto: proto, Src: uint16(t.self), Dst: uint16(dst),
+			SrcBox: srcBox, DstBox: dstBox,
+			MsgID: txn, Seq: uint32(i),
+			Total: uint32(len(data)), Offset: uint32(n), // Offset carries group size
+		}
+		wires[i] = Encode(h, data[lo:hi])
+	}
+	return wires
+}
+
+// VTransact runs one VMTP message transaction: the request group is sent
+// to the server mailbox at (dst, dstBox), and the call blocks until the
+// complete response group arrives.
+func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16, req []byte) ([]byte, error) {
+	if len(req) > MaxTransaction {
+		return nil, fmt.Errorf("transport: request exceeds the %d-byte transaction limit", MaxTransaction)
+	}
+	vm := t.vmtp()
+	vm.nextTxn++
+	txn := vm.nextTxn
+	pend := &vmtpPending{cond: t.k.NewCond()}
+	vm.pending[txn] = pend
+	defer delete(vm.pending, txn)
+
+	wires := t.groupPackets(ProtoVSend, dst, dstBox, srcBox, txn, req)
+	pend.reqPkts = uint32(len(wires))
+	t.stats.Requests++
+
+	send := func(mask uint32) error {
+		// Blast the group — only packets absent from mask.
+		for i, w := range wires {
+			if mask&(1<<uint(i)) != 0 {
+				continue
+			}
+			if err := t.sendWire(th, dst, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := send(0); err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt <= vm.params.Retries; attempt++ {
+		deadline := t.k.Engine().Now() + vm.params.ClientTimeout
+		for !pend.done {
+			remain := deadline - t.k.Engine().Now()
+			if remain <= 0 || !pend.cond.WaitTimeout(th, remain) {
+				break
+			}
+		}
+		if pend.done {
+			return pend.resp.assemble(), nil
+		}
+		t.stats.Retransmits++
+		if err := send(pend.ackMask); err != nil {
+			return nil, err
+		}
+	}
+	return nil, &ErrTimeout{Dst: dst, ReqID: txn}
+}
+
+// VRespond answers a transaction previously delivered to a server mailbox.
+// The response may itself be a multi-packet group.
+func (t *Transport) VRespond(th *kernel.Thread, req *kernel.Message, data []byte) error {
+	if len(data) > MaxTransaction {
+		return fmt.Errorf("transport: response exceeds the %d-byte transaction limit", MaxTransaction)
+	}
+	vm := t.vmtp()
+	key := reqKey{src: uint16(req.Src), reqID: req.Tag}
+	wires := t.groupPackets(ProtoVResp, int(req.Src), req.SrcBox, 0, req.Tag, data)
+	delete(vm.inflight, key)
+	vm.cache[key] = wires
+	vm.order = append(vm.order, key)
+	if len(vm.order) > respCacheMax {
+		evict := vm.order[0]
+		vm.order = vm.order[1:]
+		delete(vm.cache, evict)
+	}
+	t.stats.Responses++
+	for _, w := range wires {
+		if err := t.sendWire(th, int(req.Src), w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvVSend handles an arriving request-group packet at the server.
+func (t *Transport) recvVSend(h *Header, payload []byte) {
+	vm := t.vmtp()
+	key := reqKey{src: h.Src, reqID: h.MsgID}
+	if wires, ok := vm.cache[key]; ok {
+		// Duplicate of an answered transaction: resend the response.
+		t.stats.DupRequests++
+		for _, w := range wires {
+			t.enqueueControl(int(h.Src), w)
+		}
+		return
+	}
+	if vm.inflight[key] {
+		t.stats.DupRequests++
+		return
+	}
+	g := vm.reqs[key]
+	if g == nil {
+		g = &vmtpGroup{segs: make(map[uint32][]byte), nPkts: h.Offset, total: h.Total}
+		vm.reqs[key] = g
+		t.armGroupTimer(g, func() { t.nackRequest(h, g) })
+	}
+	if _, dup := g.segs[h.Seq]; dup {
+		return
+	}
+	g.segs[h.Seq] = append([]byte(nil), payload...)
+	if !g.complete() {
+		return
+	}
+	g.cancelTimer()
+	delete(vm.reqs, key)
+	if t.deliver(h, g.assemble()) {
+		vm.inflight[key] = true
+	}
+}
+
+// nackRequest reports the server's delivery mask so the client
+// retransmits selectively.
+func (t *Transport) nackRequest(h *Header, g *vmtpGroup) {
+	body := make([]byte, 4)
+	binary.BigEndian.PutUint32(body, g.mask())
+	nh := &Header{
+		Proto: ProtoVNack, Src: uint16(t.self), Dst: h.Src,
+		SrcBox: h.DstBox, DstBox: h.SrcBox, MsgID: h.MsgID,
+	}
+	t.stats.AcksSent++
+	t.enqueueControl(int(h.Src), Encode(nh, body))
+	// Re-arm while the group stays incomplete.
+	t.armGroupTimer(g, func() { t.nackRequest(h, g) })
+}
+
+// recvVResp handles an arriving response-group packet at the client.
+func (t *Transport) recvVResp(h *Header, payload []byte) {
+	vm := t.vmtp()
+	pend, ok := vm.pending[h.MsgID]
+	if !ok || pend.done {
+		return
+	}
+	// Any response packet confirms the full request group.
+	pend.ackMask = (1 << pend.reqPkts) - 1
+	if pend.resp == nil {
+		pend.resp = &vmtpGroup{segs: make(map[uint32][]byte), nPkts: h.Offset, total: h.Total}
+		t.armGroupTimer(pend.resp, func() { t.nackResponse(h, pend) })
+	}
+	if _, dup := pend.resp.segs[h.Seq]; dup {
+		return
+	}
+	pend.resp.segs[h.Seq] = append([]byte(nil), payload...)
+	if pend.resp.complete() {
+		pend.resp.cancelTimer()
+		pend.done = true
+		pend.cond.Broadcast()
+	}
+}
+
+// nackResponse asks the server for the response packets still missing.
+func (t *Transport) nackResponse(h *Header, pend *vmtpPending) {
+	if pend.done {
+		return
+	}
+	body := make([]byte, 4)
+	binary.BigEndian.PutUint32(body, pend.resp.mask())
+	nh := &Header{
+		Proto: ProtoVNack, Src: uint16(t.self), Dst: h.Src,
+		SrcBox: h.DstBox, DstBox: h.SrcBox, MsgID: h.MsgID,
+		Seq: 1, // direction flag: NACK of a response
+	}
+	t.stats.AcksSent++
+	t.enqueueControl(int(h.Src), Encode(nh, body))
+	t.armGroupTimer(pend.resp, func() { t.nackResponse(h, pend) })
+}
+
+// recvVNack handles a selective NACK at either end.
+func (t *Transport) recvVNack(h *Header, payload []byte) {
+	if len(payload) < 4 {
+		return
+	}
+	mask := binary.BigEndian.Uint32(payload)
+	vm := t.vmtp()
+	if h.Seq == 1 {
+		// NACK of a response: the server retransmits missing packets
+		// from its cache.
+		key := reqKey{src: h.Src, reqID: h.MsgID}
+		wires, ok := vm.cache[key]
+		if !ok {
+			return
+		}
+		t.stats.Retransmits++
+		for i, w := range wires {
+			if mask&(1<<uint(i)) == 0 {
+				t.enqueueControl(int(h.Src), w)
+			}
+		}
+		return
+	}
+	// NACK of a request: wake the client to retransmit selectively.
+	pend, ok := vm.pending[h.MsgID]
+	if !ok || pend.done {
+		return
+	}
+	pend.ackMask = mask
+	pend.cond.Broadcast()
+}
+
+// armGroupTimer (re)arms a group's gap timer.
+func (t *Transport) armGroupTimer(g *vmtpGroup, fire func()) {
+	vm := t.vmtp()
+	g.cancelTimer()
+	timer := t.k.Board().Timers.Set(vm.params.GroupTimeout, fire)
+	g.timer = &timerRef{cancel: timer.Cancel}
+}
+
+func (g *vmtpGroup) cancelTimer() {
+	if g.timer != nil {
+		g.timer.cancel()
+		g.timer = nil
+	}
+}

@@ -1,0 +1,121 @@
+package warp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testImage draws a deterministic scene: dark background with a bright
+// square, so Sobel produces strong edges exactly at the square's border.
+func testImage(width, height int) []byte {
+	img := make([]byte, width*height)
+	for y := height / 4; y < 3*height/4; y++ {
+		for x := width / 4; x < 3*width/4; x++ {
+			img[y*width+x] = 200
+		}
+	}
+	return img
+}
+
+func TestSobelFindsEdges(t *testing.T) {
+	const w, h = 64, 64
+	img := testImage(w, h)
+	grad := Sobel.Transform(img, w)
+	// Strong response on the square's border...
+	if grad[(h/4)*w+w/2] == 0 {
+		t.Fatal("no edge response on the top border")
+	}
+	// ...and none in flat regions.
+	if grad[2*w+2] != 0 {
+		t.Fatal("edge response in a flat corner")
+	}
+	if grad[(h/2)*w+w/2] != 0 {
+		t.Fatal("edge response inside the flat square")
+	}
+}
+
+func TestSystolicTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	a := New(eng, "warp")
+	const n = 256 * 1024
+	var took sim.Time
+	eng.Go("host", func(p *sim.Proc) {
+		start := p.Now()
+		a.Run(p, Sobel, testImage(512, 512), 512)
+		took = p.Now() - start
+	})
+	eng.Run()
+	// 1.2 ops/byte at 100ns: the bottleneck stage is 120ns/byte; 256K
+	// bytes -> ~31.5ms plus the 10-cell pipeline fill.
+	want := sim.Time(n)*120 + 10*120
+	if took != want {
+		t.Fatalf("sobel on 256KB took %v, want %v", took, want)
+	}
+	_ = n
+}
+
+func TestArraySerializesKernels(t *testing.T) {
+	eng := sim.NewEngine()
+	a := New(eng, "warp")
+	var t1, t2 sim.Time
+	img := testImage(64, 64)
+	eng.Go("h1", func(p *sim.Proc) {
+		a.Run(p, Threshold(10), img, 64)
+		t1 = p.Now()
+	})
+	eng.Go("h2", func(p *sim.Proc) {
+		a.Run(p, Threshold(10), img, 64)
+		t2 = p.Now()
+	})
+	eng.Run()
+	// The second kernel queues behind the first on the single array.
+	if t2 < 2*t1-sim.Microsecond {
+		t.Fatalf("kernels overlapped on one array: %v then %v", t1, t2)
+	}
+	if a.KernelsRun() != 2 {
+		t.Fatalf("KernelsRun = %d", a.KernelsRun())
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	out := Threshold(100).Transform([]byte{0, 99, 100, 255}, 4)
+	want := []byte{0, 0, 1, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("threshold = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestExtractFeaturesOnSquare(t *testing.T) {
+	const w, h = 128, 128
+	grad := Sobel.Transform(testImage(w, h), w)
+	feats := ExtractFeatures(grad, w, 50, 4, 100)
+	if len(feats) == 0 {
+		t.Fatal("no features on a high-contrast square")
+	}
+	// Every feature must lie on (or next to) the square's border.
+	lo, hi := w/4, 3*w/4
+	for _, f := range feats {
+		onX := int(f.X) >= lo-2 && int(f.X) <= hi+2
+		onY := int(f.Y) >= lo-2 && int(f.Y) <= hi+2
+		nearBorder := (abs(int(f.X)-lo) <= 2 || abs(int(f.X)-hi+1) <= 2) && onY ||
+			(abs(int(f.Y)-lo) <= 2 || abs(int(f.Y)-hi+1) <= 2) && onX
+		if !nearBorder {
+			t.Fatalf("feature (%d,%d) off the square border", f.X, f.Y)
+		}
+	}
+	// A flat image has none.
+	flat := make([]byte, w*h)
+	if feats := ExtractFeatures(Sobel.Transform(flat, w), w, 50, 4, 100); len(feats) != 0 {
+		t.Fatalf("features on a flat image: %v", feats)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

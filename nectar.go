@@ -1,0 +1,176 @@
+// Package nectar is a complete, simulation-backed reproduction of the
+// Nectar system — "The Design of Nectar: A Network Backplane for
+// Heterogeneous Multicomputers" (Arnould, Bitz, Cooper, Kung, Sansom,
+// Steenkiste; ASPLOS 1989).
+//
+// The package is the public facade over the full implementation:
+//
+//   - the HUB crossbar switch with its hardware datalink command set;
+//   - fiber links, topologies (single HUB, clusters, 2-D meshes) and
+//     routing, including multicast trees;
+//   - the CAB communication processor: CPU, DMA, protected memory,
+//     hardware checksum and timers;
+//   - the CAB kernel (threads, mailboxes), the datalink (circuit and
+//     packet switching built from HUB commands), and the three transport
+//     protocols (datagram, byte stream, request-response);
+//   - nodes with the three CAB-node interfaces (shared memory, socket,
+//     network driver), plus a 10 Mb/s Ethernet baseline for comparison;
+//   - Nectarine, the task/buffer/message programming layer, with an iPSC
+//     hypercube compatibility library on top;
+//   - the paper's applications (vision pipeline, parallel production
+//     system, simulated annealing) and the full experiment harness that
+//     regenerates every quantitative claim in the paper.
+//
+// Quick start:
+//
+//	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+//	rx := sys.CAB(1)
+//	mb := rx.Kernel.NewMailbox("in", 64<<10)
+//	rx.TP.Register(1, mb)
+//	rx.Kernel.Spawn("rx", func(th *nectar.Thread) {
+//	    msg := mb.Get(th)
+//	    fmt.Printf("got %d bytes at %v\n", msg.Len, msg.Arrived)
+//	    mb.Release(msg)
+//	})
+//	sys.CAB(0).Kernel.Spawn("tx", func(th *nectar.Thread) {
+//	    sys.CAB(0).TP.SendDatagram(th, 1, 1, 0, []byte("hello"))
+//	})
+//	sys.Run()
+//
+// Everything executes in simulated time on a deterministic discrete-event
+// engine: protocol code is real (framing, checksums, retransmission,
+// crossbar arbitration, flow control), only the clock is virtual. Hardware
+// constants are the paper's: 70 ns HUB cycles, 700 ns connection setup,
+// 100 Mb/s fibers, 10 MB/s VME, 12 us thread switches.
+package nectar
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/ipsc"
+	"repro/internal/kernel"
+	"repro/internal/nectarine"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Time is simulated time in nanoseconds.
+type Time = sim.Time
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// System is an assembled Nectar multicomputer: HUBs, fibers, and a full
+// software stack (kernel, datalink, transport) on every CAB.
+type System = core.System
+
+// CABStack is one CAB's hardware board plus kernel, datalink and transport.
+type CABStack = core.CABStack
+
+// Params aggregates every model parameter (hardware constants are fixed by
+// the paper; software costs are tunable).
+type Params = core.Params
+
+// Thread is a CAB kernel thread.
+type Thread = kernel.Thread
+
+// Mailbox is the CAB kernel's message buffer abstraction.
+type Mailbox = kernel.Mailbox
+
+// Node is a Nectar node (a Sun/Warp behind a VME bus and a CAB).
+type Node = node.Node
+
+// App is a Nectarine application; Task and TaskCtx are its tasks.
+type App = nectarine.App
+
+// TaskCtx is the execution context of a Nectarine task.
+type TaskCtx = nectarine.TaskCtx
+
+// Buffer is a Nectarine message buffer; typed (Words) buffers get
+// representation conversion between heterogeneous machines.
+type Buffer = nectarine.Buffer
+
+// Bytes wraps raw data in a Buffer.
+func Bytes(data []byte) Buffer { return nectarine.Bytes(data) }
+
+// Words builds a typed 32-bit buffer in the sender's byte order.
+func Words(vals []uint32, bigEndian bool) Buffer { return nectarine.Words(vals, bigEndian) }
+
+// Histogram collects latency samples.
+type Histogram = trace.Histogram
+
+// DefaultParams returns the prototype parameter set used throughout the
+// paper reproduction.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewSingleHub builds the paper's Figure 2 system: one 16-port HUB with
+// nCABs CABs.
+func NewSingleHub(nCABs int, p Params) *System { return core.NewSingleHub(nCABs, p) }
+
+// NewMesh builds the paper's Figure 4 system: a rows x cols 2-D mesh of
+// HUB clusters with cabsPerHub CABs each.
+func NewMesh(rows, cols, cabsPerHub int, p Params) *System {
+	return core.NewMesh(rows, cols, cabsPerHub, p)
+}
+
+// NewLine builds a chain of HUB clusters (useful for hop-count studies).
+func NewLine(nHubs, cabsPerHub int, p Params) *System { return core.NewLine(nHubs, cabsPerHub, p) }
+
+// NewNode attaches a node to a CAB via a VME bus.
+func NewNode(stack *CABStack, name string) *Node {
+	return node.New(stack, name, node.DefaultParams())
+}
+
+// NewApp creates a Nectarine application on a system.
+func NewApp(sys *System) *App { return nectarine.NewApp(sys) }
+
+// RunIPSC runs an iPSC hypercube program with nprocs processes on the
+// system (see internal/ipsc for the primitives).
+func RunIPSC(sys *System, nprocs int, body func(c *ipsc.Ctx)) Time {
+	return ipsc.Run(sys, nprocs, body)
+}
+
+// Experiments returns the full paper-reproduction experiment suite
+// (E1-E12, F1); each returns printable tables and a pass flag.
+func Experiments() []exp.Experiment { return exp.All() }
+
+// Application entry points and configurations (paper section 7).
+type (
+	// VisionConfig parameterizes the vision pipeline.
+	VisionConfig = apps.VisionConfig
+	// ProductionConfig parameterizes the production system.
+	ProductionConfig = apps.ProductionConfig
+	// AnnealConfig parameterizes the iPSC annealer.
+	AnnealConfig = apps.AnnealConfig
+	// TxnConfig parameterizes the distributed transaction workload.
+	TxnConfig = apps.TxnConfig
+	// DSMConfig parameterizes the shared-virtual-memory workload.
+	DSMConfig = apps.DSMConfig
+)
+
+// Application entry points and default configurations.
+var (
+	// RunVision runs the Warp + distributed-spatial-database pipeline.
+	RunVision = apps.RunVision
+	// RunProduction runs the distributed-RETE production system.
+	RunProduction = apps.RunProduction
+	// RunAnnealing runs the iPSC simulated annealer.
+	RunAnnealing = apps.RunAnnealing
+	// RunTransactions runs the Camelot-style 2PC workload.
+	RunTransactions = apps.RunTransactions
+	// RunDSM runs the shared-virtual-memory workload.
+	RunDSM = apps.RunDSM
+
+	DefaultVisionConfig     = apps.DefaultVisionConfig
+	DefaultProductionConfig = apps.DefaultProductionConfig
+	DefaultAnnealConfig     = apps.DefaultAnnealConfig
+	DefaultTxnConfig        = apps.DefaultTxnConfig
+	DefaultDSMConfig        = apps.DefaultDSMConfig
+)

@@ -1,0 +1,157 @@
+package nectar_test
+
+// Facade tests: everything here goes through the public package surface
+// (the repro root package, imported as nectar), the way a downstream user
+// would.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/ipsc"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+	rx := sys.CAB(1)
+	inbox := rx.Kernel.NewMailbox("inbox", 64<<10)
+	rx.TP.Register(1, inbox)
+
+	var got []byte
+	var arrived, sent nectar.Time
+	rx.Kernel.Spawn("receiver", func(th *nectar.Thread) {
+		msg := inbox.Get(th)
+		got = msg.Bytes()
+		arrived = msg.Arrived
+		inbox.Release(msg)
+	})
+	sys.CAB(0).Kernel.Spawn("sender", func(th *nectar.Thread) {
+		sent = th.Proc().Now()
+		if err := sys.CAB(0).TP.SendDatagram(th, 1, 1, 0, []byte("hello")); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	sys.Run()
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if lat := arrived - sent; lat >= 30*nectar.Microsecond {
+		t.Fatalf("latency %v breaks the paper's 30us goal", lat)
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	mesh := nectar.NewMesh(2, 2, 1, nectar.DefaultParams())
+	if mesh.NumCABs() != 4 {
+		t.Fatalf("mesh CABs = %d", mesh.NumCABs())
+	}
+	line := nectar.NewLine(3, 2, nectar.DefaultParams())
+	if line.NumCABs() != 6 {
+		t.Fatalf("line CABs = %d", line.NumCABs())
+	}
+}
+
+func TestFacadeNectarineApp(t *testing.T) {
+	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+	app := nectar.NewApp(sys)
+	var echoed string
+	app.NewCABTask("pong", 1, func(tc *nectar.TaskCtx) {
+		m := tc.Recv()
+		echoed = string(m.Data)
+	})
+	app.NewCABTask("ping", 0, func(tc *nectar.TaskCtx) {
+		tc.Send("pong", 1, nectar.Bytes([]byte("through the facade")))
+	})
+	app.Run()
+	if echoed != "through the facade" {
+		t.Fatalf("echoed %q", echoed)
+	}
+}
+
+func TestFacadeNodes(t *testing.T) {
+	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+	a := nectar.NewNode(sys.CAB(0), "sunA")
+	b := nectar.NewNode(sys.CAB(1), "sunB")
+	_ = a
+	if b.Name() != "sunB" || b.CABID() != 1 {
+		t.Fatalf("node accessors: %q %d", b.Name(), b.CABID())
+	}
+}
+
+func TestFacadeIPSC(t *testing.T) {
+	sys := nectar.NewSingleHub(4, nectar.DefaultParams())
+	var sum int64
+	nectar.RunIPSC(sys, 4, func(c *ipsc.Ctx) {
+		s := c.Gisum(int64(c.Mynode()))
+		if c.Mynode() == 0 {
+			sum = s
+		}
+	})
+	if sum != 6 {
+		t.Fatalf("Gisum = %d", sum)
+	}
+}
+
+func TestFacadeApplications(t *testing.T) {
+	sys := nectar.NewSingleHub(6, nectar.DefaultParams())
+	cfg := nectar.DefaultVisionConfig()
+	cfg.Frames = 2
+	res, err := nectar.RunVision(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesPerSec <= 0 {
+		t.Fatal("vision produced no frame rate")
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	exps := nectar.Experiments()
+	if len(exps) < 15 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"E1", "E12", "F1", "A1", "X4"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s missing", want)
+		}
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() string {
+		sys := nectar.NewSingleHub(3, nectar.DefaultParams())
+		rx := sys.CAB(0)
+		mb := rx.Kernel.NewMailbox("in", 1<<20)
+		rx.TP.Register(1, mb)
+		var log bytes.Buffer
+		rx.Kernel.SpawnDaemon("rx", func(th *nectar.Thread) {
+			for {
+				msg := mb.Get(th)
+				fmt.Fprintf(&log, "%d@%v;", msg.Src, msg.Arrived)
+				mb.Release(msg)
+			}
+		})
+		for i := 1; i < 3; i++ {
+			st := sys.CAB(i)
+			st.Kernel.Spawn("tx", func(th *nectar.Thread) {
+				for j := 0; j < 4; j++ {
+					st.TP.StreamSend(th, 0, 1, 0, make([]byte, 500))
+				}
+			})
+		}
+		sys.Run()
+		return log.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic:\n%s\nvs\n%s", a, b)
+	}
+}
