@@ -4,12 +4,20 @@
 // crossbar and its controller") and dumps the recorded event stream:
 // connection opens/closes, command executions, packet movements, replies.
 //
+// With span tracing it also follows each message end-to-end across the
+// layers (kernel, transport, datalink, DMA, HUB, fiber), prints the
+// per-layer latency breakdown, and can export the spans as Chrome
+// trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev).
+//
 // Usage:
 //
-//	nectar-trace                  # circuit-switched send, one HUB
-//	nectar-trace -mode packet     # packet-switched send
+//	nectar-trace                  # request-response exchange, one HUB
+//	nectar-trace -mode circuit    # circuit-switched datalink send
+//	nectar-trace -mode packet     # packet-switched datalink send
 //	nectar-trace -mode multicast  # multicast over two HUBs
 //	nectar-trace -limit 200       # retain more events
+//	nectar-trace -out trace.json  # write Chrome trace-event JSON
+//	nectar-trace -metrics         # print the metrics registry snapshot
 package main
 
 import (
@@ -23,48 +31,85 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "circuit", "circuit | packet | multicast")
+	mode := flag.String("mode", "reqresp", "reqresp | circuit | packet | multicast")
 	limit := flag.Int("limit", 100, "max retained events")
 	size := flag.Int("size", 128, "payload bytes")
+	out := flag.String("out", "", "write spans as Chrome trace-event JSON to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics registry snapshot")
 	flag.Parse()
+
+	switch *mode {
+	case "reqresp", "circuit", "packet", "multicast":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want reqresp, circuit, packet, or multicast)\n", *mode)
+		os.Exit(2)
+	}
 
 	params := core.DefaultParams()
 	params.RecorderLimit = *limit
+	params.TraceSpans = 4096
+	params.Metrics = true
 
 	var sys *core.System
-	switch *mode {
-	case "multicast":
+	if *mode == "multicast" {
 		sys = core.NewLine(2, 2, params)
-	default:
+	} else {
 		sys = core.NewSingleHub(4, params)
 	}
 
-	for i := 1; i < sys.NumCABs(); i++ {
-		st := sys.CAB(i)
-		st.DL.SetReceiver(func(p []byte) {
-			fmt.Printf("-- CAB %d datalink delivered %d bytes at %v\n",
-				st.Board.ID(), len(p), st.Kernel.Engine().Now())
-		})
+	if *mode != "reqresp" {
+		// Raw datalink modes: replace the transport receiver with a
+		// delivery printer (reqresp needs the real transport in place).
+		for i := 1; i < sys.NumCABs(); i++ {
+			st := sys.CAB(i)
+			st.DL.SetReceiver(func(p []byte, _ *trace.Span) {
+				fmt.Printf("-- CAB %d datalink delivered %d bytes at %v\n",
+					st.Board.ID(), len(p), st.Kernel.Engine().Now())
+			})
+		}
 	}
 
 	tx := sys.CAB(0)
-	tx.Kernel.Spawn("tx", func(th *kernel.Thread) {
-		var err error
-		switch *mode {
-		case "circuit":
-			err = tx.DL.SendCircuit(th, 1, make([]byte, *size))
-		case "packet":
-			err = tx.DL.SendPacket(th, 1, make([]byte, *size))
-		case "multicast":
-			err = tx.DL.SendMulticastCircuit(th, []int{1, 2, 3}, make([]byte, *size))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-			os.Exit(2)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		}
-	})
+	switch *mode {
+	case "reqresp":
+		// A full transport-level request-response exchange: the server
+		// echoes the request back. This exercises every layer in both
+		// directions, so the span trace covers the complete round trip.
+		srv := sys.CAB(1)
+		mb := srv.Kernel.NewMailbox("srv", 1024*1024)
+		srv.TP.Register(1, mb)
+		srv.Kernel.Spawn("server", func(th *kernel.Thread) {
+			req := mb.Get(th)
+			data := req.Bytes()
+			mb.Release(req)
+			srv.TP.Respond(th, req, data)
+		})
+		tx.Kernel.Spawn("client", func(th *kernel.Thread) {
+			t0 := th.Proc().Now()
+			resp, err := tx.TP.Request(th, 1, 1, 2, make([]byte, *size))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("-- CAB 0 got %d-byte response, round trip %v\n",
+				len(resp), th.Proc().Now()-t0)
+		})
+	case "circuit", "packet", "multicast":
+		tx.Kernel.Spawn("tx", func(th *kernel.Thread) {
+			var err error
+			switch *mode {
+			case "circuit":
+				err = tx.DL.SendCircuit(th, 1, make([]byte, *size))
+			case "packet":
+				err = tx.DL.SendPacket(th, 1, make([]byte, *size))
+			case "multicast":
+				err = tx.DL.SendMulticastCircuit(th, []int{1, 2, 3}, make([]byte, *size))
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		})
+	}
 	sys.Run()
 
 	fmt.Printf("\ninstrumentation board event log (%s send):\n", *mode)
@@ -73,4 +118,34 @@ func main() {
 		sys.Rec.Count(trace.EvConnOpen), sys.Rec.Count(trace.EvConnClose),
 		sys.Rec.Count(trace.EvCommand), sys.Rec.Count(trace.EvPacketOut),
 		sys.Rec.Count(trace.EvReply), sys.Rec.Count(trace.EvPacketDrop))
+
+	if spans := sys.Tr.Spans(); len(spans) > 0 {
+		fmt.Printf("\nper-layer span breakdown (%d spans, %d dropped):\n", len(spans), sys.Tr.Dropped())
+		t := trace.NewTable("", "layer", "spans", "total", "busy (merged)")
+		for _, st := range trace.Breakdown(spans) {
+			t.AddRow(st.Layer, st.Spans, st.Total, st.Busy)
+		}
+		fmt.Print(t.String())
+	}
+
+	if *metrics {
+		fmt.Printf("\nmetrics registry snapshot:\n%s", sys.Reg.Text())
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sys.Tr.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace-event JSON to %s (open in chrome://tracing or ui.perfetto.dev)\n", *out)
+	}
 }

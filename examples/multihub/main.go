@@ -9,6 +9,7 @@ import (
 
 	"repro"
 	"repro/internal/nectarine"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -41,7 +42,7 @@ func main() {
 	got := 0
 	for _, d := range []int{3, 5, 7} {
 		st := sys2.CAB(d)
-		st.DL.SetReceiver(func(p []byte) { got++ })
+		st.DL.SetReceiver(func(p []byte, _ *trace.Span) { got++ })
 	}
 	sys2.CAB(0).Kernel.Spawn("mcast", func(th *nectar.Thread) {
 		if err := sys2.CAB(0).DL.SendMulticastCircuit(th, []int{3, 5, 7}, make([]byte, 2048)); err != nil {

@@ -38,7 +38,7 @@ type Board struct {
 
 // NewBoard creates a CAB board with all devices.
 func NewBoard(eng *sim.Engine, id int, name string) *Board {
-	return &Board{
+	b := &Board{
 		eng:         eng,
 		name:        name,
 		id:          id,
@@ -49,6 +49,8 @@ func NewBoard(eng *sim.Engine, id int, name string) *Board {
 		netReady:    true,
 		netReadySig: sim.NewSignal(eng),
 	}
+	b.DMA.SetName(name + ".dma")
+	return b
 }
 
 // Engine returns the simulation engine.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // DMA channels (paper §5.1: "The DMA controller is able to manage
@@ -54,6 +55,7 @@ const (
 // are serviced in FIFO order.
 type DMA struct {
 	eng       *sim.Engine
+	name      string
 	busyUntil [numChannels]sim.Time
 	rate      [numChannels]sim.Time
 	transfers [numChannels]int64
@@ -62,12 +64,15 @@ type DMA struct {
 
 // NewDMA returns a DMA controller with prototype channel rates.
 func NewDMA(eng *sim.Engine) *DMA {
-	d := &DMA{eng: eng}
+	d := &DMA{eng: eng, name: "dma"}
 	d.rate[ChanFiberOut] = FiberChanByteTime
 	d.rate[ChanFiberIn] = DrainByteTime
 	d.rate[ChanVME] = VMEByteTime
 	return d
 }
+
+// SetName sets the controller's trace component name (e.g. "cab0.dma").
+func (d *DMA) SetName(name string) { d.name = name }
 
 // Transfers returns the number of transfers completed or queued on ch.
 func (d *DMA) Transfers(ch Channel) int64 { return d.transfers[ch] }
@@ -95,6 +100,19 @@ func (d *DMA) Transfer(ch Channel, n int, done func()) sim.Time {
 	d.bytes[ch] += int64(n)
 	if done != nil {
 		d.eng.At(end, done)
+	}
+	return end
+}
+
+// TransferSpan is Transfer with trace attribution: with a non-nil parent
+// span, the channel time this transfer occupies is recorded as a child
+// span in the DMA layer (nil parent costs nothing). The transfer's span
+// starts when the channel begins serving it (after queued work) and ends
+// at completion.
+func (d *DMA) TransferSpan(ch Channel, n int, done func(), parent *trace.Span) sim.Time {
+	end := d.Transfer(ch, n, done)
+	if parent != nil {
+		parent.ChildAt(end-sim.Time(n)*d.rate[ch], trace.LayerDMA, d.name, ch.String()).EndAt(end)
 	}
 	return end
 }

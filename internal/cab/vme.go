@@ -2,6 +2,7 @@ package cab
 
 import (
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // VME models the bus between a node and its CAB (paper §5.2: "The initial
@@ -12,6 +13,7 @@ import (
 // One VME instance connects exactly one node to one CAB.
 type VME struct {
 	eng       *sim.Engine
+	name      string
 	busyUntil sim.Time
 
 	// Programmed I/O moves one 4-byte word per bus transaction and is
@@ -37,8 +39,11 @@ const (
 
 // NewVME returns a VME bus.
 func NewVME(eng *sim.Engine) *VME {
-	return &VME{eng: eng, wordTime: vmeWordTime}
+	return &VME{eng: eng, name: "vme", wordTime: vmeWordTime}
 }
+
+// SetName sets the bus's trace component name (e.g. "nodeA.vme").
+func (v *VME) SetName(name string) { v.name = name }
 
 // Bytes returns total bytes moved over the bus.
 func (v *VME) Bytes() int64 { return v.bytes }
@@ -60,10 +65,28 @@ func (v *VME) Transfer(n int, done func()) sim.Time {
 	return end
 }
 
+// TransferSpan is Transfer with trace attribution: with a non-nil parent
+// span, the bus time this transfer occupies is recorded as a child span in
+// the VME layer (nil parent costs nothing).
+func (v *VME) TransferSpan(n int, done func(), parent *trace.Span) sim.Time {
+	end := v.Transfer(n, done)
+	if parent != nil {
+		parent.ChildAt(end-sim.Time(n)*VMEByteTime, trace.LayerVME, v.name, "block-xfer").EndAt(end)
+	}
+	return end
+}
+
 // TransferWait blocks the calling process for an n-byte block transfer.
 func (v *VME) TransferWait(p *sim.Proc, n int) {
 	sig := sim.NewSignal(p.Engine())
 	v.Transfer(n, func() { sig.Broadcast() })
+	sig.Wait(p)
+}
+
+// TransferWaitSpan is TransferWait with trace attribution.
+func (v *VME) TransferWaitSpan(p *sim.Proc, n int, parent *trace.Span) {
+	sig := sim.NewSignal(p.Engine())
+	v.TransferSpan(n, func() { sig.Broadcast() }, parent)
 	sig.Wait(p)
 }
 

@@ -25,6 +25,12 @@ type Params struct {
 	// RecorderLimit bounds retained instrumentation events (0 disables
 	// the recorder entirely).
 	RecorderLimit int
+	// TraceSpans bounds retained latency spans (0 disables span tracing:
+	// the send path stays allocation-free).
+	TraceSpans int
+	// Metrics enables the metrics registry: every layer auto-registers
+	// its counters and gauges on it.
+	Metrics bool
 }
 
 // DefaultParams returns the full prototype parameter set.
@@ -69,15 +75,34 @@ type System struct {
 	Net    *topo.Network
 	Params Params
 	CABs   []*CABStack
+
+	// Tr is the system-wide span tracer (nil unless Params.TraceSpans > 0).
+	Tr *trace.Tracer
+	// Reg is the system-wide metrics registry (nil unless Params.Metrics).
+	Reg *trace.Registry
 }
 
-// buildStacks layers kernel/datalink/transport onto every board.
+// buildStacks layers kernel/datalink/transport onto every board and wires
+// the observability layer (span tracer and metrics registry) through every
+// component that supports it.
 func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Params) *System {
 	s := &System{Eng: eng, Rec: rec, Net: net, Params: p}
+	if p.TraceSpans > 0 {
+		s.Tr = trace.NewTracer(eng, p.TraceSpans)
+	}
+	if p.Metrics {
+		s.Reg = trace.NewRegistry(eng)
+	}
+	for _, h := range net.Hubs() {
+		h.RegisterMetrics(s.Reg)
+	}
 	for _, b := range net.Boards() {
 		k := kernel.New(b, p.Kernel)
+		k.SetInstrumentation(s.Tr, s.Reg)
 		dl := datalink.New(k, net, p.Datalink)
+		dl.RegisterMetrics(s.Reg)
 		tp := transport.New(k, dl, p.Transport)
+		tp.RegisterMetrics(s.Reg)
 		s.CABs = append(s.CABs, &CABStack{Board: b, Kernel: k, DL: dl, TP: tp})
 	}
 	return s

@@ -1,0 +1,200 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// tracedExchange builds a single-HUB system with span tracing enabled and
+// runs one 64-byte request-response exchange, returning the system, the
+// client-observed round-trip time, and the time the client issued the
+// request.
+func tracedExchange(t *testing.T) (*core.System, sim.Time, sim.Time) {
+	t.Helper()
+	params := core.DefaultParams()
+	params.TraceSpans = 4096
+	params.Metrics = true
+	sys := core.NewSingleHub(2, params)
+
+	srv := sys.CAB(1)
+	mb := srv.Kernel.NewMailbox("srv", 1024*1024)
+	srv.TP.Register(1, mb)
+	srv.Kernel.Spawn("server", func(th *kernel.Thread) {
+		req := mb.Get(th)
+		data := req.Bytes()
+		mb.Release(req)
+		srv.TP.Respond(th, req, data)
+	})
+
+	var rtt, t0 sim.Time
+	sys.CAB(0).Kernel.Spawn("client", func(th *kernel.Thread) {
+		t0 = th.Proc().Now()
+		resp, err := sys.CAB(0).TP.Request(th, 1, 1, 2, make([]byte, 64))
+		if err != nil {
+			t.Errorf("request failed: %v", err)
+			return
+		}
+		if len(resp) != 64 {
+			t.Errorf("response = %d bytes", len(resp))
+		}
+		rtt = th.Proc().Now() - t0
+	})
+	sys.Run()
+	if rtt <= 0 {
+		t.Fatalf("round trip = %v", rtt)
+	}
+	return sys, rtt, t0
+}
+
+// TestTracedSendLayersSumToLatency asserts the core tracing invariant: the
+// per-layer spans of one traced exchange, merged, account for the
+// end-to-end latency up to scheduling gaps — the union can never exceed the
+// round trip, and the uncovered remainder (time the message sat between
+// layers waiting for the simulated CPUs) must be a modest fraction of it.
+func TestTracedSendLayersSumToLatency(t *testing.T) {
+	sys, rtt, t0 := tracedExchange(t)
+
+	spans := sys.Tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if sys.Tr.Dropped() != 0 {
+		t.Fatalf("%d spans dropped: raise the test's TraceSpans", sys.Tr.Dropped())
+	}
+
+	// The request root is the client's "msg" span; its tree holds every
+	// layer the message touched, both directions.
+	roots := sys.Tr.Roots()
+	if len(roots) == 0 {
+		t.Fatal("no root spans")
+	}
+	var msg *trace.Span
+	for _, r := range roots {
+		if r.Name() == "msg" {
+			msg = r
+			break
+		}
+	}
+	if msg == nil {
+		t.Fatalf("no msg root among %d roots", len(roots))
+	}
+
+	tree := sys.Tr.Tree(msg)
+	if len(tree) < 5 {
+		t.Fatalf("msg tree has only %d spans", len(tree))
+	}
+
+	// Every span in the tree must sit inside the root's window.
+	for _, s := range tree {
+		if !s.Ended() {
+			t.Fatalf("span %s/%s left open", s.Layer(), s.Name())
+		}
+		if s.Start() < msg.Start() || s.EndTime() > msg.EndTime() {
+			t.Fatalf("span %s/%s [%v,%v] outside root [%v,%v]",
+				s.Layer(), s.Name(), s.Start(), s.EndTime(), msg.Start(), msg.EndTime())
+		}
+	}
+
+	// The tree covers at least request send -> wire -> receive.
+	layers := map[string]bool{}
+	for _, s := range tree {
+		layers[s.Layer()] = true
+	}
+	for _, l := range []string{trace.LayerTransport, trace.LayerDatalink,
+		trace.LayerDMA, trace.LayerHub, trace.LayerFiber} {
+		if !layers[l] {
+			t.Errorf("layer %s missing from msg tree (have %v)", l, layers)
+		}
+	}
+
+	// Merged span time <= root duration, and the gap (scheduling waits
+	// between layers) is bounded: the layers account for the latency.
+	rootDur := msg.Duration()
+	covered := trace.Union(tree)
+	if covered > rootDur {
+		t.Fatalf("union %v exceeds root duration %v", covered, rootDur)
+	}
+	gap := rootDur - covered
+	if gap > rootDur/4 {
+		t.Fatalf("scheduling gaps %v are more than 25%% of the %v root span (covered %v)",
+			gap, rootDur, covered)
+	}
+
+	// Across the whole round trip, the recorded spans (request message,
+	// server wakeup, response message, client wakeup) tile the client's
+	// blocking window: their union inside [t0, t0+rtt] sums to the
+	// end-to-end latency up to scheduling gaps.
+	inWindow := []*trace.Span{}
+	for _, s := range spans {
+		if s.Ended() && s.EndTime() > t0 && s.Start() < t0+rtt {
+			if s.Start() < t0 || s.EndTime() > t0+rtt {
+				t.Fatalf("span %s/%s [%v,%v] straddles the request window [%v,%v]",
+					s.Layer(), s.Name(), s.Start(), s.EndTime(), t0, t0+rtt)
+			}
+			inWindow = append(inWindow, s)
+		}
+	}
+	rttCovered := trace.Union(inWindow)
+	if rttCovered > rtt {
+		t.Fatalf("union %v exceeds round trip %v", rttCovered, rtt)
+	}
+	if rttGap := rtt - rttCovered; rttGap > rtt/4 {
+		t.Fatalf("spans cover only %v of the %v round trip (gap %v)", rttCovered, rtt, rttGap)
+	}
+}
+
+// TestTraceDeterministic asserts two identical runs export byte-identical
+// Chrome traces and identical metrics text.
+func TestTraceDeterministic(t *testing.T) {
+	run := func() ([]byte, string) {
+		sys, _, _ := tracedExchange(t)
+		var buf bytes.Buffer
+		if err := sys.Tr.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), sys.Reg.Text()
+	}
+	trace1, metrics1 := run()
+	trace2, metrics2 := run()
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("two identical runs exported different Chrome traces")
+	}
+	if metrics1 != metrics2 {
+		t.Fatalf("two identical runs produced different metrics:\n%s\nvs\n%s", metrics1, metrics2)
+	}
+
+	// And the export is valid Chrome trace JSON covering >= 5 layers.
+	var f struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace1, &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" && ev.Cat != "" {
+			cats[ev.Cat] = true
+		}
+	}
+	if len(cats) < 5 {
+		t.Fatalf("trace covers only %d layers: %v", len(cats), cats)
+	}
+}
+
+// TestTracingDisabledByDefault asserts the default params leave the tracer
+// and registry off (nil), keeping the send path allocation-free.
+func TestTracingDisabledByDefault(t *testing.T) {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	if sys.Tr != nil || sys.Reg != nil {
+		t.Fatal("tracer/registry should be nil unless enabled in Params")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // MaxPacketPayload is the largest payload carried by a packet-switched
@@ -65,8 +66,10 @@ func DefaultParams() Params {
 
 // Receiver consumes packets delivered by the datalink. It is invoked at
 // interrupt level once the packet has been DMAed out of the input queue;
-// implementations charge their own CPU costs.
-type Receiver func(payload []byte)
+// implementations charge their own CPU costs. sp is the originating send's
+// trace span (nil when the message is untraced); receivers parent their
+// own processing spans under it.
+type Receiver func(payload []byte, sp *trace.Span)
 
 // Stats are datalink counters.
 type Stats struct {
@@ -131,6 +134,23 @@ func (d *Datalink) SetReceiver(r Receiver) { d.recv = r }
 // Stats returns a copy of the datalink counters.
 func (d *Datalink) Stats() Stats { return d.stats }
 
+// RegisterMetrics auto-registers the datalink's counters as read-out
+// metrics under <board>.datalink.*.
+func (d *Datalink) RegisterMetrics(reg *trace.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := d.board.Name() + ".datalink"
+	reg.Func(prefix+".packets_sent", func() float64 { return float64(d.stats.PacketsSent) })
+	reg.Func(prefix+".packets_received", func() float64 { return float64(d.stats.PacketsReceived) })
+	reg.Func(prefix+".bytes_sent", func() float64 { return float64(d.stats.BytesSent) })
+	reg.Func(prefix+".bytes_received", func() float64 { return float64(d.stats.BytesReceived) })
+	reg.Func(prefix+".framing_errors", func() float64 { return float64(d.stats.FramingErrors) })
+	reg.Func(prefix+".open_timeouts", func() float64 { return float64(d.stats.OpenTimeouts) })
+	reg.Func(prefix+".open_failures", func() float64 { return float64(d.stats.OpenFailures) })
+	reg.Func(prefix+".stray_commands", func() float64 { return float64(d.stats.StrayCommands) })
+}
+
 // FlushRoutes discards cached routes, forcing recomputation against the
 // current topology state (used after an operator reroutes around a failed
 // link).
@@ -178,8 +198,8 @@ func (d *Datalink) SendPacket(th *kernel.Thread, dst int, payload []byte) error 
 	if err != nil {
 		return err
 	}
+	sp := th.Span().Child(trace.LayerDatalink, d.board.Name(), "dl-send-packet")
 	d.mu.P(th)
-	defer d.mu.V()
 	th.Compute("dl-send-setup", d.params.SendSetup)
 	// Our own output's flow control: the attached HUB input queue must be
 	// ready for a new packet.
@@ -188,12 +208,14 @@ func (d *Datalink) SendPacket(th *kernel.Thread, dst int, payload []byte) error 
 	for _, hp := range hops {
 		items = append(items, d.command(hub.OpTestOpenRetry, hp.HubID, hp.Port, 0))
 	}
-	items = append(items, &fiber.Item{Kind: fiber.KindPacket, Payload: payload})
+	items = append(items, &fiber.Item{Kind: fiber.KindPacket, Payload: payload, Span: sp})
 	items = append(items, d.closeAll())
 	d.board.ClearNetReady()
 	d.board.Send(items...)
 	d.stats.PacketsSent++
 	d.stats.BytesSent += int64(len(payload))
+	sp.End()
+	d.mu.V()
 	return nil
 }
 
@@ -203,8 +225,9 @@ func (d *Datalink) SendPacket(th *kernel.Thread, dst int, payload []byte) error 
 // (§6.2.1). It fails (returning false) when the datalink is busy with a
 // thread-level frame or the outgoing flow control is not ready; the caller
 // then falls back to a protocol thread. extra is additional interrupt-level
-// processing charged with the send.
-func (d *Datalink) TrySendPacketInterrupt(dst int, payload []byte, extra sim.Time) bool {
+// processing charged with the send. parent is the trace span (nil when
+// untraced) the interrupt-level send is attributed to.
+func (d *Datalink) TrySendPacketInterrupt(dst int, payload []byte, extra sim.Time, parent *trace.Span) bool {
 	if len(payload) > MaxPacketPayload {
 		return false
 	}
@@ -215,17 +238,19 @@ func (d *Datalink) TrySendPacketInterrupt(dst int, payload []byte, extra sim.Tim
 	if !d.board.NetReady() || !d.mu.TryP() {
 		return false
 	}
+	sp := parent.Child(trace.LayerDatalink, d.board.Name(), "dl-intr-send")
 	d.board.ClearNetReady()
 	d.board.CPU.RunInterrupt("dl-intr-send", extra+d.params.SendSetup, func() {
 		items := make([]*fiber.Item, 0, len(hops)+2)
 		for _, hp := range hops {
 			items = append(items, d.command(hub.OpTestOpenRetry, hp.HubID, hp.Port, 0))
 		}
-		items = append(items, &fiber.Item{Kind: fiber.KindPacket, Payload: payload})
+		items = append(items, &fiber.Item{Kind: fiber.KindPacket, Payload: payload, Span: sp})
 		items = append(items, d.closeAll())
 		d.board.Send(items...)
 		d.stats.PacketsSent++
 		d.stats.BytesSent += int64(len(payload))
+		sp.End()
 		d.mu.V()
 	})
 	return true
@@ -263,6 +288,8 @@ func (d *Datalink) SendMulticastPacket(th *kernel.Thread, dsts []int, payload []
 	if err != nil {
 		return err
 	}
+	sp := th.Span().Child(trace.LayerDatalink, d.board.Name(), "dl-send-packet")
+	defer sp.End()
 	d.mu.P(th)
 	defer d.mu.V()
 	th.Compute("dl-send-setup", d.params.SendSetup)
@@ -271,7 +298,7 @@ func (d *Datalink) SendMulticastPacket(th *kernel.Thread, dsts []int, payload []
 	for _, hp := range hops {
 		items = append(items, d.command(hub.OpTestOpenRetry, hp.HubID, hp.Port, 0))
 	}
-	items = append(items, &fiber.Item{Kind: fiber.KindPacket, Payload: payload})
+	items = append(items, &fiber.Item{Kind: fiber.KindPacket, Payload: payload, Span: sp})
 	items = append(items, d.closeAll())
 	d.board.ClearNetReady()
 	d.board.Send(items...)
@@ -295,6 +322,8 @@ func countTerminals(hops []topo.Hop) int {
 // down all the existing connections by using close all, and attempt to
 // re-establish an entire route."
 func (d *Datalink) sendCircuitHops(th *kernel.Thread, hops []topo.Hop, payload []byte, wantReplies int) error {
+	sp := th.Span().Child(trace.LayerDatalink, d.board.Name(), "dl-send-circuit")
+	defer sp.End()
 	d.mu.P(th)
 	defer d.mu.V()
 	for attempt := 0; attempt < d.params.OpenAttempts; attempt++ {
@@ -335,7 +364,7 @@ func (d *Datalink) sendCircuitHops(th *kernel.Thread, hops []topo.Hop, payload [
 		// Circuit up: ship the data and close behind it.
 		d.board.ClearNetReady()
 		d.board.Send(
-			&fiber.Item{Kind: fiber.KindPacket, Payload: payload},
+			&fiber.Item{Kind: fiber.KindPacket, Payload: payload, Span: sp},
 			d.closeAll(),
 		)
 		d.stats.PacketsSent++
@@ -386,6 +415,7 @@ func (d *Datalink) receiveItem(it *fiber.Item) {
 // queue."
 func (d *Datalink) receivePacket(it *fiber.Item) {
 	cost := d.params.RecvInterrupt + d.params.Upcall
+	rsp := it.Span.Child(trace.LayerDatalink, d.board.Name(), "dl-recv")
 	d.board.CPU.RunInterrupt("dl-recv-intr", cost, func() {
 		// DMA out of the input queue into CAB memory. The start of
 		// packet emerges now; the upstream output register's ready bit
@@ -395,7 +425,7 @@ func (d *Datalink) receivePacket(it *fiber.Item) {
 		// arrival on the fiber and (b) the DMA channel finishing.
 		n := len(it.Payload)
 		eng := d.k.Engine()
-		dmaDone := d.board.DMA.Transfer(cab.ChanFiberIn, n, nil)
+		dmaDone := d.board.DMA.TransferSpan(cab.ChanFiberIn, n, nil, it.Span)
 		done := it.End()
 		if dmaDone > done {
 			done = dmaDone
@@ -404,10 +434,11 @@ func (d *Datalink) receivePacket(it *fiber.Item) {
 			done = now
 		}
 		eng.At(done, func() {
+			rsp.End()
 			d.stats.PacketsReceived++
 			d.stats.BytesReceived += int64(n)
 			if d.recv != nil {
-				d.recv(it.Payload)
+				d.recv(it.Payload, it.Span)
 			}
 		})
 	})

@@ -9,12 +9,13 @@ import (
 	"repro/internal/fiber"
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // collect wires a raw payload collector as CAB i's datalink receiver
 // (replacing the transport installed by core).
 func collect(sys *core.System, i int, out *[][]byte) {
-	sys.CAB(i).DL.SetReceiver(func(p []byte) {
+	sys.CAB(i).DL.SetReceiver(func(p []byte, _ *trace.Span) {
 		cp := make([]byte, len(p))
 		copy(cp, p)
 		*out = append(*out, cp)

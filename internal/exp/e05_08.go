@@ -163,7 +163,7 @@ func multicastTime(k int, useMulticast bool) sim.Time {
 	remaining := k
 	for i := 1; i <= k; i++ {
 		st := sys.CAB(i)
-		st.DL.SetReceiver(func(p []byte) {
+		st.DL.SetReceiver(func(p []byte, _ *trace.Span) {
 			last = st.Kernel.Engine().Now()
 			remaining--
 		})

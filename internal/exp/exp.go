@@ -71,6 +71,7 @@ func All() []Experiment {
 		{"X2", "hundred-nodes", X2HundredNodes},
 		{"X3", "vmtp", X3VMTP},
 		{"X4", "dsm", X4DSM},
+		{"T1", "latency-breakdown", T1LatencyBreakdown},
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 // packets through a crossbar.
 
 func BenchmarkPacketForwarding(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine()
 	h := New(eng, 0, 4, nil)
 	a := attachCAB(eng, h, 0, "a")
@@ -27,6 +28,7 @@ func BenchmarkPacketForwarding(b *testing.B) {
 }
 
 func BenchmarkCircuitSetupTeardown(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine()
 	h := New(eng, 0, 4, nil)
 	a := attachCAB(eng, h, 0, "a")

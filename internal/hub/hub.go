@@ -97,6 +97,23 @@ func (h *Hub) Port(i int) *Port { return h.ports[i] }
 // Recorder returns the instrumentation recorder (may be nil).
 func (h *Hub) Recorder() *trace.Recorder { return h.rec }
 
+// RegisterMetrics registers this HUB's per-port metrics: a time-weighted
+// input-queue occupancy gauge plus packet/drop read-outs. A nil registry
+// leaves the ports' gauges nil (recording nothing).
+func (h *Hub) RegisterMetrics(reg *trace.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, p := range h.ports {
+		p := p
+		p.occ = reg.Gauge(p.name + ".queue_bytes")
+		reg.Func(p.name+".pkts_in", func() float64 { return float64(p.pktIn) })
+		reg.Func(p.name+".pkts_out", func() float64 { return float64(p.pktOut) })
+		reg.Func(p.name+".drops", func() float64 { return float64(p.drops) })
+		reg.Func(p.name+".frame_errs", func() float64 { return float64(p.frameErrs) })
+	}
+}
+
 // ConnectOutput attaches the outgoing fiber of port i. The link's far end
 // is a CAB or another HUB's input.
 func (h *Hub) ConnectOutput(i int, link *fiber.Link) { h.ports[i].out = link }

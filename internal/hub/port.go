@@ -46,6 +46,10 @@ type Port struct {
 	ready     bool
 	waiters   []*pendingCmd
 
+	// occ is the input queue's time-weighted occupancy gauge (nil unless
+	// a metrics registry is attached; nil gauges record nothing).
+	occ *trace.Gauge
+
 	// Counters (readable via status/supervisor commands).
 	pktIn, pktOut     int64
 	bytesIn, bytesOut int64
@@ -128,6 +132,7 @@ func (p *Port) Receive(it *fiber.Item) {
 	p.inq = append(p.inq, it)
 	if it.Kind == fiber.KindPacket {
 		p.inBytes += it.Bytes()
+		p.occ.Set(int64(p.inBytes))
 	}
 	p.kick()
 }
@@ -194,6 +199,7 @@ func (p *Port) pop() *fiber.Item {
 	p.inq = p.inq[1:]
 	if it.Kind == fiber.KindPacket {
 		p.inBytes -= it.Bytes()
+		p.occ.Set(int64(p.inBytes))
 	}
 	return it
 }
@@ -358,6 +364,7 @@ func (p *Port) execSupervisor(it *fiber.Item, op Opcode) {
 			}
 			q.inq = nil
 			q.inBytes = 0
+			q.occ.Set(0)
 			q.stalled = false
 			// Restoring the ready bit also retries opens that parked
 			// while the port was wedged.
@@ -453,6 +460,12 @@ func (p *Port) forwardHead(it *fiber.Item) {
 		if start < out.connReady {
 			start = out.connReady
 		}
+	}
+	if isPacket && it.Span != nil {
+		// Per-hop HUB span: first-byte arrival at this input to start of
+		// packet leaving the output register(s) — queueing plus transit.
+		it.Span.ChildAt(it.Start, trace.LayerHub, p.name, "xbar").
+			EndAt(start + TransferLatency)
 	}
 	for _, out := range outs {
 		c := it.Clone()

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cab"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Params are the kernel cost parameters.
@@ -67,6 +68,10 @@ type Kernel struct {
 	switches int64
 	spawned  int64
 
+	// tr/reg are the observability hooks (both may be nil: disabled).
+	tr  *trace.Tracer
+	reg *trace.Registry
+
 	// lastDomain tracks protection-domain assignment for user tasks.
 	lastDomain int
 }
@@ -89,6 +94,35 @@ func (k *Kernel) Engine() *sim.Engine { return k.eng }
 // Switches returns the number of context switches performed.
 func (k *Kernel) Switches() int64 { return k.switches }
 
+// Tracer returns the kernel's span tracer (may be nil).
+func (k *Kernel) Tracer() *trace.Tracer { return k.tr }
+
+// Registry returns the kernel's metrics registry (may be nil).
+func (k *Kernel) Registry() *trace.Registry { return k.reg }
+
+// SetInstrumentation attaches a span tracer and metrics registry (either
+// may be nil) and auto-registers the kernel's and board's metrics. Called
+// by the system builder before any traffic runs.
+func (k *Kernel) SetInstrumentation(tr *trace.Tracer, reg *trace.Registry) {
+	k.tr = tr
+	k.reg = reg
+	if reg == nil {
+		return
+	}
+	prefix := k.board.Name()
+	reg.Func(prefix+".kernel.switches", func() float64 { return float64(k.switches) })
+	reg.Func(prefix+".kernel.spawned", func() float64 { return float64(k.spawned) })
+	reg.Func(prefix+".cpu.busy_ns", func() float64 { return float64(k.board.CPU.BusyTime()) })
+	reg.Func(prefix+".cpu.jobs", func() float64 { return float64(k.board.CPU.JobsDone()) })
+	reg.Func(prefix+".timers.armed", func() float64 { return float64(k.board.Timers.Armed()) })
+	reg.Func(prefix+".timers.expired", func() float64 { return float64(k.board.Timers.Expired()) })
+	for _, ch := range []cab.Channel{cab.ChanFiberOut, cab.ChanFiberIn, cab.ChanVME} {
+		ch := ch
+		reg.Func(prefix+".dma."+ch.String()+".bytes",
+			func() float64 { return float64(k.board.DMA.Bytes(ch)) })
+	}
+}
+
 // Current returns the running thread (nil if the CAB is idle).
 func (k *Kernel) Current() *Thread { return k.cur }
 
@@ -101,6 +135,21 @@ type Thread struct {
 	state   ThreadState
 	wakeSig *sim.Signal
 	runNow  bool
+
+	// span is the thread's current trace context: sends started while it
+	// is set become children of it. nil when tracing is off.
+	span *trace.Span
+}
+
+// Span returns the thread's current trace context (nil if none).
+func (t *Thread) Span() *trace.Span { return t.span }
+
+// SetSpan installs a trace context and returns the previous one, so
+// callers can scope a context: prev := th.SetSpan(sp); defer th.SetSpan(prev).
+func (t *Thread) SetSpan(s *trace.Span) *trace.Span {
+	prev := t.span
+	t.span = s
+	return prev
 }
 
 // Name returns the thread name.
@@ -174,7 +223,12 @@ func (k *Kernel) dispatch() {
 	k.runq = k.runq[1:]
 	k.cur = t
 	k.switches++
+	var sp *trace.Span
+	if k.tr != nil {
+		sp = k.tr.Start(nil, trace.LayerKernel, k.board.Name(), "switch:"+t.name)
+	}
 	k.board.CPU.Submit(cab.PrioThread, "context-switch", k.params.ContextSwitch, func() {
+		sp.End()
 		t.runNow = true
 		t.wakeSig.Broadcast()
 	})

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cab"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Message is one message buffered in a mailbox. Its bytes live in CAB data
@@ -17,6 +18,10 @@ type Message struct {
 	SrcBox  uint16 // source mailbox (filled by the transport)
 	Tag     uint32 // application tag / message type
 	Arrived sim.Time
+	// Span is the delivered message's trace span (nil when untraced);
+	// consumers that move the message further (e.g. up a VME bus to a
+	// node) parent their spans under it.
+	Span *trace.Span
 
 	mb        *Mailbox
 	committed bool
@@ -54,14 +59,24 @@ type Mailbox struct {
 }
 
 // NewMailbox creates a mailbox bounded to capacity bytes of CAB memory.
+// With a metrics registry attached, occupancy read-outs auto-register as
+// <board>.mailbox.<name>.{msgs,bytes,puts,gets}.
 func (k *Kernel) NewMailbox(name string, capacity int) *Mailbox {
-	return &Mailbox{
+	m := &Mailbox{
 		k:        k,
 		name:     name,
 		capacity: capacity,
 		notEmpty: k.NewCond(),
 		notFull:  k.NewCond(),
 	}
+	if k.reg != nil {
+		prefix := k.board.Name() + ".mailbox." + name
+		k.reg.Func(prefix+".msgs", func() float64 { return float64(len(m.msgs)) })
+		k.reg.Func(prefix+".bytes", func() float64 { return float64(m.used) })
+		k.reg.Func(prefix+".puts", func() float64 { return float64(m.puts) })
+		k.reg.Func(prefix+".gets", func() float64 { return float64(m.gets) })
+	}
+	return m
 }
 
 // Name returns the mailbox name.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // MachineType describes a node architecture's data representation.
@@ -289,6 +290,11 @@ func (tc *TaskCtx) Send(dstTask string, tag uint32, buf Buffer) error {
 		// and node tasks interoperate over one wire format.
 		tc.task.app.nextWire++
 		framed := node.Frame(tc.task.app.nextWire, wire)
+		if tr := tc.task.stack.Kernel.Tracer(); tr != nil {
+			sp := tr.Start(nil, trace.LayerApp, tc.task.name, "send:"+dstTask)
+			prev := tc.th.SetSpan(sp)
+			defer func() { tc.th.SetSpan(prev); sp.End() }()
+		}
 		return tc.task.stack.TP.StreamSend(tc.th, dst.cabID, dst.box, tc.task.box, framed)
 	}
 	tc.task.nd.SendSharedWhole(tc.proc, dst.cabID, dst.box, wire)
@@ -471,6 +477,11 @@ func (tc *TaskCtx) SendGroup(g *Group, tag uint32, buf Buffer) error {
 	}
 	if len(dsts) == 0 {
 		return nil
+	}
+	if tr := tc.task.stack.Kernel.Tracer(); tr != nil {
+		sp := tr.Start(nil, trace.LayerApp, tc.task.name, "send-group:"+g.name)
+		prev := tc.th.SetSpan(sp)
+		defer func() { tc.th.SetSpan(prev); sp.End() }()
 	}
 	return tc.task.stack.TP.SendDatagramMulticast(tc.th, dsts, g.box, tc.task.box, framed)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // segments splits a message into node-layer segments of PipelineSegment
@@ -33,6 +34,10 @@ func (n *Node) sendSegments(p *sim.Proc, dstCAB int, dstBox uint16, data []byte,
 	segs := n.segments(data)
 	n.nextMsg++
 	msgID := n.nextMsg
+	var sp *trace.Span
+	if tr := n.stack.Kernel.Tracer(); tr != nil {
+		sp = tr.Start(nil, trace.LayerNode, n.name, "node-send")
+	}
 	for i, seg := range segs {
 		wire := encodeNodeHdr(msgID, uint32(i), uint32(len(data)), 0, seg)
 		if pio {
@@ -40,13 +45,14 @@ func (n *Node) sendSegments(p *sim.Proc, dstCAB int, dstBox uint16, data []byte,
 			// processor writes (fine for small messages).
 			n.CPU.Compute(p, "build-in-cab", n.VME.PIOTime(len(wire)))
 		} else {
-			n.VME.TransferWait(p, len(wire))
+			n.VME.TransferWaitSpan(p, len(wire), sp)
 		}
 		n.postCommand(p, sendReq{
 			dst: dstCAB, dstBox: dstBox, srcBox: 0,
-			wire: wire, datagram: datagram,
+			wire: wire, datagram: datagram, sp: sp,
 		})
 	}
+	sp.End()
 }
 
 // SendShared transmits via the shared-memory interface: no system calls,
@@ -65,12 +71,17 @@ func (n *Node) SendShared(p *sim.Proc, dstCAB int, dstBox uint16, data []byte) {
 func (n *Node) SendSharedWhole(p *sim.Proc, dstCAB int, dstBox uint16, data []byte) {
 	n.nextMsg++
 	wire := encodeNodeHdr(n.nextMsg, 0, uint32(len(data)), 0, data)
+	var sp *trace.Span
+	if tr := n.stack.Kernel.Tracer(); tr != nil {
+		sp = tr.Start(nil, trace.LayerNode, n.name, "node-send")
+	}
 	if len(wire) <= 256 {
 		n.CPU.Compute(p, "build-in-cab", n.VME.PIOTime(len(wire)))
 	} else {
-		n.VME.TransferWait(p, len(wire))
+		n.VME.TransferWaitSpan(p, len(wire), sp)
 	}
-	n.postCommand(p, sendReq{dst: dstCAB, dstBox: dstBox, wire: wire})
+	n.postCommand(p, sendReq{dst: dstCAB, dstBox: dstBox, wire: wire, sp: sp})
+	sp.End()
 }
 
 // RecvShared receives by polling CAB memory (no system calls, no
@@ -103,8 +114,9 @@ func (n *Node) RecvShared(p *sim.Proc, boxID uint16) Message {
 		wire := msg.Bytes()
 		src := msg.Src
 		arrived := msg.Arrived
+		msp := msg.Span
 		bx.mb.Release(msg)
-		n.VME.TransferWait(p, len(wire))
+		n.VME.TransferWaitSpan(p, len(wire), msp)
 		pt := part{src: src, arrived: arrived}
 		var err error
 		var kind byte
@@ -149,6 +161,10 @@ func (n *Node) SendDriver(p *sim.Proc, dstCAB int, dstBox uint16, data []byte) {
 	const frag = 976 // node hdr + transport hdr + frag fits a 1 KB packet
 	n.nextMsg++
 	msgID := n.nextMsg
+	var sp *trace.Span
+	if tr := n.stack.Kernel.Tracer(); tr != nil {
+		sp = tr.Start(nil, trace.LayerNode, n.name, "node-send")
+	}
 	nsegs := (len(data) + frag - 1) / frag
 	if nsegs == 0 {
 		nsegs = 1
@@ -162,12 +178,13 @@ func (n *Node) SendDriver(p *sim.Proc, dstCAB int, dstBox uint16, data []byte) {
 		n.CPU.Compute(p, "driver-proto", n.params.DriverPerPacket)
 		n.CPU.Compute(p, "copyin", sim.Time(hi-lo)*n.params.CopyByteTime)
 		wire := encodeNodeHdr(msgID, uint32(i), uint32(len(data)), 1, data[lo:hi])
-		n.VME.TransferWait(p, len(wire))
+		n.VME.TransferWaitSpan(p, len(wire), sp)
 		n.postCommand(p, sendReq{
 			dst: dstCAB, dstBox: dstBox, srcBox: 0,
-			wire: wire, datagram: true,
+			wire: wire, datagram: true, sp: sp,
 		})
 	}
+	sp.End()
 }
 
 // RecvDriver blocks until the node-resident transport has reassembled a

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Params are the node software cost parameters.
@@ -143,6 +144,7 @@ type sendReq struct {
 	srcBox   uint16
 	wire     []byte // node-framed segment, already in CAB memory
 	datagram bool   // driver mode uses datagrams; others the byte stream
+	sp       *trace.Span
 }
 
 // box is one node-level receive endpoint.
@@ -230,11 +232,13 @@ func (n *Node) proxyLoop(th *kernel.Thread) {
 		}
 		req := n.cmds[0]
 		n.cmds = n.cmds[1:]
+		prev := th.SetSpan(req.sp)
 		if req.datagram {
 			n.stack.TP.SendDatagram(th, req.dst, req.dstBox, req.srcBox, req.wire)
 		} else {
 			n.stack.TP.StreamSend(th, req.dst, req.dstBox, req.srcBox, req.wire)
 		}
+		th.SetSpan(prev)
 	}
 }
 
@@ -274,12 +278,15 @@ func (n *Node) pushLoop(th *kernel.Thread, bx *box) {
 		msg := bx.mb.Get(th)
 		data := msg.Bytes()
 		src := msg.Src
+		sp := msg.Span
 		bx.mb.Release(msg)
 		// DMA the message across the VME bus, then interrupt the node.
-		n.VME.TransferWait(th.Proc(), len(data))
+		n.VME.TransferWaitSpan(th.Proc(), len(data), sp)
 		arrived := n.eng.Now()
 		// Node-side interrupt handling, charged to the node CPU.
+		isp := sp.Child(trace.LayerNode, n.name, "net-intr")
 		n.CPU.Submit(cab.PrioInterrupt, "net-intr", n.params.Interrupt, func() {
+			isp.End()
 			n.nodeDeliver(bx, src, data, arrived)
 		})
 	}

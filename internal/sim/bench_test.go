@@ -6,6 +6,7 @@ import "testing"
 // speed, as opposed to the simulated-time results in the root bench file).
 
 func BenchmarkEventScheduleAndFire(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
 	for i := 0; i < b.N; i++ {
 		e.After(1, func() {})
@@ -14,6 +15,7 @@ func BenchmarkEventScheduleAndFire(b *testing.B) {
 }
 
 func BenchmarkEventHeapChurn(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -27,6 +29,7 @@ func BenchmarkEventHeapChurn(b *testing.B) {
 }
 
 func BenchmarkProcSleepWake(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
 	stop := false
 	e.GoDaemon("sleeper", func(p *Proc) {
@@ -43,6 +46,7 @@ func BenchmarkProcSleepWake(b *testing.B) {
 }
 
 func BenchmarkSignalHandoff(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
 	ping := NewSignal(e)
 	pong := NewSignal(e)

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Chrome trace-event (Perfetto-compatible) export: a recorded run can be
+// opened in ui.perfetto.dev or chrome://tracing. Each component (CAB board,
+// HUB port, fiber link) becomes a "process", each layer a "thread" within
+// it, and each span a complete ("X") event. Simulated nanoseconds map to
+// trace microseconds (the trace-event timestamp unit) with fractional
+// microseconds preserving nanosecond resolution.
+//
+// Output is byte-deterministic for a deterministic run: events are emitted
+// in span-creation order and pid/tid assignment follows first appearance.
+
+// chromeEvent is one trace-event JSON object. Field order (= marshal order)
+// matters only for byte-determinism, which struct marshaling guarantees.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  *float64        `json:"dur,omitempty"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func toUS(t sim.Time) float64 { return float64(t) / 1000.0 }
+
+// WriteChrome writes all retained spans as Chrome trace-event JSON. Spans
+// still open are clamped to the engine's current time. A nil tracer writes
+// an empty (but valid) trace.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	f := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	if t != nil {
+		now := t.eng.Now()
+
+		// pid per component, tid per (component, layer), both assigned in
+		// first-appearance order so repeated runs yield identical files.
+		pids := map[string]int{}
+		type compLayer struct{ comp, layer string }
+		tids := map[compLayer]int{}
+		nextTid := map[string]int{}
+
+		for _, s := range t.spans {
+			pid, ok := pids[s.comp]
+			if !ok {
+				pid = len(pids) + 1
+				pids[s.comp] = pid
+				meta, _ := json.Marshal(map[string]string{"name": s.comp})
+				f.TraceEvents = append(f.TraceEvents, chromeEvent{
+					Name: "process_name", Ph: "M", Pid: pid, Args: meta,
+				})
+			}
+			cl := compLayer{s.comp, s.layer}
+			tid, ok := tids[cl]
+			if !ok {
+				nextTid[s.comp]++
+				tid = nextTid[s.comp]
+				tids[cl] = tid
+				meta, _ := json.Marshal(map[string]string{"name": s.layer})
+				f.TraceEvents = append(f.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: meta,
+				})
+			}
+
+			end := s.end
+			if !s.ended {
+				end = now
+			}
+			if end < s.start {
+				end = s.start
+			}
+			dur := toUS(end - s.start)
+			args := fmt.Sprintf(`{"span":%d,"parent":%d}`, s.id, s.parent.ID())
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: s.name, Cat: s.layer, Ph: "X",
+				Ts: toUS(s.start), Dur: &dur,
+				Pid: pid, Tid: tid,
+				Args: json.RawMessage(args),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer builds a small fixed span tree: a message from cab0 through
+// transport and hub to cab1, plus one span left open (clamped at export).
+func goldenTracer() *Tracer {
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	e.At(0, func() {
+		root := tr.Start(nil, LayerApp, "cab0", "msg")
+		tp := root.Child(LayerTransport, "cab0", "tp-send")
+		tp.EndAt(12_000)
+		hub := root.ChildAt(12_000, LayerHub, "hub0.p1", "transit")
+		hub.EndAt(12_700)
+		rx := root.ChildAt(12_700, LayerTransport, "cab1", "tp-recv")
+		rx.EndAt(20_000)
+		root.EndAt(20_000)
+		tr.Start(nil, LayerKernel, "cab0", "open-span") // never ended
+	})
+	e.RunUntil(25_000)
+	return tr
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export differs from golden (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeIsValidTraceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Dur == nil || ev.Pid == 0 || ev.Tid == 0 {
+				t.Fatalf("malformed complete event: %+v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != 5 { // msg, tp-send, transit, tp-recv, open-span
+		t.Fatalf("%d complete events, want 5", complete)
+	}
+	if meta == 0 {
+		t.Fatal("no process/thread name metadata emitted")
+	}
+	// The hub transit span: 12.0us -> 12.7us.
+	for _, ev := range f.TraceEvents {
+		if ev.Name == "transit" {
+			if ev.Ts != 12.0 || ev.Dur == nil || *ev.Dur != 0.7 {
+				t.Fatalf("transit event ts=%v dur=%v", ev.Ts, ev.Dur)
+			}
+		}
+	}
+	// The open span is clamped to engine-now (25us), not left zero-length.
+	for _, ev := range f.TraceEvents {
+		if ev.Name == "open-span" && (ev.Dur == nil || *ev.Dur != 25.0) {
+			t.Fatalf("open span dur = %v, want 25", ev.Dur)
+		}
+	}
+}
+
+func TestWriteChromeNilTracer(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil tracer should still write valid JSON: %v", err)
+	}
+	if evs, ok := f["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("nil tracer traceEvents = %v", f["traceEvents"])
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenTracer().WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenTracer().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical runs should export byte-identical traces")
+	}
+}

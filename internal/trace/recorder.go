@@ -62,10 +62,11 @@ type Record struct {
 // per-kind counters. A nil *Recorder is valid and records nothing, so
 // components can be instrumented unconditionally.
 type Recorder struct {
-	eng    *sim.Engine
-	events []Record
-	counts map[EventKind]int64
-	limit  int // maximum retained events (0 = unlimited)
+	eng     *sim.Engine
+	events  []Record
+	counts  map[EventKind]int64
+	limit   int   // maximum retained events (0 = unlimited)
+	dropped int64 // events not retained because the limit was hit
 }
 
 // NewRecorder returns a recorder bound to the engine. limit bounds the
@@ -82,6 +83,7 @@ func (r *Recorder) Record(kind EventKind, where, format string, args ...interfac
 	}
 	r.counts[kind]++
 	if r.limit > 0 && len(r.events) >= r.limit {
+		r.dropped++
 		return
 	}
 	r.events = append(r.events, Record{
@@ -100,6 +102,15 @@ func (r *Recorder) Count(kind EventKind) int64 {
 	return r.counts[kind]
 }
 
+// Dropped returns how many events were not retained because the limit was
+// hit (counters stay exact regardless).
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
 // Events returns the retained event records in time order.
 func (r *Recorder) Events() []Record {
 	if r == nil {
@@ -116,6 +127,9 @@ func (r *Recorder) Dump() string {
 	var b strings.Builder
 	for _, ev := range r.events {
 		fmt.Fprintf(&b, "%12v %-12s %-12s %s\n", ev.At, ev.Kind, ev.Where, ev.Detail)
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "… %d more events not retained (limit %d)\n", r.dropped, r.limit)
 	}
 	return b.String()
 }

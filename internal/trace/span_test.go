@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSpanTree(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	var root, child, grand *Span
+	e.At(10, func() {
+		root = tr.Start(nil, LayerApp, "cab0", "msg")
+		child = root.Child(LayerTransport, "cab0", "tp-send")
+	})
+	e.At(20, func() {
+		child.End()
+		grand = child.Child(LayerDatalink, "cab0", "dl-send")
+	})
+	e.At(35, func() {
+		grand.End()
+		root.End()
+	})
+	e.Run()
+
+	if root.ID() == 0 || child.ID() == 0 || grand.ID() == 0 {
+		t.Fatal("span ids should be nonzero")
+	}
+	if child.Parent() != root || grand.Parent() != child {
+		t.Fatal("parent links wrong")
+	}
+	if grand.Root() != root || root.Root() != root {
+		t.Fatal("Root() wrong")
+	}
+	if root.Start() != 10 || root.EndTime() != 35 || root.Duration() != 25 {
+		t.Fatalf("root timing = [%v,%v] dur %v", root.Start(), root.EndTime(), root.Duration())
+	}
+	if child.Duration() != 10 || grand.Duration() != 15 {
+		t.Fatalf("child/grand durations = %v/%v", child.Duration(), grand.Duration())
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Fatalf("retained %d spans", got)
+	}
+	if roots := tr.Roots(); len(roots) != 1 || roots[0] != root {
+		t.Fatalf("Roots = %v", roots)
+	}
+	if tree := tr.Tree(root); len(tree) != 3 {
+		t.Fatalf("Tree(root) has %d spans", len(tree))
+	}
+	if tree := tr.Tree(child); len(tree) != 2 {
+		t.Fatalf("Tree(child) has %d spans", len(tree))
+	}
+}
+
+func TestSpanEndAtClampAndExtend(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	var s *Span
+	e.At(100, func() { s = tr.Start(nil, LayerApp, "c", "x") })
+	e.Run()
+
+	s.EndAt(50) // before start: clamps to start
+	if !s.Ended() || s.EndTime() != 100 || s.Duration() != 0 {
+		t.Fatalf("clamped end = %v dur %v", s.EndTime(), s.Duration())
+	}
+	s.EndAt(200) // re-close later: extends
+	if s.EndTime() != 200 {
+		t.Fatalf("extended end = %v", s.EndTime())
+	}
+	s.EndAt(150) // re-close earlier: keeps the later end
+	if s.EndTime() != 200 {
+		t.Fatalf("end after earlier re-close = %v", s.EndTime())
+	}
+}
+
+func TestTracerLimitDropsAndCounts(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracer(e, 2)
+	var a, b, c *Span
+	e.At(0, func() {
+		a = tr.Start(nil, LayerApp, "c", "a")
+		b = a.Child(LayerTransport, "c", "b")
+		c = a.Child(LayerDatalink, "c", "c") // over limit: dropped
+	})
+	e.Run()
+	if a == nil || b == nil {
+		t.Fatal("spans under the limit must be retained")
+	}
+	if c != nil {
+		t.Fatal("span over the limit should come back nil")
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", tr.Dropped())
+	}
+	// Children of a dropped (nil) span are nil too, without panicking.
+	if c.Child(LayerHub, "h", "x") != nil {
+		t.Fatal("child of nil span should be nil")
+	}
+	if len(tr.Spans()) != 2 {
+		t.Fatalf("retained %d spans", len(tr.Spans()))
+	}
+}
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	var s *Span
+	if tr.Start(nil, LayerApp, "c", "x") != nil {
+		t.Fatal("nil tracer Start should be nil")
+	}
+	if tr.Spans() != nil || tr.Dropped() != 0 || tr.Roots() != nil || tr.Tree(s) != nil {
+		t.Fatal("nil tracer accessors should be empty")
+	}
+	s.End()
+	s.EndAt(5)
+	if s.Child(LayerHub, "h", "x") != nil || s.ChildAt(1, LayerHub, "h", "x") != nil {
+		t.Fatal("nil span children should be nil")
+	}
+	if s.ID() != 0 || s.Parent() != nil || s.Root() != nil || s.Ended() ||
+		s.Layer() != "" || s.Comp() != "" || s.Name() != "" ||
+		s.Start() != 0 || s.EndTime() != 0 || s.Duration() != 0 {
+		t.Fatal("nil span accessors should be zero")
+	}
+}
+
+// The disabled path must not allocate: this is what keeps instrumentation
+// unconditional in the hot paths (datalink send, hub forwarding).
+func TestNilTracingAllocationFree(t *testing.T) {
+	var tr *Tracer
+	var s *Span
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start(nil, LayerApp, "c", "x")
+		c := sp.Child(LayerTransport, "c", "y")
+		c.End()
+		sp.EndAt(10)
+		_ = sp.Root()
+		_ = s.Duration()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f per op", allocs)
+	}
+}
+
+func TestBreakdownAndUnion(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	mk := func(layer string, a, b sim.Time) {
+		s := tr.StartAt(nil, a, layer, "c", "s")
+		s.EndAt(b)
+	}
+	// transport: two overlapping spans [0,10) and [5,20) -> total 25, busy 20.
+	mk(LayerTransport, 0, 10)
+	mk(LayerTransport, 5, 20)
+	// hub: two disjoint spans -> total 6, busy 6.
+	mk(LayerHub, 2, 5)
+	mk(LayerHub, 8, 11)
+	// open span: excluded from breakdown.
+	tr.StartAt(nil, 0, LayerFiber, "f", "open")
+
+	stats := Breakdown(tr.Spans())
+	if len(stats) != 2 {
+		t.Fatalf("breakdown has %d layers: %+v", len(stats), stats)
+	}
+	// Sorted by descending total: transport first.
+	if stats[0].Layer != LayerTransport || stats[0].Spans != 2 ||
+		stats[0].Total != 25 || stats[0].Busy != 20 {
+		t.Fatalf("transport row = %+v", stats[0])
+	}
+	if stats[1].Layer != LayerHub || stats[1].Total != 6 || stats[1].Busy != 6 {
+		t.Fatalf("hub row = %+v", stats[1])
+	}
+}
+
+func TestUnionNestedIntervals(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	mk := func(a, b sim.Time) *Span {
+		s := tr.StartAt(nil, a, LayerApp, "c", "s")
+		s.EndAt(b)
+		return s
+	}
+	spans := []*Span{mk(0, 100), mk(10, 20), mk(90, 95), mk(100, 110)}
+	if got := Union(spans); got != 110 {
+		t.Fatalf("Union = %v, want 110", got)
+	}
+	if got := Union(nil); got != 0 {
+		t.Fatalf("Union(nil) = %v", got)
+	}
+}

@@ -31,10 +31,19 @@ func NewHistogram(name string) *Histogram {
 }
 
 // Name returns the histogram's display name.
-func (h *Histogram) Name() string { return h.name }
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
 
-// Add records one sample.
+// Add records one sample. A nil *Histogram is valid and records nothing
+// (the registry hands out nil instruments when metrics are disabled).
 func (h *Histogram) Add(v sim.Time) {
+	if h == nil {
+		return
+	}
 	h.samples = append(h.samples, v)
 	h.sorted = false
 	h.sum += float64(v)
@@ -47,11 +56,16 @@ func (h *Histogram) Add(v sim.Time) {
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.samples)
+}
 
 // Min returns the smallest sample (0 if empty).
 func (h *Histogram) Min() sim.Time {
-	if len(h.samples) == 0 {
+	if h == nil || len(h.samples) == 0 {
 		return 0
 	}
 	return h.min
@@ -59,7 +73,7 @@ func (h *Histogram) Min() sim.Time {
 
 // Max returns the largest sample (0 if empty).
 func (h *Histogram) Max() sim.Time {
-	if len(h.samples) == 0 {
+	if h == nil || len(h.samples) == 0 {
 		return 0
 	}
 	return h.max
@@ -67,17 +81,23 @@ func (h *Histogram) Max() sim.Time {
 
 // Mean returns the arithmetic mean (0 if empty).
 func (h *Histogram) Mean() sim.Time {
-	if len(h.samples) == 0 {
+	if h == nil || len(h.samples) == 0 {
 		return 0
 	}
 	return sim.Time(h.sum / float64(len(h.samples)))
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
-// method. It returns 0 for an empty histogram.
+// Quantile returns the q-quantile using the nearest-rank method. q is
+// clamped to [0, 1] (a NaN q reads as 0). It returns 0 for an empty
+// histogram.
 func (h *Histogram) Quantile(q float64) sim.Time {
-	if len(h.samples) == 0 {
+	if h == nil || len(h.samples) == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	if !h.sorted {
 		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
@@ -98,7 +118,7 @@ func (h *Histogram) Median() sim.Time { return h.Quantile(0.5) }
 
 // String summarizes the histogram.
 func (h *Histogram) String() string {
-	if len(h.samples) == 0 {
+	if h == nil || len(h.samples) == 0 {
 		return fmt.Sprintf("%s: no samples", h.name)
 	}
 	return fmt.Sprintf("%s: n=%d min=%v p50=%v mean=%v p95=%v max=%v",
@@ -114,20 +134,46 @@ type Counter struct {
 // NewCounter returns a zeroed counter.
 func NewCounter(name string) *Counter { return &Counter{name: name} }
 
-// Name returns the counter's display name.
-func (c *Counter) Name() string { return c.name }
+// Name returns the counter's display name ("" for nil).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
 
-// Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+// Inc adds one. A nil *Counter is valid and records nothing (the registry
+// hands out nil instruments when metrics are disabled).
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
 
 // Add adds delta (which may be negative, e.g. queue occupancy deltas).
-func (c *Counter) Add(delta int64) { c.n += delta }
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n += delta
+}
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.n = 0 }
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.n = 0
+}
 
 // Meter measures throughput: bytes (or other units) accumulated over the
 // window between Start and the last Add.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -46,6 +47,42 @@ func TestHistogramQuantileAfterAdd(t *testing.T) {
 	h.Add(3)       // must invalidate sort
 	if h.Median() != 3 {
 		t.Fatalf("Median after re-add = %v, want 3", h.Median())
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	empty := NewHistogram("e")
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("quantile of empty histogram should be 0")
+	}
+
+	one := NewHistogram("one")
+	one.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got != 42 {
+			t.Fatalf("single-sample Quantile(%v) = %v", q, got)
+		}
+	}
+
+	h := NewHistogram("h")
+	for _, v := range []sim.Time{10, 20, 30} {
+		h.Add(v)
+	}
+	// Out-of-range and NaN q clamp rather than panic or index out of bounds.
+	if got := h.Quantile(-0.5); got != 10 {
+		t.Fatalf("Quantile(-0.5) = %v, want 10", got)
+	}
+	if got := h.Quantile(1.5); got != 30 {
+		t.Fatalf("Quantile(1.5) = %v, want 30", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 10 {
+		t.Fatalf("Quantile(NaN) = %v, want 10", got)
+	}
+
+	var nilH *Histogram
+	nilH.Add(1)
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Fatal("nil histogram should be inert")
 	}
 }
 
@@ -122,6 +159,33 @@ func TestRecorder(t *testing.T) {
 	}
 	if !strings.Contains(r.Dump(), "conn-open") {
 		t.Fatalf("Dump:\n%s", r.Dump())
+	}
+}
+
+func TestRecorderDroppedAndDumpSuffix(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 2)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(sim.Time(10*(i+1)), func() { r.Record(EvCommand, "hub0", "cmd %d", i) })
+	}
+	e.Run()
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", r.Dropped())
+	}
+	if r.Count(EvCommand) != 5 {
+		t.Fatalf("counters must stay exact: Count = %d", r.Count(EvCommand))
+	}
+	d := r.Dump()
+	if !strings.Contains(d, "3 more events not retained") {
+		t.Fatalf("Dump missing dropped-events suffix:\n%s", d)
+	}
+
+	// No drops -> no suffix.
+	r2 := NewRecorder(e, 10)
+	r2.Record(EvCommand, "hub0", "cmd")
+	if strings.Contains(r2.Dump(), "not retained") {
+		t.Fatalf("Dump should omit the suffix when nothing was dropped:\n%s", r2.Dump())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/trace"
 )
 
 // The request-response protocol (paper §6.2.2): "supports client-server
@@ -68,12 +69,12 @@ func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, d
 }
 
 // recvRequest handles an arriving request at the server (interrupt level).
-func (t *Transport) recvRequest(h *Header, payload []byte) {
+func (t *Transport) recvRequest(h *Header, payload []byte, sp *trace.Span) {
 	key := reqKey{src: h.Src, reqID: h.MsgID}
 	if wire, ok := t.respCache[key]; ok {
 		// Duplicate of an answered request: retransmit the response.
 		t.stats.DupRequests++
-		t.enqueueControl(int(h.Src), wire)
+		t.enqueueControl(int(h.Src), wire, sp)
 		return
 	}
 	if t.inflight[key] {
@@ -81,7 +82,7 @@ func (t *Transport) recvRequest(h *Header, payload []byte) {
 		t.stats.DupRequests++
 		return
 	}
-	if t.deliver(h, payload) {
+	if t.deliver(h, payload, sp) {
 		t.inflight[key] = true
 	}
 }
@@ -118,12 +119,13 @@ func (t *Transport) cacheResponse(key reqKey, wire []byte) {
 
 // recvResponse handles an arriving response at the client (interrupt
 // level).
-func (t *Transport) recvResponse(h *Header, payload []byte) {
+func (t *Transport) recvResponse(h *Header, payload []byte, sp *trace.Span) {
 	pend, ok := t.pending[h.MsgID]
 	if !ok || pend.done {
 		return // response to an abandoned or already-answered request
 	}
 	pend.resp = append([]byte(nil), payload...)
 	pend.done = true
+	sp.Root().End()
 	pend.cond.Broadcast()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/trace"
 )
 
 // The byte-stream protocol (paper §6.2.2): "reliable communication using
@@ -122,7 +123,7 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 }
 
 // recvStream handles an arriving stream data packet (interrupt level).
-func (t *Transport) recvStream(h *Header, payload []byte) {
+func (t *Transport) recvStream(h *Header, payload []byte, sp *trace.Span) {
 	key := streamKey{peer: int(h.Src), lbox: h.DstBox, rbox: h.SrcBox}
 	rs := t.streamIn(key)
 
@@ -133,7 +134,7 @@ func (t *Transport) recvStream(h *Header, payload []byte) {
 			MsgID: h.MsgID, Seq: seq,
 		}
 		t.stats.AcksSent++
-		t.enqueueControl(int(h.Src), Encode(ah, nil))
+		t.enqueueControl(int(h.Src), Encode(ah, nil), sp)
 	}
 
 	switch {
@@ -170,7 +171,7 @@ func (t *Transport) recvStream(h *Header, payload []byte) {
 	}
 	// Message complete: deliver, then AckDone. If the mailbox is full the
 	// last packet is treated as unreceived so the sender retries.
-	if t.deliver(h, rs.buf) {
+	if t.deliver(h, rs.buf, sp) {
 		t.stats.StreamMsgsRecv++
 		rs.cur = h.MsgID + 1
 		rs.expect = 0

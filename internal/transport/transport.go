@@ -6,6 +6,7 @@ import (
 	"repro/internal/datalink"
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // MaxData is the largest payload of a single packet-switched transport
@@ -70,6 +71,7 @@ type Stats struct {
 type outItem struct {
 	dst  int
 	wire []byte
+	sp   *trace.Span // causal parent (the message that triggered it), or nil
 }
 
 // Transport is one CAB's transport instance.
@@ -134,6 +136,26 @@ func New(k *kernel.Kernel, dl *datalink.Datalink, params Params) *Transport {
 // Stats returns a copy of the counters.
 func (t *Transport) Stats() Stats { return t.stats }
 
+// RegisterMetrics auto-registers the transport's counters as read-out
+// metrics under <board>.transport.*.
+func (t *Transport) RegisterMetrics(reg *trace.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := t.k.Board().Name() + ".transport"
+	reg.Func(prefix+".datagrams_sent", func() float64 { return float64(t.stats.DatagramsSent) })
+	reg.Func(prefix+".datagrams_recv", func() float64 { return float64(t.stats.DatagramsRecv) })
+	reg.Func(prefix+".stream_msgs_sent", func() float64 { return float64(t.stats.StreamMsgsSent) })
+	reg.Func(prefix+".stream_msgs_recv", func() float64 { return float64(t.stats.StreamMsgsRecv) })
+	reg.Func(prefix+".requests", func() float64 { return float64(t.stats.Requests) })
+	reg.Func(prefix+".responses", func() float64 { return float64(t.stats.Responses) })
+	reg.Func(prefix+".retransmits", func() float64 { return float64(t.stats.Retransmits) })
+	reg.Func(prefix+".acks_sent", func() float64 { return float64(t.stats.AcksSent) })
+	reg.Func(prefix+".checksum_drops", func() float64 { return float64(t.stats.ChecksumDrops) })
+	reg.Func(prefix+".mailbox_drops", func() float64 { return float64(t.stats.MailboxDrops) })
+	reg.Func(prefix+".dup_requests", func() float64 { return float64(t.stats.DupRequests) })
+}
+
 // Kernel returns the owning kernel.
 func (t *Transport) Kernel() *kernel.Kernel { return t.k }
 
@@ -160,20 +182,23 @@ func (t *Transport) serviceLoop(th *kernel.Thread) {
 		}
 		it := t.outq[0]
 		t.outq = t.outq[1:]
+		prev := th.SetSpan(it.sp)
 		t.sendWire(th, it.dst, it.wire)
+		th.SetSpan(prev)
 	}
 }
 
 // enqueueControl sends a control packet (ack, cached response). The fast
 // path transmits straight from interrupt context; when the datalink is
 // busy or flow-controlled, the packet is handed to the service thread.
-func (t *Transport) enqueueControl(dst int, wire []byte) {
+// sp is the trace span of the message being answered (nil when untraced).
+func (t *Transport) enqueueControl(dst int, wire []byte, sp *trace.Span) {
 	if !t.params.DisableAckFastPath && dst != t.self &&
 		len(wire) <= datalink.MaxPacketPayload &&
-		t.dl.TrySendPacketInterrupt(dst, wire, t.params.ProcSend) {
+		t.dl.TrySendPacketInterrupt(dst, wire, t.params.ProcSend, sp) {
 		return
 	}
-	t.outq = append(t.outq, outItem{dst: dst, wire: wire})
+	t.outq = append(t.outq, outItem{dst: dst, wire: wire, sp: sp})
 	t.outSem.V()
 }
 
@@ -186,10 +211,22 @@ const loopbackDelay = 2 * sim.Microsecond
 // anything that fits an input queue and circuit switching otherwise.
 // Packets addressed to this CAB (tasks co-resident on one CAB) are looped
 // back locally.
+// With tracing on, each sendWire starts a message span: a root when the
+// calling thread carries no span (a fresh one-way message), a child when it
+// does (e.g. a control packet answering a traced message). The span rides
+// the packet across the network and is closed by the receiver at delivery.
 func (t *Transport) sendWire(th *kernel.Thread, dst int, wire []byte) error {
+	var sp *trace.Span
+	if tr := t.k.Tracer(); tr != nil {
+		sp = tr.Start(th.Span(), trace.LayerApp, t.k.Board().Name(), "msg")
+		prev := th.SetSpan(sp)
+		defer th.SetSpan(prev)
+	}
+	tsp := sp.Child(trace.LayerTransport, t.k.Board().Name(), "tp-send")
 	th.Compute("tp-send", t.params.ProcSend)
+	tsp.End()
 	if dst == t.self {
-		t.k.Engine().After(loopbackDelay, func() { t.handlePacket(wire) })
+		t.k.Engine().After(loopbackDelay, func() { t.handlePacket(wire, sp) })
 		return nil
 	}
 	if len(wire) <= datalink.MaxPacketPayload {
@@ -213,9 +250,12 @@ func (t *Transport) SendDatagram(th *kernel.Thread, dst int, dstBox, srcBox uint
 }
 
 // handlePacket is the datalink receiver: it runs at interrupt level after
-// the packet has been DMAed out of the input queue.
-func (t *Transport) handlePacket(wire []byte) {
+// the packet has been DMAed out of the input queue. sp is the sender's
+// trace span carried across the wire (nil when untraced).
+func (t *Transport) handlePacket(wire []byte, sp *trace.Span) {
+	rsp := sp.Child(trace.LayerTransport, t.k.Board().Name(), "tp-recv")
 	t.k.Board().CPU.RunInterrupt("tp-recv", t.params.ProcRecv, func() {
+		defer rsp.End()
 		h, payload, err := Decode(wire)
 		if err != nil {
 			// Damaged or malformed: drop; peers recover by
@@ -225,29 +265,30 @@ func (t *Transport) handlePacket(wire []byte) {
 		}
 		switch h.Proto {
 		case ProtoDatagram:
-			t.recvDatagram(h, payload)
+			t.recvDatagram(h, payload, sp)
 		case ProtoStream:
-			t.recvStream(h, payload)
+			t.recvStream(h, payload, sp)
 		case ProtoStreamAck:
 			t.recvStreamAck(h)
 		case ProtoRequest:
-			t.recvRequest(h, payload)
+			t.recvRequest(h, payload, sp)
 		case ProtoResponse:
-			t.recvResponse(h, payload)
+			t.recvResponse(h, payload, sp)
 		case ProtoVSend:
-			t.recvVSend(h, payload)
+			t.recvVSend(h, payload, sp)
 		case ProtoVResp:
-			t.recvVResp(h, payload)
+			t.recvVResp(h, payload, sp)
 		case ProtoVNack:
-			t.recvVNack(h, payload)
+			t.recvVNack(h, payload, sp)
 		}
 	})
 }
 
 // deliver places a complete message into a registered mailbox. It reports
 // false when the box is missing or full (the message is dropped; reliable
-// protocols then withhold acknowledgment).
-func (t *Transport) deliver(h *Header, data []byte) bool {
+// protocols then withhold acknowledgment). On success the traced message is
+// complete: its root span is closed at delivery time.
+func (t *Transport) deliver(h *Header, data []byte, sp *trace.Span) bool {
 	mb := t.boxes[h.DstBox]
 	if mb == nil {
 		t.stats.MailboxDrops++
@@ -259,11 +300,13 @@ func (t *Transport) deliver(h *Header, data []byte) bool {
 		return false
 	}
 	msg.SrcBox = h.SrcBox
+	msg.Span = sp.Root()
+	sp.Root().End()
 	return true
 }
 
-func (t *Transport) recvDatagram(h *Header, payload []byte) {
-	if t.deliver(h, payload) {
+func (t *Transport) recvDatagram(h *Header, payload []byte, sp *trace.Span) {
+	if t.deliver(h, payload, sp) {
 		t.stats.DatagramsRecv++
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // VMTP-style message transactions — the paper's stated next step ("We plan
@@ -224,14 +225,14 @@ func (t *Transport) VRespond(th *kernel.Thread, req *kernel.Message, data []byte
 }
 
 // recvVSend handles an arriving request-group packet at the server.
-func (t *Transport) recvVSend(h *Header, payload []byte) {
+func (t *Transport) recvVSend(h *Header, payload []byte, sp *trace.Span) {
 	vm := t.vmtp()
 	key := reqKey{src: h.Src, reqID: h.MsgID}
 	if wires, ok := vm.cache[key]; ok {
 		// Duplicate of an answered transaction: resend the response.
 		t.stats.DupRequests++
 		for _, w := range wires {
-			t.enqueueControl(int(h.Src), w)
+			t.enqueueControl(int(h.Src), w, sp)
 		}
 		return
 	}
@@ -254,7 +255,7 @@ func (t *Transport) recvVSend(h *Header, payload []byte) {
 	}
 	g.cancelTimer()
 	delete(vm.reqs, key)
-	if t.deliver(h, g.assemble()) {
+	if t.deliver(h, g.assemble(), sp) {
 		vm.inflight[key] = true
 	}
 }
@@ -269,13 +270,13 @@ func (t *Transport) nackRequest(h *Header, g *vmtpGroup) {
 		SrcBox: h.DstBox, DstBox: h.SrcBox, MsgID: h.MsgID,
 	}
 	t.stats.AcksSent++
-	t.enqueueControl(int(h.Src), Encode(nh, body))
+	t.enqueueControl(int(h.Src), Encode(nh, body), nil)
 	// Re-arm while the group stays incomplete.
 	t.armGroupTimer(g, func() { t.nackRequest(h, g) })
 }
 
 // recvVResp handles an arriving response-group packet at the client.
-func (t *Transport) recvVResp(h *Header, payload []byte) {
+func (t *Transport) recvVResp(h *Header, payload []byte, sp *trace.Span) {
 	vm := t.vmtp()
 	pend, ok := vm.pending[h.MsgID]
 	if !ok || pend.done {
@@ -294,6 +295,7 @@ func (t *Transport) recvVResp(h *Header, payload []byte) {
 	if pend.resp.complete() {
 		pend.resp.cancelTimer()
 		pend.done = true
+		sp.Root().End()
 		pend.cond.Broadcast()
 	}
 }
@@ -311,12 +313,12 @@ func (t *Transport) nackResponse(h *Header, pend *vmtpPending) {
 		Seq: 1, // direction flag: NACK of a response
 	}
 	t.stats.AcksSent++
-	t.enqueueControl(int(h.Src), Encode(nh, body))
+	t.enqueueControl(int(h.Src), Encode(nh, body), nil)
 	t.armGroupTimer(pend.resp, func() { t.nackResponse(h, pend) })
 }
 
 // recvVNack handles a selective NACK at either end.
-func (t *Transport) recvVNack(h *Header, payload []byte) {
+func (t *Transport) recvVNack(h *Header, payload []byte, sp *trace.Span) {
 	if len(payload) < 4 {
 		return
 	}
@@ -333,7 +335,7 @@ func (t *Transport) recvVNack(h *Header, payload []byte) {
 		t.stats.Retransmits++
 		for i, w := range wires {
 			if mask&(1<<uint(i)) == 0 {
-				t.enqueueControl(int(h.Src), w)
+				t.enqueueControl(int(h.Src), w, sp)
 			}
 		}
 		return

@@ -106,6 +106,18 @@ func Words(vals []uint32, bigEndian bool) Buffer { return nectarine.Words(vals, 
 // Histogram collects latency samples.
 type Histogram = trace.Histogram
 
+// Tracer records end-to-end message spans (enable with Params.TraceSpans);
+// Span is one layer's timed interval within a traced message.
+type (
+	Tracer = trace.Tracer
+	Span   = trace.Span
+)
+
+// Registry is the metrics registry (enable with Params.Metrics): counters,
+// time-weighted gauges, histograms and read-out functions from every layer,
+// with snapshot/diff and text/JSON export.
+type Registry = trace.Registry
+
 // DefaultParams returns the prototype parameter set used throughout the
 // paper reproduction.
 func DefaultParams() Params { return core.DefaultParams() }
