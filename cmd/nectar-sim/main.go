@@ -7,16 +7,21 @@
 //	nectar-sim -topo single -cabs 4 -msgs 100 -size 1024
 //	nectar-sim -topo mesh -rows 3 -cols 3 -per 1 -transport stream -size 65536
 //	nectar-sim -topo line -hubs 4 -per 1 -ber 1e-5 -transport stream
+//	nectar-sim -chaos linkflap -seed 7
+//	nectar-sim -chaos random -seed 42 -msgs 30
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fiber"
 	"repro/internal/kernel"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -33,8 +38,14 @@ func main() {
 		size      = flag.Int("size", 256, "message size in bytes")
 		ber       = flag.Float64("ber", 0, "fiber bit error rate (per byte)")
 		senders   = flag.Int("senders", 1, "concurrent sending CABs (all target CAB 0)")
+		chaos     = flag.String("chaos", "", "chaos scenario: linkflap | corruption | portstuck | crash | storm | random (runs a fault-injected mesh; exits 1 on any undelivered message)")
+		seed      = flag.Int64("seed", 1, "chaos scenario seed (runs are byte-reproducible per seed)")
 	)
 	flag.Parse()
+
+	if *chaos != "" {
+		os.Exit(runChaos(*chaos, *seed, *rows, *cols, *msgs))
+	}
 
 	params := core.DefaultParams()
 	if *ber > 0 {
@@ -135,4 +146,150 @@ func main() {
 			tp.Retransmits, tp.AcksSent, tp.ChecksumDrops, tp.MailboxDrops,
 			st.Board.CPU.BusyTime())
 	}
+}
+
+// chaosHorizon bounds a chaos run; ample time for every scenario's fault
+// window plus recovery of a paced message train.
+const chaosHorizon = 150 * sim.Millisecond
+
+// chaosScenario builds the named fault scenario against sys. The named
+// scenarios mirror experiment R1; "random" draws a seeded scenario from
+// fault.RandomScenario.
+func chaosScenario(name string, seed int64, sys *core.System) (fault.Scenario, error) {
+	at := 2 * sim.Millisecond
+	switch name {
+	case "linkflap":
+		return fault.Scenario{Name: name, Actions: []fault.Action{
+			fault.LinkFlap{A: 0, B: 1, At: at, Duration: 15 * sim.Millisecond},
+		}}, nil
+	case "corruption":
+		return fault.Scenario{Name: name, Actions: []fault.Action{
+			fault.CorruptBurst{A: 0, B: 1, At: at, Duration: 10 * sim.Millisecond,
+				Rate: 0.05, Seed: seed},
+		}}, nil
+	case "portstuck":
+		port, ok := sys.Net.EdgePort(0, 1)
+		if !ok {
+			return fault.Scenario{}, fmt.Errorf("no edge between HUB 0 and HUB 1")
+		}
+		return fault.Scenario{Name: name, Actions: []fault.Action{
+			fault.PortStuck{Hub: 0, Port: port, At: at, Duration: 10 * sim.Millisecond},
+		}}, nil
+	case "crash":
+		return fault.Scenario{Name: name, Actions: []fault.Action{
+			fault.CrashCAB{CAB: 0, At: 4 * sim.Millisecond, RebootAfter: 8 * sim.Millisecond},
+		}}, nil
+	case "storm":
+		n := sys.NumCABs()
+		return fault.Scenario{Name: name, Actions: []fault.Action{
+			fault.CongestionStorm{Srcs: []int{1, 2}, Dst: n - 1,
+				At: at, Duration: 8 * sim.Millisecond, Size: 900},
+		}}, nil
+	case "random":
+		return fault.RandomScenario(sys, seed, 4, 40*sim.Millisecond), nil
+	default:
+		return fault.Scenario{}, fmt.Errorf("unknown chaos scenario %q", name)
+	}
+}
+
+// runChaos drives a fault-injected mesh: corner-to-corner request traffic
+// with application-level retry, the named scenario scheduled against it,
+// and the detection/recovery stack (link probing, heartbeats, backoff)
+// doing all repair. Returns a nonzero exit status if any message goes
+// undelivered — CI's chaos smoke job keys off this.
+func runChaos(name string, seed int64, rows, cols, msgs int) int {
+	p := core.DefaultParams()
+	p.Metrics = true
+	p.Datalink.ProbeInterval = 200 * sim.Microsecond
+	p.Datalink.ProbeTimeout = 100 * sim.Microsecond
+	p.Datalink.ProbeMisses = 3
+	p.Transport.HeartbeatInterval = 300 * sim.Microsecond
+	p.Transport.PeerMisses = 3
+	p.Transport.ReqTimeout = 2 * sim.Millisecond
+	p.Transport.ReqRetries = 3
+	if rows < 2 {
+		rows = 2
+	}
+	if cols < 2 {
+		cols = 2
+	}
+	sys := core.NewMesh(rows, cols, 1, p)
+	n := sys.NumCABs()
+
+	sc, err := chaosScenario(name, seed, sys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	inj := fault.New(sys, sc)
+	inj.Schedule()
+
+	fmt.Printf("chaos %s (seed %d): %dx%d mesh, %d CABs, %d messages CAB 0 -> CAB %d\n",
+		name, seed, rows, cols, n, msgs, n-1)
+	for _, a := range sc.Actions {
+		fmt.Printf("  inject: %v\n", a)
+	}
+
+	// Receiver on the far corner dedups by application sequence number.
+	seen := make(map[uint32]bool)
+	delivered, duplicates := 0, 0
+	rx := sys.CAB(n - 1)
+	mb := rx.Kernel.NewMailbox("chaos-server", 512*1024)
+	rx.TP.Register(9, mb)
+	rx.Kernel.SpawnDaemon("chaos-server", func(th *kernel.Thread) {
+		for {
+			req := mb.Get(th)
+			seq := binary.BigEndian.Uint32(req.Bytes())
+			if seen[seq] {
+				duplicates++
+			} else {
+				seen[seq] = true
+				delivered++
+			}
+			rx.TP.Respond(th, req, req.Bytes()[:4])
+			mb.Release(req)
+		}
+	})
+
+	// Sender: at-least-once with application retry, paced so the message
+	// train spans the fault window.
+	var doneAt sim.Time
+	tx := sys.CAB(0)
+	tx.Kernel.Spawn("chaos-client", func(th *kernel.Thread) {
+		body := make([]byte, 64)
+		for i := 0; i < msgs; i++ {
+			binary.BigEndian.PutUint32(body, uint32(i))
+			for {
+				resp, err := tx.TP.Request(th, n-1, 9, 1, body)
+				if err == nil && binary.BigEndian.Uint32(resp) == uint32(i) {
+					break
+				}
+				th.Sleep(500 * sim.Microsecond)
+			}
+			th.Sleep(sim.Millisecond)
+		}
+		doneAt = th.Proc().Now()
+	})
+
+	sys.RunUntil(chaosHorizon)
+	sys.StopProbers()
+
+	fmt.Printf("\ndelivered=%d/%d duplicates=%d completed_at=%v\n", delivered, msgs, duplicates, doneAt)
+	if c := inj.DetectLatency().Count(); c > 0 {
+		fmt.Printf("fault detection: %d event(s), mean latency %v\n", c, inj.DetectLatency().Mean())
+	}
+	if c := inj.RecoveryTime().Count(); c > 0 {
+		fmt.Printf("recovery: %d event(s), mean time %v\n", c, inj.RecoveryTime().Mean())
+	}
+	tp := sys.CAB(0).TP.Stats()
+	fmt.Printf("links failed=%d restored=%d; peer deaths=%d revivals=%d; crashes=%d\n",
+		sys.Reg.Counter("net.links_failed").Value(), sys.Reg.Counter("net.links_restored").Value(),
+		tp.PeersDied, tp.PeersRevived, sys.CAB(0).Board.Crashes())
+
+	if delivered != msgs || doneAt == 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d of %d messages undelivered\n", msgs-delivered, msgs)
+		return 1
+	}
+	fmt.Println("PASS: all messages delivered after automatic recovery")
+	return 0
 }

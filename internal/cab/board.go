@@ -33,7 +33,12 @@ type Board struct {
 	// start of packet emerged from our input queue (set by wiring).
 	drainUpstream func()
 
+	// powered is false while the board is crashed (fault injection): the
+	// fiber interface neither receives nor transmits.
+	powered bool
+
 	itemsIn, itemsDropped int64
+	crashes               int64
 }
 
 // NewBoard creates a CAB board with all devices.
@@ -48,6 +53,7 @@ func NewBoard(eng *sim.Engine, id int, name string) *Board {
 		Timers:      NewTimers(eng),
 		netReady:    true,
 		netReadySig: sim.NewSignal(eng),
+		powered:     true,
 	}
 	b.DMA.SetName(name + ".dma")
 	return b
@@ -76,8 +82,30 @@ func (b *Board) AttachNet(out *fiber.Link, drainUpstream func()) {
 // SetItemHandler registers the datalink receive hook.
 func (b *Board) SetItemHandler(fn func(*fiber.Item)) { b.itemHandler = fn }
 
+// PowerOff halts the board (fault injection): from now until PowerOn, the
+// fiber interface drops arriving items and refuses transmissions. The
+// software stacks must separately discard their in-flight state (see
+// core.CABStack.Crash).
+func (b *Board) PowerOff() {
+	b.powered = false
+	b.crashes++
+}
+
+// PowerOn restarts a crashed board's hardware.
+func (b *Board) PowerOn() { b.powered = true }
+
+// Powered reports whether the board is running.
+func (b *Board) Powered() bool { return b.powered }
+
+// Crashes returns the number of PowerOff events.
+func (b *Board) Crashes() int64 { return b.crashes }
+
 // Receive implements fiber.Endpoint: an item arrived on the incoming fiber.
 func (b *Board) Receive(it *fiber.Item) {
+	if !b.powered {
+		b.itemsDropped++
+		return
+	}
 	b.itemsIn++
 	if b.itemHandler == nil {
 		b.itemsDropped++
@@ -86,8 +114,12 @@ func (b *Board) Receive(it *fiber.Item) {
 	b.itemHandler(it)
 }
 
-// Send serializes items onto the outgoing fiber in order.
+// Send serializes items onto the outgoing fiber in order. A powered-off
+// board transmits nothing.
 func (b *Board) Send(items ...*fiber.Item) {
+	if !b.powered {
+		return
+	}
 	for _, it := range items {
 		b.out.Send(it, b.eng.Now())
 	}

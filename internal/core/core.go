@@ -68,6 +68,28 @@ type CABStack struct {
 	TP     *transport.Transport
 }
 
+// Crash halts the CAB: the board stops sending and receiving, and both
+// protocol layers discard their in-flight state (blocked client threads are
+// woken with errors — the threads themselves survive, a simplification of a
+// real crash where they would be destroyed outright).
+func (c *CABStack) Crash() {
+	c.Board.PowerOff()
+	c.TP.Crash()
+	c.DL.Crash()
+}
+
+// Reboot restarts a crashed CAB with cold mailboxes: power returns, every
+// mailbox is purged (in-flight messages are lost, as after a real reboot),
+// the HUB port it hangs off is reset, and the flow-control ready state is
+// re-established so the network can deliver again.
+func (c *CABStack) Reboot(net *topo.Network) {
+	c.Board.PowerOn()
+	c.Kernel.Reboot()
+	net.ResetCABPort(c.Board.ID())
+	c.Board.SetNetReady()
+	c.DL.FlushRoutes()
+}
+
 // System is an assembled Nectar system.
 type System struct {
 	Eng    *sim.Engine
@@ -80,6 +102,19 @@ type System struct {
 	Tr *trace.Tracer
 	// Reg is the system-wide metrics registry (nil unless Params.Metrics).
 	Reg *trace.Registry
+
+	// Probers are the per-HUB link liveness monitors (empty unless
+	// Params.Datalink.ProbeInterval > 0). Probing generates simulation
+	// events forever: drive probing systems with RunUntil, or call
+	// StopProbers to let Run drain.
+	Probers []*datalink.Prober
+}
+
+// StopProbers ends every link prober after its current round.
+func (s *System) StopProbers() {
+	for _, pr := range s.Probers {
+		pr.Stop()
+	}
 }
 
 // buildStacks layers kernel/datalink/transport onto every board and wires
@@ -104,6 +139,31 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 		tp := transport.New(k, dl, p.Transport)
 		tp.RegisterMetrics(s.Reg)
 		s.CABs = append(s.CABs, &CABStack{Board: b, Kernel: k, DL: dl, TP: tp})
+	}
+	// Topology changes (links failed or restored, by the probe layer or an
+	// operator) invalidate cached routes everywhere.
+	net.OnChange(func(a, b int, up bool) {
+		for _, c := range s.CABs {
+			c.DL.FlushRoutes()
+		}
+	})
+	if p.Datalink.ProbeInterval > 0 {
+		// One prober per HUB, hosted on the lowest-numbered CAB attached
+		// to it (CAB ids ascend, so the first stack seen per hub wins).
+		probed := make(map[int]bool)
+		for _, c := range s.CABs {
+			h := net.HubOf(c.Board.ID())
+			if probed[h] {
+				continue
+			}
+			probed[h] = true
+			pr := datalink.NewProber(c.DL, p.Datalink, s.Reg)
+			if pr.Edges() == 0 {
+				continue
+			}
+			pr.Start()
+			s.Probers = append(s.Probers, pr)
+		}
 	}
 	return s
 }

@@ -87,10 +87,76 @@ func TestSupervisorFaultRecovery(t *testing.T) {
 		sys.Net.Hub(0).Port(sys.Net.PortOf(1)).Drops(), doneAt)
 }
 
-// TestLinkFailureRerouting: traffic between mesh corners survives an
-// inter-HUB link failure once the operator marks the link down and the
-// CABs flush their routes (paper §4: reconfiguration and recovery).
-func TestLinkFailureRerouting(t *testing.T) {
+// TestLinkFailureReroutingAutomatic: traffic between mesh corners survives
+// a physically severed inter-HUB link with no manual steps — the test never
+// touches routing state. The datalink probe layer must notice the dark
+// fiber, fail the route, and flush route caches by itself (regression test
+// for the automatic detection path; the operator-driven alternative is
+// TestLinkFailureReroutingOperator below).
+func TestLinkFailureReroutingAutomatic(t *testing.T) {
+	params := core.DefaultParams()
+	params.Transport.RTO = sim.Millisecond
+	params.Datalink.ProbeInterval = 200 * sim.Microsecond
+	params.Datalink.ProbeTimeout = 100 * sim.Microsecond
+	params.Datalink.ProbeMisses = 3
+	params.Metrics = true
+	sys := core.NewMesh(2, 2, 1, params)
+	rx := sys.CAB(3)
+	mb := rx.Kernel.NewMailbox("in", 1<<20)
+	rx.TP.Register(1, mb)
+
+	received := 0
+	rx.Kernel.SpawnDaemon("rx", func(th *kernel.Thread) {
+		for {
+			msg := mb.Get(th)
+			received++
+			mb.Release(msg)
+		}
+	})
+
+	const msgs = 20
+	sys.CAB(0).Kernel.Spawn("tx", func(th *kernel.Thread) {
+		for i := 0; i < msgs; i++ {
+			if err := sys.CAB(0).TP.StreamSend(th, 3, 1, 0, make([]byte, 2000)); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}
+	})
+
+	// Mid-transfer, physically sever the link the current route uses.
+	// Nothing else: detection and rerouting are the system's job.
+	sys.Eng.At(2*sim.Millisecond, func() {
+		route, err := sys.Net.Route(0, 3)
+		if err != nil {
+			t.Errorf("route: %v", err)
+			return
+		}
+		via := route[1].HubID
+		var mid int
+		for i, h := range sys.Net.Hubs() {
+			if h.ID() == via {
+				mid = i
+			}
+		}
+		sys.Net.SetLinkPhysical(0, mid, false)
+	})
+
+	sys.RunUntil(100 * sim.Millisecond)
+	if received != msgs {
+		t.Fatalf("received %d/%d across the failure", received, msgs)
+	}
+	if got := sys.Reg.Counter("net.links_failed").Value(); got == 0 {
+		t.Fatal("probe layer never failed the severed link")
+	}
+	if err := sys.Net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkFailureReroutingOperator: the explicit operator-driven recovery
+// path (paper §4: reconfiguration and recovery) — probing disabled, the
+// operator marks the link down and flushes every CAB's routes by hand.
+func TestLinkFailureReroutingOperator(t *testing.T) {
 	params := core.DefaultParams()
 	params.Transport.RTO = sim.Millisecond
 	sys := core.NewMesh(2, 2, 1, params)

@@ -16,6 +16,7 @@ package datalink
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cab"
 	"repro/internal/fiber"
@@ -49,6 +50,18 @@ type Params struct {
 	OpenTimeout sim.Time
 	// OpenAttempts: circuit establishment attempts before giving up.
 	OpenAttempts int
+
+	// ProbeInterval enables link liveness probing when nonzero: one CAB
+	// per HUB echo-probes each of its HUB's inter-HUB links every
+	// interval. A system with probing enabled generates events forever;
+	// drive it with RunUntil (or stop the probers) rather than Run.
+	ProbeInterval sim.Time
+	// ProbeTimeout is how long a probe waits for its echo reply before
+	// counting a miss (0: defaults to 100us).
+	ProbeTimeout sim.Time
+	// ProbeMisses is the consecutive-miss threshold at which the prober
+	// declares the link dead and fails it over (0: defaults to 3).
+	ProbeMisses int
 }
 
 // DefaultParams returns costs consistent with the paper's latency budget
@@ -81,6 +94,8 @@ type Stats struct {
 	OpenTimeouts    int64
 	OpenFailures    int64
 	StrayCommands   int64
+	ProbesSent      int64
+	ProbesLost      int64
 }
 
 // Datalink is one CAB's datalink instance.
@@ -149,13 +164,73 @@ func (d *Datalink) RegisterMetrics(reg *trace.Registry) {
 	reg.Func(prefix+".open_timeouts", func() float64 { return float64(d.stats.OpenTimeouts) })
 	reg.Func(prefix+".open_failures", func() float64 { return float64(d.stats.OpenFailures) })
 	reg.Func(prefix+".stray_commands", func() float64 { return float64(d.stats.StrayCommands) })
+	reg.Func(prefix+".probes_sent", func() float64 { return float64(d.stats.ProbesSent) })
+	reg.Func(prefix+".probes_lost", func() float64 { return float64(d.stats.ProbesLost) })
 }
 
 // FlushRoutes discards cached routes, forcing recomputation against the
-// current topology state (used after an operator reroutes around a failed
-// link).
+// current topology state (used after a link fails over, automatically via
+// topo.Network.OnChange or by an operator).
 func (d *Datalink) FlushRoutes() {
 	d.routes = make(map[int][]topo.Hop)
+}
+
+// Crash discards the datalink's in-flight state after a board crash: every
+// pending open fails (its waiting thread observes a failed circuit) and the
+// route cache is dropped. Called by the system-level crash path alongside
+// Board.PowerOff.
+func (d *Datalink) Crash() {
+	tokens := make([]uint64, 0, len(d.pending))
+	for tok := range d.pending {
+		tokens = append(tokens, tok)
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	for _, tok := range tokens {
+		pend := d.pending[tok]
+		pend.ok = false
+		pend.want = 0
+		pend.cond.Broadcast()
+	}
+	d.pending = make(map[uint64]*pendingOpen)
+	d.FlushRoutes()
+}
+
+// Probe tests the liveness of the inter-HUB link leaving port `port` of
+// this CAB's HUB (ID hubHere) toward the HUB with ID hubThere: it opens the
+// connection, sends an echo command that executes at the far HUB, and waits
+// for the out-of-band reply. A dead outbound fiber swallows the echo, so no
+// reply arrives and the probe reports false after timeout. The open uses
+// the plain retrying variant, which ignores the output's ready bit — a
+// wedged (not-ready) register does not block the probe itself, though an
+// owned register parks it; either way the timeout bounds the wait.
+func (d *Datalink) Probe(th *kernel.Thread, hubHere, hubThere byte, port byte, timeout sim.Time) bool {
+	d.mu.P(th)
+	defer d.mu.V()
+	th.Compute("dl-probe", d.params.SendSetup)
+	d.nextToken++
+	token := d.nextToken
+	pend := &pendingOpen{want: 1, ok: true, cond: d.k.NewCond()}
+	d.pending[token] = pend
+	defer delete(d.pending, token)
+
+	d.stats.ProbesSent++
+	d.board.Send(
+		d.command(hub.OpOpenRetry, hubHere, port, 0),
+		d.command(hub.OpEcho, hubThere, 0, token),
+		d.closeAll(),
+	)
+	deadline := d.k.Engine().Now() + timeout
+	for pend.want > 0 {
+		remain := deadline - d.k.Engine().Now()
+		if remain <= 0 || !pend.cond.WaitTimeout(th, remain) {
+			break
+		}
+	}
+	if pend.want > 0 || !pend.ok {
+		d.stats.ProbesLost++
+		return false
+	}
+	return true
 }
 
 // route returns (and caches) the unicast route to dst.

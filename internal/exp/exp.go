@@ -72,6 +72,7 @@ func All() []Experiment {
 		{"X3", "vmtp", X3VMTP},
 		{"X4", "dsm", X4DSM},
 		{"T1", "latency-breakdown", T1LatencyBreakdown},
+		{"R1", "fault-recovery", R1Fault},
 	}
 }
 

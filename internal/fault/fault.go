@@ -1,0 +1,316 @@
+// Package fault is the deterministic fault-injection subsystem: it drives
+// scripted (or seeded-random) failure scenarios — severed inter-HUB links,
+// corruption bursts, stuck HUB output registers, CAB crashes and reboots,
+// congestion storms — off the simulation clock, so every run of a scenario
+// with the same seed is byte-identical. The paper's §4 claims "recovery
+// from hardware failures" for the serial-line network; this package
+// exercises that claim end to end against the automatic detection and
+// recovery machinery (datalink link probing, transport heartbeats and
+// bounded retransmission) without any manual steps.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fiber"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Action is one scripted fault. Implementations arm simulation events when
+// scheduled; everything an action will do is decided at schedule time, so a
+// scenario's behaviour is a pure function of its action list.
+type Action interface {
+	schedule(inj *Injector)
+	String() string
+}
+
+// Scenario is a named, reproducible list of faults.
+type Scenario struct {
+	Name    string
+	Actions []Action
+}
+
+// LinkFlap severs the inter-HUB link between hubs A and B at time At (both
+// fiber directions — the cable, not one strand) and repairs it Duration
+// later. Duration 0 leaves it severed.
+type LinkFlap struct {
+	A, B     int
+	At       sim.Time
+	Duration sim.Time
+}
+
+func (a LinkFlap) String() string {
+	return fmt.Sprintf("link-flap hub%d<->hub%d @%v for %v", a.A, a.B, a.At, a.Duration)
+}
+
+func (a LinkFlap) schedule(inj *Injector) {
+	inj.eng.After(a.At, func() {
+		inj.count("link_flap")
+		inj.noteOutage(a.A, a.B)
+		inj.sys.Net.SetLinkPhysical(a.A, a.B, false)
+	})
+	if a.Duration > 0 {
+		inj.eng.After(a.At+a.Duration, func() {
+			inj.noteRepair(a.A, a.B)
+			inj.sys.Net.SetLinkPhysical(a.A, a.B, true)
+		})
+	}
+}
+
+// CorruptBurst damages traffic on the inter-HUB link between hubs A and B:
+// from At, each byte-stream item on either fiber is corrupted with
+// probability Rate, until Duration elapses and the previous error models
+// are restored.
+type CorruptBurst struct {
+	A, B     int
+	At       sim.Time
+	Duration sim.Time
+	Rate     float64
+	Seed     int64
+}
+
+func (a CorruptBurst) String() string {
+	return fmt.Sprintf("corrupt-burst hub%d<->hub%d @%v for %v rate=%g", a.A, a.B, a.At, a.Duration, a.Rate)
+}
+
+func (a CorruptBurst) schedule(inj *Injector) {
+	inj.eng.After(a.At, func() {
+		inj.count("corrupt_burst")
+		ab, ba := inj.sys.Net.InterHubLinks(a.A, a.B)
+		prevAB, prevBA := ab.Model(), ba.Model()
+		ab.SetErrorModel(fiber.ErrorModel{BitErrorRate: a.Rate, Seed: a.Seed})
+		ba.SetErrorModel(fiber.ErrorModel{BitErrorRate: a.Rate, Seed: a.Seed + 1})
+		inj.eng.After(a.Duration, func() {
+			ab.SetErrorModel(prevAB)
+			ba.SetErrorModel(prevBA)
+		})
+	})
+}
+
+// PortStuck wedges HUB Hub's output register Port at time At — queued
+// packets black-hole, exactly the §4 status-table failure mode — and resets
+// the port Duration later (0 leaves it stuck).
+type PortStuck struct {
+	Hub, Port int
+	At        sim.Time
+	Duration  sim.Time
+}
+
+func (a PortStuck) String() string {
+	return fmt.Sprintf("port-stuck hub%d p%d @%v for %v", a.Hub, a.Port, a.At, a.Duration)
+}
+
+func (a PortStuck) schedule(inj *Injector) {
+	inj.eng.After(a.At, func() {
+		inj.count("port_stuck")
+		inj.sys.Net.Hub(a.Hub).Port(a.Port).SetStuck(true)
+	})
+	if a.Duration > 0 {
+		inj.eng.After(a.At+a.Duration, func() {
+			h := inj.sys.Net.Hub(a.Hub)
+			h.Port(a.Port).SetStuck(false)
+			h.ResetOutput(a.Port, true)
+		})
+	}
+}
+
+// CrashCAB halts CAB board CAB at time At — it stops sending and
+// receiving, and its kernel and protocol stacks lose all in-flight state —
+// then reboots it cold RebootAfter later (0 leaves it dead).
+type CrashCAB struct {
+	CAB         int
+	At          sim.Time
+	RebootAfter sim.Time
+}
+
+func (a CrashCAB) String() string {
+	return fmt.Sprintf("crash cab%d @%v reboot-after %v", a.CAB, a.At, a.RebootAfter)
+}
+
+func (a CrashCAB) schedule(inj *Injector) {
+	inj.eng.After(a.At, func() {
+		inj.count("crash")
+		inj.sys.CAB(a.CAB).Crash()
+	})
+	if a.RebootAfter > 0 {
+		inj.eng.After(a.At+a.RebootAfter, func() {
+			inj.count("reboot")
+			inj.sys.CAB(a.CAB).Reboot(inj.sys.Net)
+		})
+	}
+}
+
+// CongestionStorm floods CAB Dst: from At until Duration elapses, every
+// CAB in Srcs blasts Size-byte datagrams at it as fast as the network
+// accepts them, saturating Dst's HUB port and exercising flow control
+// under overload.
+type CongestionStorm struct {
+	Srcs     []int
+	Dst      int
+	At       sim.Time
+	Duration sim.Time
+	Size     int
+}
+
+// StormBox is the mailbox number storm datagrams are addressed to. Systems
+// that want storm traffic consumed (rather than counted as mailbox drops)
+// can register a box there.
+const StormBox = 0xFE
+
+func (a CongestionStorm) String() string {
+	return fmt.Sprintf("storm %v->cab%d @%v for %v size=%d", a.Srcs, a.Dst, a.At, a.Duration, a.Size)
+}
+
+func (a CongestionStorm) schedule(inj *Injector) {
+	size := a.Size
+	if size <= 0 {
+		size = 1024
+	}
+	inj.eng.After(a.At, func() {
+		inj.count("storm")
+		deadline := inj.eng.Now() + a.Duration
+		for _, src := range a.Srcs {
+			stack := inj.sys.CAB(src)
+			payload := make([]byte, size)
+			stack.Kernel.SpawnDaemon("storm-sender", func(th *kernel.Thread) {
+				for inj.eng.Now() < deadline {
+					stack.TP.SendDatagram(th, a.Dst, StormBox, StormBox, payload)
+				}
+			})
+		}
+	})
+}
+
+// Injector binds a scenario to a system and measures the failure-handling
+// machinery: how long detection takes (fault injected until the probe layer
+// fails the route) and how long recovery takes (fault repaired until the
+// probe layer restores the route).
+type Injector struct {
+	sys *core.System
+	eng *sim.Engine
+	sc  Scenario
+
+	outageAt map[[2]int]sim.Time // link physically severed, not yet detected
+	repairAt map[[2]int]sim.Time // link physically repaired, not yet restored
+
+	detect  *trace.Histogram
+	recover *trace.Histogram
+}
+
+// New binds a scenario to a system (metrics go to the system registry when
+// enabled) and subscribes to topology changes to clock detection and
+// recovery. Call Schedule before running the simulation.
+func New(sys *core.System, sc Scenario) *Injector {
+	inj := &Injector{
+		sys:      sys,
+		eng:      sys.Eng,
+		sc:       sc,
+		outageAt: make(map[[2]int]sim.Time),
+		repairAt: make(map[[2]int]sim.Time),
+		detect:   sys.Reg.Histogram("fault.detect_latency"),
+		recover:  sys.Reg.Histogram("fault.recovery_time"),
+	}
+	sys.Net.OnChange(inj.onChange)
+	return inj
+}
+
+// Scenario returns the bound scenario.
+func (inj *Injector) Scenario() Scenario { return inj.sc }
+
+// Schedule arms every action of the scenario on the simulation clock. Call
+// once, before running; action times are absolute simulation times.
+func (inj *Injector) Schedule() {
+	for _, a := range inj.sc.Actions {
+		a.schedule(inj)
+	}
+}
+
+func (inj *Injector) count(kind string) {
+	inj.sys.Reg.Counter("fault.injected." + kind).Inc()
+}
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (inj *Injector) noteOutage(a, b int) {
+	inj.outageAt[edgeKey(a, b)] = inj.eng.Now()
+}
+
+func (inj *Injector) noteRepair(a, b int) {
+	inj.repairAt[edgeKey(a, b)] = inj.eng.Now()
+}
+
+// onChange observes the routing layer's view flipping — the moment the
+// probe layer (or an operator) acted on a fault this injector created.
+func (inj *Injector) onChange(a, b int, up bool) {
+	key := edgeKey(a, b)
+	if !up {
+		if t0, ok := inj.outageAt[key]; ok {
+			inj.detect.Add(inj.eng.Now() - t0)
+			delete(inj.outageAt, key)
+		}
+		return
+	}
+	if t0, ok := inj.repairAt[key]; ok {
+		inj.recover.Add(inj.eng.Now() - t0)
+		delete(inj.repairAt, key)
+	}
+}
+
+// DetectLatency returns the detection-latency histogram.
+func (inj *Injector) DetectLatency() *trace.Histogram { return inj.detect }
+
+// RecoveryTime returns the recovery-time histogram.
+func (inj *Injector) RecoveryTime() *trace.Histogram { return inj.recover }
+
+// RandomScenario generates a reproducible scenario: n faults with kinds,
+// targets, and times drawn from a private RNG seeded by seed, spread over
+// [horizon/8, horizon/2] so recovery can complete within the horizon. The
+// system's shape (hubs, inter-HUB edges, CABs) bounds the draw; systems
+// with no inter-HUB links get only CAB-level faults.
+func RandomScenario(sys *core.System, seed int64, n int, horizon sim.Time) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	edges := sys.Net.InterHubEdges()
+	nCABs := sys.NumCABs()
+	sc := Scenario{Name: fmt.Sprintf("random-%d", seed)}
+	for i := 0; i < n; i++ {
+		at := horizon/8 + sim.Time(rng.Int63n(int64(horizon/2)))
+		dur := horizon/16 + sim.Time(rng.Int63n(int64(horizon/8)))
+		kind := rng.Intn(4)
+		if len(edges) == 0 && kind < 2 {
+			kind = 2 + rng.Intn(2)
+		}
+		switch kind {
+		case 0:
+			e := edges[rng.Intn(len(edges))]
+			sc.Actions = append(sc.Actions, LinkFlap{A: e[0], B: e[1], At: at, Duration: dur})
+		case 1:
+			e := edges[rng.Intn(len(edges))]
+			sc.Actions = append(sc.Actions, CorruptBurst{
+				A: e[0], B: e[1], At: at, Duration: dur,
+				Rate: 0.05 + rng.Float64()*0.2, Seed: rng.Int63(),
+			})
+		case 2:
+			cab := rng.Intn(nCABs)
+			sc.Actions = append(sc.Actions, CrashCAB{CAB: cab, At: at, RebootAfter: dur})
+		default:
+			dst := rng.Intn(nCABs)
+			src := rng.Intn(nCABs)
+			if src == dst {
+				src = (src + 1) % nCABs
+			}
+			sc.Actions = append(sc.Actions, CongestionStorm{
+				Srcs: []int{src}, Dst: dst, At: at, Duration: dur / 2, Size: 512,
+			})
+		}
+	}
+	return sc
+}

@@ -216,6 +216,16 @@ func (h *Hub) execOpen(in *Port, it *fiber.Item) bool {
 		return true
 	}
 	out := h.ports[outID]
+	if op.wantsReady() && out.failed {
+		// The status table marks this output's link down: a test-open
+		// consults the status and fails at once — parking would stall
+		// the input queue forever behind a dead link.
+		h.rec.Record(trace.EvConnRetry, h.name, "p%d->p%d %v output failed", in.id, outID, op)
+		if op.replies() {
+			h.reply(it, false, 0xFF)
+		}
+		return true
+	}
 	available := out.enabled && !h.frozen && (out.owner == nil || out.owner == in) &&
 		(!op.wantsReady() || out.ready)
 	if !available {
@@ -320,6 +330,16 @@ func (h *Hub) serveWaiters(out *Port) {
 	for len(out.waiters) > 0 {
 		w := out.waiters[0]
 		op := Opcode(w.item.Cmd.Op)
+		if op.wantsReady() && out.failed {
+			// The link went down while this test-open was parked: fail
+			// it and free its input (see execOpen).
+			out.waiters = out.waiters[1:]
+			if op.replies() {
+				h.reply(w.item, false, 0xFF)
+			}
+			h.eng.After(CycleTime, w.in.advance)
+			continue
+		}
 		available := out.enabled && !h.frozen && (out.owner == nil || out.owner == w.in) &&
 			(!op.wantsReady() || out.ready)
 		if !available {
@@ -342,6 +362,51 @@ func (h *Hub) serveWaiters(out *Port) {
 		// A granted open with multicast semantics leaves the output
 		// owned; further waiters for this output stay parked.
 	}
+}
+
+// ResetOutput force-clears output register i after a failure on the link it
+// feeds: the owning connection (if any) is closed, every open parked on the
+// output is abandoned (no-retry failure replies where the opcode asks for
+// one) and its input resumed, and the ready bit is set as given. Recovery
+// code calls this when a link is declared dead (ready=false: nothing should
+// wait for the dead register again) and when it is restored (ready=true).
+// Without it, a packet forwarded into a dead link leaves the register
+// not-ready forever and every later test-open wedges behind it.
+func (h *Hub) ResetOutput(i int, ready bool) {
+	out := h.ports[i]
+	waiters := out.waiters
+	out.waiters = nil
+	if out.owner != nil {
+		h.closeConn(out.owner, out)
+	}
+	out.ready = ready
+	for _, w := range waiters {
+		if Opcode(w.item.Cmd.Op).replies() {
+			h.reply(w.item, false, 0xFF)
+		}
+		h.rec.Record(trace.EvConnRetry, h.name, "p%d->p%d abandoned (output reset)", w.in.id, i)
+		h.eng.After(CycleTime, w.in.advance)
+	}
+}
+
+// ResetPort is the programmatic equivalent of the SupResetPort supervisor
+// command plus an output reset: it clears port i's input queue and
+// connections in both directions and restores the ready bit, un-wedging
+// traffic stalled on a CAB that crashed while its packet sat in the queue.
+func (h *Hub) ResetPort(i int) {
+	q := h.ports[i]
+	h.ResetOutput(i, false)
+	for len(q.conn) > 0 {
+		h.closeConn(q, q.conn[0])
+	}
+	for len(q.inq) > 0 {
+		dropped := q.pop()
+		q.drop(dropped, "port reset")
+	}
+	q.stalled = false
+	// Restoring the ready bit also retries opens that parked while the
+	// port was wedged.
+	q.SetReady()
 }
 
 // closeConn removes the connection in->out and retries parked opens.

@@ -45,6 +45,17 @@ type Port struct {
 	connReady sim.Time
 	ready     bool
 	waiters   []*pendingCmd
+	// stuck models a failed output register (paper §4: recovery from
+	// hardware failures): items reaching it are lost instead of leaving on
+	// the fiber. The fault is visible through the status table (the owner
+	// column never clears naturally) and through the drop counters.
+	stuck bool
+	// failed is the status table's "link down" mark, set by the routing
+	// layer when this output's link is failed. Test-opens consult the
+	// status and fail immediately instead of parking on the ready bit —
+	// parking would stall the input queue forever behind a dead link.
+	// Plain opens ignore it, so liveness probes still pass.
+	failed bool
 
 	// occ is the input queue's time-weighted occupancy gauge (nil unless
 	// a metrics registry is attached; nil gauges record nothing).
@@ -95,6 +106,21 @@ func (p *Port) PacketsReceived() int64 { return p.pktIn }
 
 // Drops returns items discarded at this input.
 func (p *Port) Drops() int64 { return p.drops }
+
+// SetStuck injects (true) or clears (false) a stuck-output-register fault:
+// while stuck, items reaching this output register are lost. Clearing the
+// fault does not repair protocol state; use Hub.ResetOutput for that.
+func (p *Port) SetStuck(stuck bool) { p.stuck = stuck }
+
+// Stuck reports whether the output register fault is active.
+func (p *Port) Stuck() bool { return p.stuck }
+
+// SetFailed marks (true) or clears (false) this output's link-down status:
+// while failed, test-opens fail immediately instead of parking.
+func (p *Port) SetFailed(failed bool) { p.failed = failed }
+
+// Failed reports whether the output is marked link-down.
+func (p *Port) Failed() bool { return p.failed }
 
 // SetReady sets the output register's ready bit (the downstream input
 // queue signaled that the start of packet emerged) and retries any parked
@@ -494,8 +520,11 @@ func (p *Port) forwardHead(it *fiber.Item) {
 // sendOut transmits an item through this port's output register onto its
 // outgoing fiber.
 func (p *Port) sendOut(it *fiber.Item, earliest sim.Time) {
-	if p.out == nil {
+	if p.out == nil || p.stuck {
 		p.drops++
+		if p.stuck {
+			p.hub.rec.Record(trace.EvPacketDrop, p.name, "%v: output register stuck", it)
+		}
 		return
 	}
 	if it.Kind == fiber.KindPacket {

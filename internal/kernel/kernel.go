@@ -65,8 +65,13 @@ type Kernel struct {
 	runq []*Thread
 	cur  *Thread
 
+	// boxes tracks every mailbox for crash recovery (Reboot purges them:
+	// mailbox contents live in CAB memory, which a crash loses).
+	boxes []*Mailbox
+
 	switches int64
 	spawned  int64
+	reboots  int64
 
 	// tr/reg are the observability hooks (both may be nil: disabled).
 	tr  *trace.Tracer
@@ -112,6 +117,7 @@ func (k *Kernel) SetInstrumentation(tr *trace.Tracer, reg *trace.Registry) {
 	prefix := k.board.Name()
 	reg.Func(prefix+".kernel.switches", func() float64 { return float64(k.switches) })
 	reg.Func(prefix+".kernel.spawned", func() float64 { return float64(k.spawned) })
+	reg.Func(prefix+".kernel.reboots", func() float64 { return float64(k.reboots) })
 	reg.Func(prefix+".cpu.busy_ns", func() float64 { return float64(k.board.CPU.BusyTime()) })
 	reg.Func(prefix+".cpu.jobs", func() float64 { return float64(k.board.CPU.JobsDone()) })
 	reg.Func(prefix+".timers.armed", func() float64 { return float64(k.board.Timers.Armed()) })
@@ -125,6 +131,22 @@ func (k *Kernel) SetInstrumentation(tr *trace.Tracer, reg *trace.Registry) {
 
 // Current returns the running thread (nil if the CAB is idle).
 func (k *Kernel) Current() *Thread { return k.cur }
+
+// Reboot models the kernel restart after a board crash: all mailbox
+// contents — message buffers in CAB memory — are lost. Threads themselves
+// survive in this model (the simulation cannot unwind a blocked coroutine);
+// the transport layer separately errors out their in-flight operations, so
+// a blocked sender observes the crash as a failed send, not a vanished
+// thread. Reboots are counted in the metrics registry.
+func (k *Kernel) Reboot() {
+	k.reboots++
+	for _, mb := range k.boxes {
+		mb.Purge()
+	}
+}
+
+// Reboots returns the number of kernel restarts.
+func (k *Kernel) Reboots() int64 { return k.reboots }
 
 // Thread is a lightweight CAB kernel thread ("threads have little state
 // associated with them, [so] the cost of context switching is low").

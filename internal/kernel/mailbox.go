@@ -76,6 +76,7 @@ func (k *Kernel) NewMailbox(name string, capacity int) *Mailbox {
 		k.reg.Func(prefix+".puts", func() float64 { return float64(m.puts) })
 		k.reg.Func(prefix+".gets", func() float64 { return float64(m.gets) })
 	}
+	k.boxes = append(k.boxes, m)
 	return m
 }
 
@@ -236,6 +237,17 @@ func (m *Mailbox) Release(msg *Message) {
 	}
 	m.used -= msg.Len
 	m.notFull.Broadcast()
+}
+
+// Purge discards every buffered (committed, not yet read) message — the
+// crash-loss path: mailbox contents live in CAB memory and do not survive a
+// board reset. Writers blocked on a full mailbox wake up and find space.
+func (m *Mailbox) Purge() {
+	for len(m.msgs) > 0 {
+		msg := m.pop(0)
+		m.gets-- // a purge is not a consumer read
+		m.Release(msg)
+	}
 }
 
 // Abort cancels a reserved-but-uncommitted message (e.g. its DMA was

@@ -14,7 +14,13 @@ import (
 
 	"repro/internal/cab"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
+
+// maxAttempts is Ethernet's transmit attempt limit: after 16 consecutive
+// collisions on the same frame the controller reports an excessive-collision
+// error and discards it (the backoff exponent itself caps at 10).
+const maxAttempts = 16
 
 // Params configure the LAN and its node stack.
 type Params struct {
@@ -73,6 +79,7 @@ type Ethernet struct {
 	frames     int64
 	collisions int64
 	bytes      int64
+	drops      int64
 }
 
 // NewEthernet creates an empty segment.
@@ -93,6 +100,17 @@ func (e *Ethernet) Frames() int64 { return e.frames }
 // BytesCarried returns payload+overhead bytes successfully carried.
 func (e *Ethernet) BytesCarried() int64 { return e.bytes }
 
+// Drops returns frames abandoned after maxAttempts excessive collisions.
+func (e *Ethernet) Drops() int64 { return e.drops }
+
+// RegisterMetrics exposes the segment's counters in reg.
+func (e *Ethernet) RegisterMetrics(reg *trace.Registry) {
+	reg.Func("lan.frames", func() float64 { return float64(e.frames) })
+	reg.Func("lan.collisions", func() float64 { return float64(e.collisions) })
+	reg.Func("lan.bytes", func() float64 { return float64(e.bytes) })
+	reg.Func("lan.drops", func() float64 { return float64(e.drops) })
+}
+
 // AddStation attaches a node to the segment.
 func (e *Ethernet) AddStation(name string) *Station {
 	s := &Station{
@@ -111,7 +129,9 @@ func (e *Ethernet) Station(i int) *Station { return e.stations[i] }
 
 // transmit performs CSMA/CD medium acquisition and transmission of one
 // frame from process context, returning when the frame is on the wire.
-func (e *Ethernet) transmit(p *sim.Proc, frameBytes int) {
+// It reports false if the frame was abandoned after maxAttempts
+// consecutive collisions (Ethernet's excessive-collision error).
+func (e *Ethernet) transmit(p *sim.Proc, frameBytes int) bool {
 	attempt := 0
 	for {
 		// Carrier sense: defer while the medium is busy.
@@ -128,6 +148,10 @@ func (e *Ethernet) transmit(p *sim.Proc, frameBytes int) {
 		if collided {
 			e.collisions++
 			attempt++
+			if attempt >= maxAttempts {
+				e.drops++
+				return false
+			}
 			k := attempt
 			if k > 10 {
 				k = 10
@@ -142,7 +166,7 @@ func (e *Ethernet) transmit(p *sim.Proc, frameBytes int) {
 		e.frames++
 		e.bytes += int64(frameBytes)
 		p.Sleep(tx)
-		return
+		return true
 	}
 }
 
@@ -224,7 +248,12 @@ func (s *Station) Send(p *sim.Proc, dst *Station, box uint16, data []byte) {
 		if frameBytes < 64 {
 			frameBytes = 64 // Ethernet minimum frame
 		}
-		s.eth.transmit(p, frameBytes)
+		if !s.eth.transmit(p, frameBytes) {
+			// Excessive collisions: the controller dropped the frame and
+			// this in-kernel stack has no retransmission — the message
+			// will never reassemble at the receiver.
+			continue
+		}
 		// Deliver to the destination's interrupt handler.
 		src := s.id
 		dst.receiveFrame(src, wire)

@@ -2,9 +2,11 @@ package lan
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func data(n int) []byte {
@@ -153,5 +155,33 @@ func TestMediumSerializes(t *testing.T) {
 	minWire := sim.Time(2*1400) * 800
 	if end < minWire {
 		t.Fatalf("end %v < serialized wire time %v", end, minWire)
+	}
+}
+
+func TestLANExcessiveCollisionsDrop(t *testing.T) {
+	eng := sim.NewEngine()
+	eth := NewEthernet(eng, DefaultParams())
+	a := eth.AddStation("a")
+	b := eth.AddStation("b")
+	b.OpenBox(1)
+	reg := trace.NewRegistry(eng)
+	eth.RegisterMetrics(reg)
+	// A phantom contender that never leaves the vulnerable window: every
+	// attempt collides, so the controller must hit the 16-attempt limit
+	// and discard the frame rather than retrying forever.
+	eth.contenders = 1
+	eng.Go("tx", func(p *sim.Proc) { a.Send(p, b, 1, data(100)) })
+	eng.Run()
+	if eth.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", eth.Drops())
+	}
+	if eth.Frames() != 0 {
+		t.Fatalf("frames = %d, want 0 (every attempt collided)", eth.Frames())
+	}
+	if eth.Collisions() != maxAttempts {
+		t.Fatalf("collisions = %d, want %d", eth.Collisions(), maxAttempts)
+	}
+	if !strings.Contains(reg.Text(), "lan.drops") {
+		t.Fatal("lan.drops not exported in registry")
 	}
 }

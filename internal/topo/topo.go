@@ -65,6 +65,13 @@ type Network struct {
 	// adj[hubIdx] lists inter-HUB edges.
 	adj [][]edge
 
+	// cabLinks[cabID] = {CAB->HUB link, HUB->CAB link}.
+	cabLinks [][2]*fiber.Link
+
+	// observers are notified after an inter-HUB link changes routing state
+	// through FailLink/RestoreLink (not the silent operator SetLinkState).
+	observers []func(a, b int, up bool)
+
 	linkSeed int64
 }
 
@@ -72,6 +79,7 @@ type edge struct {
 	to       int // neighbor hub index
 	portHere int // output port on this hub leading to neighbor
 	down     bool
+	link     *fiber.Link // outgoing fiber toward the neighbor
 }
 
 // NewNetwork returns an empty network.
@@ -155,10 +163,12 @@ func (n *Network) wireCAB(b *cab.Board, hubIdx, port int) {
 	// When the HUB input queue drains our packet, our ready bit sets.
 	in.SetUpstreamReady(b.SetNetReady)
 	// HUB output register -> CAB.
-	h.ConnectOutput(port, n.newLink(h.Name()+"->"+b.Name(), b))
+	fromHub := n.newLink(h.Name()+"->"+b.Name(), b)
+	h.ConnectOutput(port, fromHub)
 	// When the CAB input queue drains, the HUB output's ready bit sets.
 	b.AttachNet(toHub, h.Port(port).SetReady)
 
+	n.cabLinks = append(n.cabLinks, [2]*fiber.Link{toHub, fromHub})
 	n.boards = append(n.boards, b)
 	n.attachHub = append(n.attachHub, hubIdx)
 	n.attachPort = append(n.attachPort, port)
@@ -175,12 +185,14 @@ func (n *Network) ConnectHubs(a, b int) {
 	n.nextHubPort[a]--
 	n.nextHubPort[b]--
 	ha, hb := n.hubs[a], n.hubs[b]
-	ha.ConnectOutput(pa, n.newLink(ha.Name()+"->"+hb.Name(), hb.Port(pb)))
-	hb.ConnectOutput(pb, n.newLink(hb.Name()+"->"+ha.Name(), ha.Port(pa)))
+	lab := n.newLink(ha.Name()+"->"+hb.Name(), hb.Port(pb))
+	lba := n.newLink(hb.Name()+"->"+ha.Name(), ha.Port(pa))
+	ha.ConnectOutput(pa, lab)
+	hb.ConnectOutput(pb, lba)
 	hb.Port(pb).SetUpstreamReady(ha.Port(pa).SetReady)
 	ha.Port(pa).SetUpstreamReady(hb.Port(pb).SetReady)
-	n.adj[a] = append(n.adj[a], edge{to: b, portHere: pa})
-	n.adj[b] = append(n.adj[b], edge{to: a, portHere: pb})
+	n.adj[a] = append(n.adj[a], edge{to: b, portHere: pa, link: lab})
+	n.adj[b] = append(n.adj[b], edge{to: a, portHere: pb, link: lba})
 }
 
 // SetLinkState marks the inter-HUB link between hubs a and b up or down
@@ -199,6 +211,134 @@ func (n *Network) SetLinkState(a, b int, up bool) {
 			n.adj[b][i].down = !up
 		}
 	}
+}
+
+// OnChange registers an observer called after FailLink or RestoreLink
+// changes an inter-HUB link's routing state. The system builder subscribes
+// route-cache flushes here; fault injectors subscribe detection-latency
+// accounting.
+func (n *Network) OnChange(fn func(a, b int, up bool)) {
+	n.observers = append(n.observers, fn)
+}
+
+// edgeBetween returns the edge record from hub a toward hub b regardless of
+// its up/down state.
+func (n *Network) edgeBetween(a, b int) *edge {
+	for i := range n.adj[a] {
+		if n.adj[a][i].to == b {
+			return &n.adj[a][i]
+		}
+	}
+	return nil
+}
+
+// InterHubLinks returns the fiber pair of the a<->b inter-HUB link
+// (a->b first), or nils when the hubs are not adjacent.
+func (n *Network) InterHubLinks(a, b int) (*fiber.Link, *fiber.Link) {
+	ea, eb := n.edgeBetween(a, b), n.edgeBetween(b, a)
+	if ea == nil || eb == nil {
+		return nil, nil
+	}
+	return ea.link, eb.link
+}
+
+// CABLinks returns CAB cabID's fiber pair (CAB->HUB first).
+func (n *Network) CABLinks(cabID int) (*fiber.Link, *fiber.Link) {
+	return n.cabLinks[cabID][0], n.cabLinks[cabID][1]
+}
+
+// InterHubEdges lists every inter-HUB link once as a hub-index pair (a<b).
+func (n *Network) InterHubEdges() [][2]int {
+	var out [][2]int
+	for a := range n.adj {
+		for _, e := range n.adj[a] {
+			if a < e.to {
+				out = append(out, [2]int{a, e.to})
+			}
+		}
+	}
+	return out
+}
+
+// EdgePort returns the output port on hub a leading to hub b regardless of
+// the link's routing state (the probe path must keep testing dead links to
+// notice their recovery).
+func (n *Network) EdgePort(a, b int) (int, bool) {
+	if e := n.edgeBetween(a, b); e != nil {
+		return e.portHere, true
+	}
+	return 0, false
+}
+
+// LinkUp reports the routing state of the a<->b inter-HUB link.
+func (n *Network) LinkUp(a, b int) bool {
+	e := n.edgeBetween(a, b)
+	return e != nil && !e.down
+}
+
+// SetLinkPhysical severs (up=false) or repairs (up=true) both fibers of the
+// a<->b inter-HUB link. This is the fault injector's hook: routing state is
+// untouched — the liveness probes must detect the change and call
+// FailLink/RestoreLink. Both directions change together because command
+// replies travel the never-blocked reverse channel out-of-band: a
+// half-severed pair is not observable in this model.
+func (n *Network) SetLinkPhysical(a, b int, up bool) {
+	if la, lb := n.InterHubLinks(a, b); la != nil {
+		la.SetDown(!up)
+		lb.SetDown(!up)
+	}
+}
+
+// FailLink declares the a<->b inter-HUB link dead: routes stop using it
+// (SetLinkState), the output registers feeding it are force-reset so
+// traffic wedged on the dead fiber unblocks and retries over surviving
+// paths, and observers (route-cache flushes, fault accounting) fire. This
+// is the automated form of the paper's §4 "recovery from hardware
+// failures", invoked by the datalink's liveness prober.
+func (n *Network) FailLink(a, b int) {
+	if !n.LinkUp(a, b) {
+		return
+	}
+	n.SetLinkState(a, b, false)
+	if ea := n.edgeBetween(a, b); ea != nil {
+		n.hubs[a].ResetOutput(ea.portHere, false)
+		n.hubs[a].Port(ea.portHere).SetFailed(true)
+	}
+	if eb := n.edgeBetween(b, a); eb != nil {
+		n.hubs[b].ResetOutput(eb.portHere, false)
+		n.hubs[b].Port(eb.portHere).SetFailed(true)
+	}
+	for _, fn := range n.observers {
+		fn(a, b, false)
+	}
+}
+
+// RestoreLink returns a previously failed link to service: routes may use
+// it again, the output registers feeding it are reset to ready, and
+// observers fire.
+func (n *Network) RestoreLink(a, b int) {
+	if n.LinkUp(a, b) {
+		return
+	}
+	n.SetLinkState(a, b, true)
+	if ea := n.edgeBetween(a, b); ea != nil {
+		n.hubs[a].Port(ea.portHere).SetFailed(false)
+		n.hubs[a].ResetOutput(ea.portHere, true)
+	}
+	if eb := n.edgeBetween(b, a); eb != nil {
+		n.hubs[b].Port(eb.portHere).SetFailed(false)
+		n.hubs[b].ResetOutput(eb.portHere, true)
+	}
+	for _, fn := range n.observers {
+		fn(a, b, true)
+	}
+}
+
+// ResetCABPort re-initializes the HUB port a CAB attaches to, dropping
+// whatever the crashed CAB left in the input queue and un-wedging senders
+// parked on its not-ready output register. Called on CAB reboot.
+func (n *Network) ResetCABPort(cabID int) {
+	n.hubs[n.attachHub[cabID]].ResetPort(n.attachPort[cabID])
 }
 
 // hubPath returns the hub-index path from hub `from` to hub `to` (BFS,

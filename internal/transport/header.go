@@ -28,6 +28,8 @@ const (
 	ProtoVSend // VMTP transaction request group
 	ProtoVResp // VMTP transaction response group
 	ProtoVNack // VMTP selective-retransmission mask
+	ProtoPing  // peer liveness heartbeat
+	ProtoPong  // heartbeat reply
 )
 
 // String returns the protocol name.
@@ -49,6 +51,10 @@ func (p Proto) String() string {
 		return "vmtp-resp"
 	case ProtoVNack:
 		return "vmtp-nack"
+	case ProtoPing:
+		return "ping"
+	case ProtoPong:
+		return "pong"
 	default:
 		return fmt.Sprintf("proto(%d)", byte(p))
 	}

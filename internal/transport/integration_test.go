@@ -452,3 +452,68 @@ func TestSetVMTPParams(t *testing.T) {
 		t.Fatalf("tightened timeouts ignored (ran to %v)", end)
 	}
 }
+
+// TestDuplicateResponseSuppression exercises both duplicate directions of
+// the request-response protocol deterministically (no loss needed): the
+// server delays its answer past the client's first timeout, so the client
+// retransmits and the server must suppress the in-service duplicate; the
+// server then answers every request TWICE, so the client sees a redundant
+// response for an already-completed (and deleted) request and must ignore
+// it without corrupting later requests.
+func TestDuplicateResponseSuppression(t *testing.T) {
+	params := core.DefaultParams()
+	params.Transport.ReqTimeout = 100 * sim.Microsecond
+	params.Transport.ReqRetries = 8
+	sys := core.NewSingleHub(2, params)
+	srv := sys.CAB(1)
+	smb := srv.Kernel.NewMailbox("server", 64*1024)
+	srv.TP.Register(7, smb)
+	executions := 0
+	srv.Kernel.SpawnDaemon("server", func(th *kernel.Thread) {
+		for {
+			req := smb.Get(th)
+			executions++
+			// Outlive the client's first timeout: at least one
+			// retransmission arrives while this request is in service.
+			th.Sleep(250 * sim.Microsecond)
+			srv.TP.Respond(th, req, req.Bytes())
+			// Redundant second response for the same request ID.
+			srv.TP.Respond(th, req, req.Bytes())
+			smb.Release(req)
+		}
+	})
+
+	const n = 5
+	got := 0
+	sys.CAB(0).Kernel.Spawn("client", func(th *kernel.Thread) {
+		for i := 0; i < n; i++ {
+			body := []byte{byte(i), byte(i + 1)}
+			resp, err := sys.CAB(0).TP.Request(th, 1, 7, 3, body)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				continue
+			}
+			if !bytes.Equal(resp, body) {
+				t.Errorf("request %d: response %v, want %v", i, resp, body)
+			}
+			got++
+		}
+	})
+	sys.Run()
+	if got != n {
+		t.Fatalf("%d/%d requests completed", got, n)
+	}
+	if executions != n {
+		t.Fatalf("server executed %d times, want %d (at-most-once violated)", executions, n)
+	}
+	st := srv.TP.Stats()
+	if st.DupRequests == 0 {
+		t.Fatal("server never saw a duplicate request (retransmission not exercised)")
+	}
+	if st.Responses != 2*n {
+		t.Fatalf("server sent %d responses, want %d", st.Responses, 2*n)
+	}
+	if rtx := sys.CAB(0).TP.Stats().Retransmits; rtx == 0 {
+		t.Fatal("client never retransmitted")
+	}
+}

@@ -16,8 +16,10 @@ import (
 // pendingReq tracks a client-side outstanding request.
 type pendingReq struct {
 	cond *kernel.Cond
+	dst  int
 	resp []byte
 	done bool
+	err  error // fatal failure (peer dead, local crash); set out of band
 }
 
 // ErrTimeout is returned when a request exhausts its retries.
@@ -31,13 +33,20 @@ func (e *ErrTimeout) Error() string {
 }
 
 // Request sends data to the server mailbox (dst, dstBox) and blocks until
-// the response arrives, retransmitting on timeout.
+// the response arrives, retransmitting on timeout with exponential backoff.
+// A destination declared dead by the heartbeat monitor fails immediately
+// with ErrPeerDead.
 func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte) ([]byte, error) {
+	if err := t.peerGate(dst); err != nil {
+		return nil, err
+	}
 	t.nextReq++
 	reqID := t.nextReq
-	pend := &pendingReq{cond: t.k.NewCond()}
+	pend := &pendingReq{cond: t.k.NewCond(), dst: dst}
 	t.pending[reqID] = pend
 	defer delete(t.pending, reqID)
+	t.watchPeer(dst)
+	defer t.unwatchPeer(dst)
 
 	h := &Header{
 		Proto: ProtoRequest, Src: uint16(t.self), Dst: uint16(dst),
@@ -54,8 +63,9 @@ func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, d
 		if err := t.sendWire(th, dst, wire); err != nil {
 			return nil, err
 		}
-		deadline := t.k.Engine().Now() + t.params.ReqTimeout
-		for !pend.done {
+		wait := backoffWait(t.params.ReqTimeout, t.params.BackoffCap, attempt, t.self, dst, reqID)
+		deadline := t.k.Engine().Now() + wait
+		for !pend.done && pend.err == nil {
 			remain := deadline - t.k.Engine().Now()
 			if remain <= 0 || !pend.cond.WaitTimeout(th, remain) {
 				break
@@ -63,6 +73,9 @@ func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, d
 		}
 		if pend.done {
 			return pend.resp, nil
+		}
+		if pend.err != nil {
+			return nil, pend.err
 		}
 	}
 	return nil, &ErrTimeout{Dst: dst, ReqID: reqID}

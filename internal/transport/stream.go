@@ -30,9 +30,26 @@ type streamSender struct {
 	mu      *kernel.Sem // one in-flight message per connection
 	cond    *kernel.Cond
 	curMsg  uint32
-	acked   int  // packets cumulatively acknowledged for curMsg
-	done    bool // AckDone received for curMsg
+	acked   int   // packets cumulatively acknowledged for curMsg
+	done    bool  // AckDone received for curMsg
+	err     error // fatal failure (peer dead, local crash); set out of band
 	nextMsg uint32
+}
+
+// ErrStreamTimeout is returned when a stream message exhausts
+// Params.MaxRTOExpiries consecutive retransmission timeouts with no ack
+// progress — the receiver is unreachable or lost the message head, and
+// go-back-N alone cannot recover. The caller may retry the whole message
+// (a fresh MsgID resynchronizes the receiver).
+type ErrStreamTimeout struct {
+	Dst      int
+	MsgID    uint32
+	Expiries int
+}
+
+func (e *ErrStreamTimeout) Error() string {
+	return fmt.Sprintf("transport: stream msg %d to CAB %d abandoned after %d retransmission timeouts",
+		e.MsgID, e.Dst, e.Expiries)
 }
 
 // streamRecv is the receive side of one connection.
@@ -62,18 +79,33 @@ func (t *Transport) streamIn(key streamKey) *streamRecv {
 }
 
 // StreamSend reliably transfers data to (dst, dstBox), blocking the thread
-// until the receiver has accepted the whole message into its mailbox.
+// until the receiver has accepted the whole message into its mailbox. It
+// gives up with ErrStreamTimeout after Params.MaxRTOExpiries consecutive
+// retransmission timeouts without ack progress, and with ErrPeerDead when
+// the heartbeat monitor declares the destination dead.
 func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte) error {
+	if err := t.peerGate(dst); err != nil {
+		return err
+	}
 	key := streamKey{peer: dst, lbox: srcBox, rbox: dstBox}
 	s := t.streamOut(key)
 	s.mu.P(th)
 	defer s.mu.V()
+	t.watchPeer(dst)
+	defer t.unwatchPeer(dst)
 
 	msgID := s.nextMsg
 	s.nextMsg++
 	s.curMsg = msgID
 	s.acked = 0
 	s.done = false
+	s.err = nil
+
+	maxExpiries := t.params.MaxRTOExpiries
+	if maxExpiries == 0 {
+		maxExpiries = 64
+	}
+	expiries := 0 // consecutive RTO expiries without ack progress
 
 	// Fragment.
 	n := (len(data) + MaxData - 1) / MaxData
@@ -107,14 +139,23 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 		if s.done {
 			break
 		}
+		if s.err != nil {
+			return s.err
+		}
 		if s.acked > base {
 			base = s.acked
+			expiries = 0
 			continue
 		}
 		if !got {
 			// Retransmission timeout: go-back-N from the last
-			// cumulative ack.
+			// cumulative ack — but not forever.
 			t.stats.Retransmits++
+			t.stats.RTOExpiries++
+			expiries++
+			if expiries >= maxExpiries {
+				return &ErrStreamTimeout{Dst: dst, MsgID: msgID, Expiries: expiries}
+			}
 			next = base
 		}
 	}

@@ -31,6 +31,21 @@ type Params struct {
 	// MailboxBytes is the capacity given to internally-created reply
 	// mailboxes.
 	MailboxBytes int
+	// MaxRTOExpiries bounds consecutive byte-stream retransmission
+	// timeouts: after this many RTO expiries with no ack progress,
+	// StreamSend gives up with ErrStreamTimeout instead of retrying
+	// forever (0: 64).
+	MaxRTOExpiries int
+	// BackoffCap caps the exponential retransmission backoff applied to
+	// request-response and VMTP retries (0: 8x the base timeout).
+	BackoffCap sim.Time
+	// HeartbeatInterval enables peer liveness heartbeats: while reliable
+	// operations are outstanding, each watched peer is pinged at this
+	// interval, and after PeerMisses unanswered pings it is declared
+	// dead (blocked senders get ErrPeerDead). 0 disables heartbeats.
+	HeartbeatInterval sim.Time
+	// PeerMisses is the unanswered-heartbeat threshold (0: 3).
+	PeerMisses int
 	// DisableAckFastPath forces all control packets (acks, cached
 	// responses) through the service thread instead of the
 	// interrupt-level datalink fast path — an ablation of the paper's
@@ -65,6 +80,11 @@ type Stats struct {
 	ChecksumDrops  int64
 	MailboxDrops   int64
 	DupRequests    int64
+	RTOExpiries    int64
+	PingsSent      int64
+	PongsRecv      int64
+	PeersDied      int64
+	PeersRevived   int64
 }
 
 // outItem is a control packet queued for the service thread.
@@ -103,6 +123,11 @@ type Transport struct {
 	// vm holds the VMTP transaction state (created on first use).
 	vm *vmtpState
 
+	// Peer liveness (health.go): peers with reliable ops outstanding,
+	// plus dead peers watched for revival.
+	watch   map[int]*peerState
+	hbArmed bool
+
 	stats Stats
 }
 
@@ -127,6 +152,7 @@ func New(k *kernel.Kernel, dl *datalink.Datalink, params Params) *Transport {
 		inflight:   make(map[reqKey]bool),
 		respCache:  make(map[reqKey][]byte),
 		outSem:     k.NewSem(0),
+		watch:      make(map[int]*peerState),
 	}
 	dl.SetReceiver(t.handlePacket)
 	k.SpawnDaemon("transport-service", t.serviceLoop)
@@ -154,6 +180,11 @@ func (t *Transport) RegisterMetrics(reg *trace.Registry) {
 	reg.Func(prefix+".checksum_drops", func() float64 { return float64(t.stats.ChecksumDrops) })
 	reg.Func(prefix+".mailbox_drops", func() float64 { return float64(t.stats.MailboxDrops) })
 	reg.Func(prefix+".dup_requests", func() float64 { return float64(t.stats.DupRequests) })
+	reg.Func(prefix+".stream.rto_expiries", func() float64 { return float64(t.stats.RTOExpiries) })
+	reg.Func(prefix+".pings_sent", func() float64 { return float64(t.stats.PingsSent) })
+	reg.Func(prefix+".pongs_recv", func() float64 { return float64(t.stats.PongsRecv) })
+	reg.Func(prefix+".peers_died", func() float64 { return float64(t.stats.PeersDied) })
+	reg.Func(prefix+".peers_revived", func() float64 { return float64(t.stats.PeersRevived) })
 }
 
 // Kernel returns the owning kernel.
@@ -280,6 +311,10 @@ func (t *Transport) handlePacket(wire []byte, sp *trace.Span) {
 			t.recvVResp(h, payload, sp)
 		case ProtoVNack:
 			t.recvVNack(h, payload, sp)
+		case ProtoPing:
+			t.recvPing(h, sp)
+		case ProtoPong:
+			t.recvPong(h)
 		}
 	})
 }

@@ -88,8 +88,10 @@ func (g *vmtpGroup) assemble() []byte {
 // vmtpPending is a client-side outstanding transaction.
 type vmtpPending struct {
 	cond    *kernel.Cond
+	dst     int
 	resp    *vmtpGroup
 	done    bool
+	err     error  // fatal failure (peer dead, local crash); set out of band
 	ackMask uint32 // request packets the server has confirmed
 	reqPkts uint32
 }
@@ -153,12 +155,17 @@ func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16,
 	if len(req) > MaxTransaction {
 		return nil, fmt.Errorf("transport: request exceeds the %d-byte transaction limit", MaxTransaction)
 	}
+	if err := t.peerGate(dst); err != nil {
+		return nil, err
+	}
 	vm := t.vmtp()
 	vm.nextTxn++
 	txn := vm.nextTxn
-	pend := &vmtpPending{cond: t.k.NewCond()}
+	pend := &vmtpPending{cond: t.k.NewCond(), dst: dst}
 	vm.pending[txn] = pend
 	defer delete(vm.pending, txn)
+	t.watchPeer(dst)
+	defer t.unwatchPeer(dst)
 
 	wires := t.groupPackets(ProtoVSend, dst, dstBox, srcBox, txn, req)
 	pend.reqPkts = uint32(len(wires))
@@ -180,8 +187,9 @@ func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16,
 		return nil, err
 	}
 	for attempt := 0; attempt <= vm.params.Retries; attempt++ {
-		deadline := t.k.Engine().Now() + vm.params.ClientTimeout
-		for !pend.done {
+		wait := backoffWait(vm.params.ClientTimeout, t.params.BackoffCap, attempt, t.self, dst, txn)
+		deadline := t.k.Engine().Now() + wait
+		for !pend.done && pend.err == nil {
 			remain := deadline - t.k.Engine().Now()
 			if remain <= 0 || !pend.cond.WaitTimeout(th, remain) {
 				break
@@ -189,6 +197,9 @@ func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16,
 		}
 		if pend.done {
 			return pend.resp.assemble(), nil
+		}
+		if pend.err != nil {
+			return nil, pend.err
 		}
 		t.stats.Retransmits++
 		if err := send(pend.ackMask); err != nil {

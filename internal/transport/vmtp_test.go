@@ -193,3 +193,47 @@ func TestVMTPBeatsGoBackNUnderLoss(t *testing.T) {
 			vmtpPackets, streamPackets)
 	}
 }
+
+// TestVMTPGroupTimeoutPermanentLoss drowns the server's access fiber in
+// corruption for the whole run: the multi-packet request group never
+// completes, so the server's group timer fires and NACKs repeatedly, the
+// client's selective retransmissions keep dying, and VTransact must give
+// up with ErrTimeout after its bounded retries instead of hanging.
+func TestVMTPGroupTimeoutPermanentLoss(t *testing.T) {
+	sys := core.NewSingleHub(2, core.DefaultParams())
+	vmtpServer(sys, 1, 7)
+	p := transport.DefaultVMTPParams()
+	p.GroupTimeout = 200 * sim.Microsecond
+	p.ClientTimeout = sim.Millisecond
+	p.Retries = 3
+	sys.CAB(0).TP.SetVMTPParams(p)
+
+	// ~12% packet survival at 1 KB packets: enough stragglers get through
+	// to open a partial group and arm its gap timer, but a 20-packet group
+	// has no realistic chance of ever assembling.
+	in, out := sys.Net.CABLinks(1)
+	in.SetErrorModel(fiber.ErrorModel{BitErrorRate: 2e-3, Seed: 77})
+	out.SetErrorModel(fiber.ErrorModel{BitErrorRate: 2e-3, Seed: 78})
+
+	var err error
+	done := false
+	sys.CAB(0).Kernel.Spawn("client", func(th *kernel.Thread) {
+		_, err = sys.CAB(0).TP.VTransact(th, 1, 7, 3, payload(20*1000))
+		done = true
+	})
+	// The server's NACK timer re-arms while its group stays incomplete,
+	// so drive with a horizon rather than running to quiescence.
+	sys.RunUntil(50 * sim.Millisecond)
+	if !done {
+		t.Fatal("VTransact hung after permanent packet loss")
+	}
+	if _, ok := err.(*transport.ErrTimeout); !ok {
+		t.Fatalf("error = %v (%T), want *transport.ErrTimeout", err, err)
+	}
+	if acks := sys.CAB(1).TP.Stats().AcksSent; acks == 0 {
+		t.Fatal("server group timer never fired (no selective NACKs sent)")
+	}
+	if rtx := sys.CAB(0).TP.Stats().Retransmits; rtx == 0 {
+		t.Fatal("client never retransmitted before giving up")
+	}
+}
