@@ -1,0 +1,319 @@
+// Command nectar-fleet drives a fleet of independent Nectar replicas at
+// saturation and reports aggregate throughput and latency, plus a
+// head-to-head micro-benchmark of the event engine against the preserved
+// baseline implementation.
+//
+// Each replica is one complete simulated Nectar system (its own engine,
+// HUB, CABs, and software stacks) running the deterministic workload of
+// internal/load under its own seed. Replicas share nothing, so the fleet
+// shards them across GOMAXPROCS OS threads while every simulation stays
+// single-threaded and deterministic: the same seed always produces the
+// same per-replica digest, which -verify double-runs and compares (CI
+// keys off the exit status).
+//
+// Results land in BENCH_fleet.json (override with -o).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/sim"
+	"repro/internal/sim/baseline"
+	"repro/internal/trace"
+)
+
+const fnvOffset, fnvPrime = 0xcbf29ce484222325, 0x100000001b3
+
+// replicaReport is one replica's measured slice of the fleet.
+type replicaReport struct {
+	Seed      int64   `json:"seed"`
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	Shed      int64   `json:"shed"`
+	Bytes     int64   `json:"bytes"`
+	Events    uint64  `json:"engine_events"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+	Digest    string  `json:"digest"`
+}
+
+// engineReport is the event-engine micro-benchmark: the current 4-ary
+// pooled heap versus the preserved container/heap baseline on the same
+// schedule-and-fire churn loop.
+type engineReport struct {
+	EventsPerSec         float64 `json:"events_per_sec"`
+	BaselineEventsPerSec float64 `json:"baseline_events_per_sec"`
+	Speedup              float64 `json:"speedup"`
+	AllocsPerEvent       float64 `json:"allocs_per_event"`
+	BaselineAllocsPerEvt float64 `json:"baseline_allocs_per_event"`
+}
+
+type fleetReport struct {
+	Config struct {
+		Replicas   int     `json:"replicas"`
+		CABs       int     `json:"cabs_per_replica"`
+		Workers    int     `json:"workers_per_cab"`
+		Mode       string  `json:"mode"`
+		RatePerCAB float64 `json:"rate_per_cab,omitempty"`
+		Zipf       float64 `json:"zipf_s,omitempty"`
+		DurationMs float64 `json:"duration_ms"`
+		BaseSeed   int64   `json:"base_seed"`
+		Threads    int     `json:"gomaxprocs"`
+	} `json:"config"`
+	Engine   engineReport    `json:"engine"`
+	Replicas []replicaReport `json:"replicas"`
+	Total    struct {
+		Ops            int64   `json:"ops"`
+		Errors         int64   `json:"errors"`
+		Shed           int64   `json:"shed"`
+		Bytes          int64   `json:"bytes"`
+		Events         uint64  `json:"engine_events"`
+		OpsPerSec      float64 `json:"ops_per_sec"`
+		MBps           float64 `json:"mbps"`
+		P50us          float64 `json:"p50_us"`
+		P95us          float64 `json:"p95_us"`
+		P99us          float64 `json:"p99_us"`
+		MaxUs          float64 `json:"max_us"`
+		WallSeconds    float64 `json:"wall_seconds"`
+		EventsPerWallS float64 `json:"events_per_wall_sec"`
+		Digest         string  `json:"digest"`
+	} `json:"total"`
+	Verified bool `json:"verified"`
+}
+
+func us(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// churn is the contended scheduling loop both engines are measured on:
+// 64 events in flight, firing in small batches — the shape of a busy
+// simulated network (timers, DMA completions, packet arrivals).
+func churnNew(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.After(sim.Time(j%7+1), func() {})
+		}
+		e.RunUntil(e.Now() + 8)
+	}
+	e.Run()
+}
+
+func churnBaseline(b *testing.B) {
+	b.ReportAllocs()
+	e := baseline.NewEngine()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.After(sim.Time(j%7+1), func() {})
+		}
+		e.RunUntil(e.Now() + 8)
+	}
+	e.Run()
+}
+
+func benchEngines() engineReport {
+	cur := testing.Benchmark(churnNew)
+	old := testing.Benchmark(churnBaseline)
+	perSec := func(r testing.BenchmarkResult) float64 {
+		if r.NsPerOp() == 0 {
+			return 0
+		}
+		return 64 * 1e9 / float64(r.NsPerOp()) // 64 events per iteration
+	}
+	rep := engineReport{
+		EventsPerSec:         perSec(cur),
+		BaselineEventsPerSec: perSec(old),
+		AllocsPerEvent:       float64(cur.AllocsPerOp()) / 64,
+		BaselineAllocsPerEvt: float64(old.AllocsPerOp()) / 64,
+	}
+	if rep.BaselineEventsPerSec > 0 {
+		rep.Speedup = rep.EventsPerSec / rep.BaselineEventsPerSec
+	}
+	return rep
+}
+
+// replicaRun holds one replica's raw results for aggregation.
+type replicaRun struct {
+	res    *load.Result
+	events uint64
+}
+
+func main() {
+	replicas := flag.Int("replicas", runtime.GOMAXPROCS(0), "independent replicas to run")
+	cabs := flag.Int("cabs", 8, "CABs per replica (single HUB)")
+	workers := flag.Int("workers", 2, "closed-loop client threads per CAB")
+	durMs := flag.Float64("duration", 20, "measured window per replica, simulated ms")
+	mode := flag.String("mode", "closed", "arrival mode: closed or open")
+	rate := flag.Float64("rate", 20000, "open-loop arrivals per CAB per simulated second")
+	zipf := flag.Float64("zipf", 0, "zipf s parameter for destination skew (0 = uniform, else > 1)")
+	seed := flag.Int64("seed", 1, "base seed; replica i runs seed+i")
+	short := flag.Bool("short", false, "small quick run (CI smoke): 5ms windows")
+	verify := flag.Bool("verify", false, "run every seed twice and fail on digest mismatch")
+	noBench := flag.Bool("nobench", false, "skip the engine micro-benchmark")
+	out := flag.String("o", "BENCH_fleet.json", "output JSON path")
+	flag.Parse()
+
+	if *short {
+		*durMs = 5
+	}
+	if *replicas < 1 {
+		*replicas = 1
+	}
+
+	cfg := load.Config{
+		Workers:    *workers,
+		Duration:   sim.Time(*durMs * float64(sim.Millisecond)),
+		Warmup:     sim.Time(*durMs * float64(sim.Millisecond) / 10),
+		RatePerCAB: *rate,
+		ZipfS:      *zipf,
+	}
+	if *mode == "open" {
+		cfg.Arrival = load.OpenLoop
+	}
+
+	runReplica := func(s int64) replicaRun {
+		sys := core.New(core.SingleHub(*cabs))
+		c := cfg
+		c.Seed = s
+		res := load.Run(sys, c)
+		return replicaRun{res: res, events: sys.Eng.Executed()}
+	}
+
+	// Shard replicas (and verification re-runs) across GOMAXPROCS
+	// goroutines. Replica i's results land at index i, so aggregation
+	// order is deterministic no matter how the shards interleave.
+	rounds := 1
+	if *verify {
+		rounds = 2
+	}
+	runs := make([]replicaRun, *replicas*rounds)
+	var wg sync.WaitGroup
+	slots := make(chan struct{}, runtime.GOMAXPROCS(0))
+	wallStart := time.Now()
+	for i := range runs {
+		i := i
+		wg.Add(1)
+		slots <- struct{}{}
+		go func() {
+			defer func() { <-slots; wg.Done() }()
+			runs[i] = runReplica(*seed + int64(i%*replicas))
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	rep := &fleetReport{}
+	rep.Config.Replicas = *replicas
+	rep.Config.CABs = *cabs
+	rep.Config.Workers = *workers
+	rep.Config.Mode = *mode
+	if *mode == "open" {
+		rep.Config.RatePerCAB = *rate
+	}
+	rep.Config.Zipf = *zipf
+	rep.Config.DurationMs = *durMs
+	rep.Config.BaseSeed = *seed
+	rep.Config.Threads = runtime.GOMAXPROCS(0)
+
+	mismatch := false
+	merged := trace.NewHistogram("fleet op latency")
+	combined := uint64(fnvOffset)
+	for i := 0; i < *replicas; i++ {
+		r := runs[i]
+		rr := replicaReport{
+			Seed:      *seed + int64(i),
+			Ops:       r.res.Ops,
+			Errors:    r.res.Errors,
+			Shed:      r.res.Shed,
+			Bytes:     r.res.Bytes,
+			Events:    r.events,
+			OpsPerSec: r.res.OpsPerSec(),
+			P50us:     us(r.res.Latency.Median()),
+			P99us:     us(r.res.Latency.Quantile(0.99)),
+			Digest:    fmt.Sprintf("%016x", r.res.Digest),
+		}
+		if *verify {
+			twin := runs[*replicas+i]
+			if twin.res.Digest != r.res.Digest || twin.events != r.events {
+				mismatch = true
+				fmt.Fprintf(os.Stderr, "DETERMINISM FAILURE: seed %d produced digest %016x then %016x\n",
+					rr.Seed, r.res.Digest, twin.res.Digest)
+			}
+		}
+		rep.Replicas = append(rep.Replicas, rr)
+		rep.Total.Ops += r.res.Ops
+		rep.Total.Errors += r.res.Errors
+		rep.Total.Shed += r.res.Shed
+		rep.Total.Bytes += r.res.Bytes
+		rep.Total.Events += r.events
+		merged.Merge(r.res.Latency)
+		// Fold per-replica digests in seed order: the combined digest is
+		// independent of scheduling and of GOMAXPROCS.
+		for b := 0; b < 8; b++ {
+			combined = (combined ^ (r.res.Digest >> (8 * b) & 0xff)) * fnvPrime
+		}
+	}
+	// Replicas are concurrent machines: aggregate rate is total work over
+	// one replica's measured window of simulated time.
+	window := sim.Time(*durMs * float64(sim.Millisecond)).Seconds()
+	if window > 0 {
+		rep.Total.OpsPerSec = float64(rep.Total.Ops) / window
+		rep.Total.MBps = float64(rep.Total.Bytes) / window / 1e6
+	}
+	rep.Total.P50us = us(merged.Median())
+	rep.Total.P95us = us(merged.Quantile(0.95))
+	rep.Total.P99us = us(merged.Quantile(0.99))
+	rep.Total.MaxUs = us(merged.Max())
+	rep.Total.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		rep.Total.EventsPerWallS = float64(rep.Total.Events) * float64(rounds) / wall.Seconds()
+	}
+	rep.Total.Digest = fmt.Sprintf("%016x", combined)
+	rep.Verified = *verify && !mismatch
+
+	if !*noBench {
+		rep.Engine = benchEngines()
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(2)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("fleet: %d replicas x %d CABs (%s loop), %.0fms windows on %d threads\n",
+		*replicas, *cabs, *mode, *durMs, rep.Config.Threads)
+	fmt.Printf("  %d ops (%d errors, %d shed), %.0f ops/s, %.1f MB/s aggregate\n",
+		rep.Total.Ops, rep.Total.Errors, rep.Total.Shed, rep.Total.OpsPerSec, rep.Total.MBps)
+	fmt.Printf("  latency p50 %.1fus  p95 %.1fus  p99 %.1fus  max %.1fus\n",
+		rep.Total.P50us, rep.Total.P95us, rep.Total.P99us, rep.Total.MaxUs)
+	fmt.Printf("  %d engine events in %.2fs wall = %.2fM events/s\n",
+		rep.Total.Events*uint64(rounds), rep.Total.WallSeconds, rep.Total.EventsPerWallS/1e6)
+	if !*noBench {
+		fmt.Printf("  engine: %.1fM events/s vs baseline %.1fM (%.1fx), %.2f allocs/event (baseline %.2f)\n",
+			rep.Engine.EventsPerSec/1e6, rep.Engine.BaselineEventsPerSec/1e6,
+			rep.Engine.Speedup, rep.Engine.AllocsPerEvent, rep.Engine.BaselineAllocsPerEvt)
+	}
+	fmt.Printf("  fleet digest %s -> %s\n", rep.Total.Digest, *out)
+	if *verify {
+		if mismatch {
+			fmt.Println("  VERIFY: FAILED — nondeterministic replica digests")
+			os.Exit(1)
+		}
+		fmt.Println("  VERIFY: every seed reproduced its digest")
+	}
+}

@@ -55,11 +55,11 @@ func main() {
 	var sys *core.System
 	switch *topoKind {
 	case "single":
-		sys = core.NewSingleHub(*cabs, params)
+		sys = core.New(core.SingleHub(*cabs), core.WithParams(params))
 	case "line":
-		sys = core.NewLine(*hubs, *per, params)
+		sys = core.New(core.Line(*hubs, *per), core.WithParams(params))
 	case "mesh":
-		sys = core.NewMesh(*rows, *cols, *per, params)
+		sys = core.New(core.Mesh(*rows, *cols, *per), core.WithParams(params))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoKind)
 		os.Exit(2)
@@ -198,22 +198,19 @@ func chaosScenario(name string, seed int64, sys *core.System) (fault.Scenario, e
 // doing all repair. Returns a nonzero exit status if any message goes
 // undelivered — CI's chaos smoke job keys off this.
 func runChaos(name string, seed int64, rows, cols, msgs int) int {
-	p := core.DefaultParams()
-	p.Metrics = true
-	p.Datalink.ProbeInterval = 200 * sim.Microsecond
-	p.Datalink.ProbeTimeout = 100 * sim.Microsecond
-	p.Datalink.ProbeMisses = 3
-	p.Transport.HeartbeatInterval = 300 * sim.Microsecond
-	p.Transport.PeerMisses = 3
-	p.Transport.ReqTimeout = 2 * sim.Millisecond
-	p.Transport.ReqRetries = 3
 	if rows < 2 {
 		rows = 2
 	}
 	if cols < 2 {
 		cols = 2
 	}
-	sys := core.NewMesh(rows, cols, 1, p)
+	sys := core.New(core.Mesh(rows, cols, 1),
+		core.WithMetrics(),
+		core.WithFaultRecovery(),
+		func(p *core.Params) {
+			p.Transport.ReqTimeout = 2 * sim.Millisecond
+			p.Transport.ReqRetries = 3
+		})
 	n := sys.NumCABs()
 
 	sc, err := chaosScenario(name, seed, sys)

@@ -52,9 +52,9 @@ func main() {
 
 	var sys *core.System
 	if *mode == "multicast" {
-		sys = core.NewLine(2, 2, params)
+		sys = core.New(core.Line(2, 2), core.WithParams(params))
 	} else {
-		sys = core.NewSingleHub(4, params)
+		sys = core.New(core.SingleHub(4), core.WithParams(params))
 	}
 
 	if *mode != "reqresp" {

@@ -24,7 +24,7 @@ func main() {
 		cfg.Procs = procs
 		cfg.Vertices = *vertices
 		cfg.Sweeps = *sweeps
-		sys := nectar.NewSingleHub(procs, nectar.DefaultParams())
+		sys := nectar.New(nectar.SingleHub(procs))
 		res := nectar.RunAnnealing(sys, cfg)
 		if procs == 1 {
 			base = res.Elapsed

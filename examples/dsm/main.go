@@ -25,7 +25,7 @@ func main() {
 	cfg.Pages = *pages
 	cfg.OpsPerWorker = *ops
 
-	sys := nectar.NewSingleHub(1+cfg.Workers, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(1 + cfg.Workers))
 	res, err := apps.RunDSM(sys, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

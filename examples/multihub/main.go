@@ -14,7 +14,7 @@ import (
 
 func main() {
 	// A 2x2 mesh with two CABs per HUB cluster: 8 CABs, 4 HUBs.
-	sys := nectar.NewMesh(2, 2, 2, nectar.DefaultParams())
+	sys := nectar.New(nectar.Mesh(2, 2, 2))
 	fmt.Printf("built 2x2 mesh: %d HUBs, %d CABs\n", len(sys.Net.Hubs()), sys.NumCABs())
 	hops, _ := sys.Net.Route(0, sys.NumCABs()-1)
 	fmt.Printf("route CAB0 -> CAB%d crosses %d HUBs\n", sys.NumCABs()-1, len(hops))
@@ -38,7 +38,7 @@ func main() {
 	sys.Run()
 
 	// Hardware multicast from CAB0 to three corners, one copy on the wire.
-	sys2 := nectar.NewMesh(2, 2, 2, nectar.DefaultParams())
+	sys2 := nectar.New(nectar.Mesh(2, 2, 2))
 	got := 0
 	for _, d := range []int{3, 5, 7} {
 		st := sys2.CAB(d)

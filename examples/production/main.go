@@ -24,7 +24,7 @@ func main() {
 		cfg := apps.DefaultProductionConfig()
 		cfg.MatchNodes = parts
 		cfg.InitialWMEs = *wmes
-		sys := nectar.NewSingleHub(1+parts, nectar.DefaultParams())
+		sys := nectar.New(nectar.SingleHub(1 + parts))
 		res, err := nectar.RunProduction(sys, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -10,7 +10,7 @@ import (
 )
 
 func main() {
-	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(2))
 
 	// Register a mailbox at box 1 of CAB 1 and run a receiver thread.
 	rx := sys.CAB(1)

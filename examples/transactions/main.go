@@ -25,7 +25,7 @@ func main() {
 	cfg.Transactions = *txns
 	cfg.KeysPerTxn = *keys
 
-	sys := nectar.NewSingleHub(1+cfg.Managers, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(1 + cfg.Managers))
 	res, err := apps.RunTransactions(sys, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

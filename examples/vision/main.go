@@ -26,7 +26,7 @@ func main() {
 	cfg.DBNodes = *dbNodes
 	cfg.QueriesPerFrame = *queries
 
-	sys := nectar.NewSingleHub(3+cfg.DBNodes, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(3 + cfg.DBNodes))
 	res, err := nectar.RunVision(sys, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -23,3 +23,25 @@ func Checksum(b []byte) uint16 {
 func VerifyChecksum(b []byte, want uint16) bool {
 	return Checksum(b) == want
 }
+
+// ChecksumExcluding computes the checksum of b as if the 16-bit word at
+// even offset `off` were zero, without copying or mutating b. This is how
+// the hardware verifies an embedded checksum field on the fly during DMA:
+// the field's bytes are excluded from the running sum as they stream past.
+func ChecksumExcluding(b []byte, off int) uint16 {
+	var sum uint32
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		if i == off {
+			continue
+		}
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 && n-1 != off {
+		sum += uint32(b[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,49 @@
+package cab
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ChecksumExcluding must agree exactly with the copy-and-zero reference on
+// every length parity and field position.
+func TestChecksumExcludingMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(300)
+		b := make([]byte, n)
+		rng.Read(b)
+		off := rng.Intn(n/2) * 2
+		ref := make([]byte, n)
+		copy(ref, b)
+		ref[off] = 0
+		if off+1 < n {
+			ref[off+1] = 0
+		}
+		if got, want := ChecksumExcluding(b, off), Checksum(ref); got != want {
+			t.Fatalf("n=%d off=%d: ChecksumExcluding=%#x, reference=%#x", n, off, got, want)
+		}
+	}
+	// Odd trailing byte excluded.
+	b := []byte{1, 2, 3}
+	ref := []byte{1, 2, 0}
+	if ChecksumExcluding(b, 2) != Checksum(ref) {
+		t.Fatal("odd-length exclusion of the trailing byte diverges from reference")
+	}
+}
+
+func BenchmarkChecksum1K(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Checksum(buf)
+	}
+}
+
+func BenchmarkChecksumExcluding1K(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ChecksumExcluding(buf, 30)
+	}
+}

@@ -45,7 +45,7 @@ type CPU struct {
 	eng *sim.Engine
 
 	cur      *job
-	curEvent *sim.Event
+	curEvent sim.Event
 	curStart sim.Time
 
 	intq []*job // pending interrupt-level jobs (FIFO)
@@ -101,7 +101,7 @@ func (c *CPU) preempt() {
 	c.eng.Cancel(c.curEvent)
 	c.thq = append([]*job{c.cur}, c.thq...)
 	c.cur = nil
-	c.curEvent = nil
+	c.curEvent = sim.Event{}
 }
 
 // dispatch starts the next job if the CPU is free.
@@ -125,7 +125,7 @@ func (c *CPU) dispatch() {
 	c.curEvent = c.eng.After(j.remaining, func() {
 		c.busy += c.eng.Now() - c.curStart
 		c.cur = nil
-		c.curEvent = nil
+		c.curEvent = sim.Event{}
 		c.jobsDone++
 		if j.done != nil {
 			j.done()

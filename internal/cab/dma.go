@@ -127,7 +127,7 @@ func (d *DMA) TransferWait(p *sim.Proc, ch Channel, n int) {
 // Timer is a cancellable hardware timer ("hardware timers allow time-outs
 // to be set by the software with low overhead", paper §5.1).
 type Timer struct {
-	ev    *sim.Event
+	ev    sim.Event
 	eng   *sim.Engine
 	fired *bool
 }

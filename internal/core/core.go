@@ -5,6 +5,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/cab"
 	"repro/internal/datalink"
 	"repro/internal/kernel"
@@ -168,45 +170,37 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 	return s
 }
 
-// newRecorder builds the recorder implied by the params.
-func newRecorder(eng *sim.Engine, p Params) *trace.Recorder {
-	if p.RecorderLimit == 0 {
-		return nil
-	}
-	return trace.NewRecorder(eng, p.RecorderLimit)
-}
-
 // NewSingleHub builds the Figure 2 system: one HUB, nCABs CABs, a full
 // software stack on each.
+//
+// Deprecated: use New(SingleHub(nCABs), WithParams(p)).
 func NewSingleHub(nCABs int, p Params) *System {
-	p = p.normalize()
-	eng := sim.NewEngine()
-	rec := newRecorder(eng, p)
-	net := topo.SingleHub(eng, rec, p.Topo, nCABs)
-	return buildStacks(eng, rec, net, p)
+	return New(SingleHub(nCABs), WithParams(p))
 }
 
 // NewMesh builds the Figure 4 system: a rows x cols mesh of HUB clusters
 // with cabsPerHub CABs each.
+//
+// Deprecated: use New(Mesh(rows, cols, cabsPerHub), WithParams(p)).
 func NewMesh(rows, cols, cabsPerHub int, p Params) *System {
-	p = p.normalize()
-	eng := sim.NewEngine()
-	rec := newRecorder(eng, p)
-	net := topo.Mesh2D(eng, rec, p.Topo, rows, cols, cabsPerHub)
-	return buildStacks(eng, rec, net, p)
+	return New(Mesh(rows, cols, cabsPerHub), WithParams(p))
 }
 
 // NewLine builds a chain of nHubs HUBs with cabsPerHub CABs each.
+//
+// Deprecated: use New(Line(nHubs, cabsPerHub), WithParams(p)).
 func NewLine(nHubs, cabsPerHub int, p Params) *System {
-	p = p.normalize()
-	eng := sim.NewEngine()
-	rec := newRecorder(eng, p)
-	net := topo.Line(eng, rec, p.Topo, nHubs, cabsPerHub)
-	return buildStacks(eng, rec, net, p)
+	return New(Line(nHubs, cabsPerHub), WithParams(p))
 }
 
-// CAB returns CAB stack i.
-func (s *System) CAB(i int) *CABStack { return s.CABs[i] }
+// CAB returns CAB stack i. An out-of-range index panics with a descriptive
+// message (see the error contract in the nectar package documentation).
+func (s *System) CAB(i int) *CABStack {
+	if i < 0 || i >= len(s.CABs) {
+		panic(fmt.Sprintf("nectar: CAB(%d) out of range: system has CABs 0..%d", i, len(s.CABs)-1))
+	}
+	return s.CABs[i]
+}
 
 // NumCABs returns the CAB count.
 func (s *System) NumCABs() int { return len(s.CABs) }

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Topology describes the network shape passed to New. Build one with
+// SingleHub, Mesh, or Line; the zero Topology is invalid. Validation
+// happens in New, against the (possibly option-overridden) per-HUB port
+// count.
+type Topology struct {
+	kind            topoKind
+	cabs            int // SingleHub
+	rows, cols, per int // Mesh (rows x cols) / Line (rows = hub count)
+}
+
+type topoKind int
+
+const (
+	topoInvalid topoKind = iota
+	topoSingleHub
+	topoMesh
+	topoLine
+)
+
+// SingleHub describes the paper's Figure 2 system: one HUB with nCABs CABs.
+func SingleHub(nCABs int) Topology {
+	return Topology{kind: topoSingleHub, cabs: nCABs}
+}
+
+// Mesh describes the paper's Figure 4 system: a rows x cols 2-D mesh of HUB
+// clusters with cabsPerHub CABs each.
+func Mesh(rows, cols, cabsPerHub int) Topology {
+	return Topology{kind: topoMesh, rows: rows, cols: cols, per: cabsPerHub}
+}
+
+// Line describes a chain of nHubs HUB clusters with cabsPerHub CABs each
+// (useful for hop-count studies).
+func Line(nHubs, cabsPerHub int) Topology {
+	return Topology{kind: topoLine, rows: nHubs, per: cabsPerHub}
+}
+
+// String renders the topology for error messages and logs.
+func (t Topology) String() string {
+	switch t.kind {
+	case topoSingleHub:
+		return fmt.Sprintf("SingleHub(%d)", t.cabs)
+	case topoMesh:
+		return fmt.Sprintf("Mesh(%dx%d, %d CABs/HUB)", t.rows, t.cols, t.per)
+	case topoLine:
+		return fmt.Sprintf("Line(%d HUBs, %d CABs/HUB)", t.rows, t.per)
+	default:
+		return "Topology(zero)"
+	}
+}
+
+// NumCABs returns the CAB count the topology will produce.
+func (t Topology) NumCABs() int {
+	switch t.kind {
+	case topoSingleHub:
+		return t.cabs
+	case topoMesh:
+		return t.rows * t.cols * t.per
+	case topoLine:
+		return t.rows * t.per
+	default:
+		return 0
+	}
+}
+
+// maxHubDegree returns the largest number of inter-HUB links any single HUB
+// carries in the topology.
+func (t Topology) maxHubDegree() int {
+	deg := func(n int) int { // degree along one axis of length n
+		switch {
+		case n > 2:
+			return 2
+		case n == 2:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch t.kind {
+	case topoMesh:
+		return deg(t.rows) + deg(t.cols)
+	case topoLine:
+		return deg(t.rows)
+	default:
+		return 0
+	}
+}
+
+// validate panics with a descriptive message when the topology cannot be
+// built with the given parameters. See the error contract in package nectar.
+func (t Topology) validate(p Params) {
+	ports := p.Topo.HubPorts
+	bad := func(format string, args ...interface{}) {
+		panic(fmt.Sprintf("nectar: invalid topology %v: %s", t, fmt.Sprintf(format, args...)))
+	}
+	switch t.kind {
+	case topoSingleHub:
+		if t.cabs < 1 {
+			bad("need at least 1 CAB, got %d", t.cabs)
+		}
+		if t.cabs > ports {
+			bad("%d CABs exceed the %d ports of a HUB (raise Params.Topo.HubPorts)", t.cabs, ports)
+		}
+	case topoMesh:
+		if t.rows < 1 || t.cols < 1 {
+			bad("mesh dimensions must be at least 1x1, got %dx%d", t.rows, t.cols)
+		}
+		if t.per < 1 {
+			bad("need at least 1 CAB per HUB, got %d", t.per)
+		}
+		if need := t.per + t.maxHubDegree(); need > ports {
+			bad("%d CABs + %d inter-HUB links need %d ports, but HUBs have %d (raise Params.Topo.HubPorts)",
+				t.per, t.maxHubDegree(), need, ports)
+		}
+	case topoLine:
+		if t.rows < 1 {
+			bad("need at least 1 HUB, got %d", t.rows)
+		}
+		if t.per < 1 {
+			bad("need at least 1 CAB per HUB, got %d", t.per)
+		}
+		if need := t.per + t.maxHubDegree(); need > ports {
+			bad("%d CABs + %d inter-HUB links need %d ports, but HUBs have %d (raise Params.Topo.HubPorts)",
+				t.per, t.maxHubDegree(), need, ports)
+		}
+	default:
+		bad("use SingleHub, Mesh, or Line to construct a Topology")
+	}
+}
+
+// Option configures a System under construction. Options apply in argument
+// order, so later options win; WithParams replaces the entire parameter set
+// and is normally the first option when used at all.
+type Option func(*Params)
+
+// WithParams replaces the whole parameter set (zero-valued sub-parameters
+// are still filled with defaults). Use it to carry a tuned Params into New;
+// options after it refine the replaced set.
+func WithParams(p Params) Option {
+	return func(dst *Params) { *dst = p }
+}
+
+// DefaultTraceSpans is the retained-span bound WithTraceSpans enables.
+const DefaultTraceSpans = 4096
+
+// WithTraceSpans enables end-to-end message span tracing (System.Tr),
+// retaining up to DefaultTraceSpans spans.
+func WithTraceSpans() Option {
+	return func(p *Params) {
+		if p.TraceSpans == 0 {
+			p.TraceSpans = DefaultTraceSpans
+		}
+	}
+}
+
+// WithMetrics enables the metrics registry (System.Reg): every layer
+// auto-registers its counters, gauges, and histograms.
+func WithMetrics() Option {
+	return func(p *Params) { p.Metrics = true }
+}
+
+// WithFaultRecovery arms the automatic failure detection and recovery
+// stack: per-HUB link probing (failed fibers are detected and routed
+// around), transport heartbeats (dead peers fail fast with ErrPeerDead and
+// are revived on return), and bounded retransmission backoff. Probing
+// generates simulation events forever — drive such systems with RunUntil,
+// or call StopProbers before Run.
+func WithFaultRecovery() Option {
+	return func(p *Params) {
+		if p.Datalink.ProbeInterval == 0 {
+			p.Datalink.ProbeInterval = 200 * sim.Microsecond
+			p.Datalink.ProbeTimeout = 100 * sim.Microsecond
+			p.Datalink.ProbeMisses = 3
+		}
+		if p.Transport.HeartbeatInterval == 0 {
+			p.Transport.HeartbeatInterval = 300 * sim.Microsecond
+			p.Transport.PeerMisses = 3
+		}
+	}
+}
+
+// New assembles a Nectar system: the topology's HUBs and fibers, and a full
+// software stack (kernel, datalink, transport) on every CAB. Parameters
+// start at DefaultParams and are refined by the options in order.
+//
+// New validates its arguments and panics with a descriptive "nectar: ..."
+// message when the topology is malformed or does not fit the HUB port
+// count; see the error contract in the nectar package documentation.
+func New(t Topology, opts ...Option) *System {
+	p := DefaultParams()
+	for _, opt := range opts {
+		opt(&p)
+	}
+	p = p.normalize()
+	t.validate(p)
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, p)
+	var net *topo.Network
+	switch t.kind {
+	case topoSingleHub:
+		net = topo.SingleHub(eng, rec, p.Topo, t.cabs)
+	case topoMesh:
+		net = topo.Mesh2D(eng, rec, p.Topo, t.rows, t.cols, t.per)
+	case topoLine:
+		net = topo.Line(eng, rec, p.Topo, t.rows, t.per)
+	}
+	return buildStacks(eng, rec, net, p)
+}
+
+// newRecorder builds the recorder implied by the params.
+func newRecorder(eng *sim.Engine, p Params) *trace.Recorder {
+	if p.RecorderLimit == 0 {
+		return nil
+	}
+	return trace.NewRecorder(eng, p.RecorderLimit)
+}

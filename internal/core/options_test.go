@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", r)
+		}
+		if !strings.HasPrefix(msg, "nectar: ") {
+			t.Fatalf("panic %q does not carry the \"nectar: \" prefix", msg)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	f()
+}
+
+func TestNewValidatesTopology(t *testing.T) {
+	mustPanic(t, "at least 1 CAB", func() { New(SingleHub(0)) })
+	mustPanic(t, "exceed the 16 ports", func() { New(SingleHub(17)) })
+	mustPanic(t, "at least 1x1", func() { New(Mesh(0, 3, 1)) })
+	mustPanic(t, "at least 1 CAB per HUB", func() { New(Mesh(2, 2, 0)) })
+	// 15 CABs + 2 inter-HUB links on the middle hubs of a 1x3 mesh > 16.
+	mustPanic(t, "raise Params.Topo.HubPorts", func() { New(Mesh(1, 3, 15)) })
+	mustPanic(t, "at least 1 HUB", func() { New(Line(0, 1)) })
+	mustPanic(t, "use SingleHub, Mesh, or Line", func() { New(Topology{}) })
+}
+
+func TestNewValidatesAgainstOverriddenPorts(t *testing.T) {
+	// 17 CABs fit once the option raises the port count.
+	p := DefaultParams()
+	p.Topo.HubPorts = 32
+	sys := New(SingleHub(17), WithParams(p))
+	if sys.NumCABs() != 17 {
+		t.Fatalf("NumCABs = %d, want 17", sys.NumCABs())
+	}
+}
+
+func TestCABOutOfRangePanics(t *testing.T) {
+	sys := New(SingleHub(2))
+	mustPanic(t, "CAB(2) out of range", func() { sys.CAB(2) })
+	mustPanic(t, "CAB(-1) out of range", func() { sys.CAB(-1) })
+	if sys.CAB(1) == nil {
+		t.Fatal("in-range CAB returned nil")
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	sys := New(SingleHub(2), WithMetrics(), WithTraceSpans())
+	if sys.Reg == nil {
+		t.Fatal("WithMetrics did not enable the registry")
+	}
+	if sys.Tr == nil {
+		t.Fatal("WithTraceSpans did not enable the tracer")
+	}
+	if sys.Params.TraceSpans != DefaultTraceSpans {
+		t.Fatalf("TraceSpans = %d, want %d", sys.Params.TraceSpans, DefaultTraceSpans)
+	}
+	// Options apply in order: WithParams replaces everything set before it.
+	sys2 := New(SingleHub(2), WithMetrics(), WithParams(DefaultParams()))
+	if sys2.Reg != nil {
+		t.Fatal("WithParams after WithMetrics should have cleared the registry flag")
+	}
+	// ... and refinements after WithParams stick.
+	sys3 := New(SingleHub(2), WithParams(DefaultParams()), WithMetrics())
+	if sys3.Reg == nil {
+		t.Fatal("WithMetrics after WithParams should have enabled the registry")
+	}
+}
+
+func TestWithFaultRecoveryArmsProbersAndHeartbeats(t *testing.T) {
+	sys := New(Mesh(2, 2, 1), WithFaultRecovery())
+	if len(sys.Probers) == 0 {
+		t.Fatal("WithFaultRecovery built no link probers on a multi-HUB mesh")
+	}
+	if sys.Params.Transport.HeartbeatInterval == 0 || sys.Params.Transport.PeerMisses == 0 {
+		t.Fatal("WithFaultRecovery left transport heartbeats disabled")
+	}
+	// Explicit tuning wins over the option's defaults.
+	p := DefaultParams()
+	p.Datalink.ProbeInterval = 999 * sim.Microsecond
+	p.Datalink.ProbeTimeout = 50 * sim.Microsecond
+	p.Datalink.ProbeMisses = 7
+	sys2 := New(Mesh(2, 2, 1), WithParams(p), WithFaultRecovery())
+	if sys2.Params.Datalink.ProbeInterval != 999*sim.Microsecond {
+		t.Fatalf("WithFaultRecovery clobbered an explicit ProbeInterval: %v",
+			sys2.Params.Datalink.ProbeInterval)
+	}
+	sys.StopProbers()
+	sys2.StopProbers()
+}
+
+// The deprecated constructors must build systems identical to New.
+func TestDeprecatedWrappersMatchNew(t *testing.T) {
+	a := NewSingleHub(3, DefaultParams())
+	b := New(SingleHub(3))
+	if a.NumCABs() != b.NumCABs() || a.Params != b.Params {
+		t.Fatal("NewSingleHub diverges from New(SingleHub(...))")
+	}
+	m := NewMesh(2, 2, 2, DefaultParams())
+	if m.NumCABs() != Mesh(2, 2, 2).NumCABs() {
+		t.Fatalf("NewMesh built %d CABs, topology promises %d",
+			m.NumCABs(), Mesh(2, 2, 2).NumCABs())
+	}
+	l := NewLine(3, 2, DefaultParams())
+	if l.NumCABs() != Line(3, 2).NumCABs() {
+		t.Fatalf("NewLine built %d CABs, topology promises %d",
+			l.NumCABs(), Line(3, 2).NumCABs())
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	cases := map[string]Topology{
+		"SingleHub(4)":          SingleHub(4),
+		"Mesh(2x3, 1 CABs/HUB)": Mesh(2, 3, 1),
+		"Line(5 HUBs, 2 CAB":    Line(5, 2),
+		"Topology(zero)":        {},
+	}
+	for want, topo := range cases {
+		if got := topo.String(); !strings.Contains(got, want) {
+			t.Errorf("String() = %q, want it to contain %q", got, want)
+		}
+	}
+}

@@ -20,7 +20,7 @@ func A1AckFastPath() *Result {
 		params := core.DefaultParams()
 		params.Transport.DisableAckFastPath = disable
 		cfg := apps.DefaultProductionConfig()
-		sys := core.NewSingleHub(1+cfg.MatchNodes, params)
+		sys := core.New(core.SingleHub(1+cfg.MatchNodes), core.WithParams(params))
 		res, err := apps.RunProduction(sys, cfg)
 		if err != nil {
 			return 0, 0

@@ -20,7 +20,7 @@ func E1HubLatency() *Result {
 
 	// Controller switching rate: 8 simultaneous opens; the reply spread
 	// divided by 7 grants is the per-grant cycle.
-	sys := core.NewSingleHub(16, params)
+	sys := core.New(core.SingleHub(16), core.WithParams(params))
 	raws := make([]*rawEndpoint, 8)
 	for i := 0; i < 8; i++ {
 		raws[i] = captureRaw(sys.CAB(i))
@@ -71,7 +71,7 @@ func E2Bandwidth() *Result {
 	single := streamThroughput(512*1024, params)
 
 	// All-ports aggregate: 8 disjoint pairs, both directions streaming.
-	sys := core.NewSingleHub(16, params)
+	sys := core.New(core.SingleHub(16), core.WithParams(params))
 	const per = 256 * 1024
 	flows := 0
 	for i := 0; i < 8; i++ {
@@ -155,7 +155,7 @@ func E4Kernel() *Result {
 
 	// Thread switch: semaphore ping-pong; each round trip is two context
 	// switches.
-	sys := core.NewSingleHub(1, params)
+	sys := core.New(core.SingleHub(1), core.WithParams(params))
 	k := sys.CAB(0).Kernel
 	ping := k.NewSem(0)
 	pong := k.NewSem(0)
@@ -180,7 +180,7 @@ func E4Kernel() *Result {
 
 	// Interrupt-to-thread delivery: TryPut from an interrupt handler to a
 	// waiting thread.
-	sys2 := core.NewSingleHub(1, params)
+	sys2 := core.New(core.SingleHub(1), core.WithParams(params))
 	k2 := sys2.CAB(0).Kernel
 	mb := k2.NewMailbox("m", 4096)
 	var deliverAt, wakeAt sim.Time

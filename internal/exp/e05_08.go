@@ -71,19 +71,19 @@ func E6MultiHub() *Result {
 	var perHop sim.Time
 	pass := true
 	for hops := 1; hops <= 6; hops++ {
-		sys := core.NewLine(hops, 1, params)
+		sys := core.New(core.Line(hops, 1), core.WithParams(params))
 		// CAB 0 on hub 0, CAB hops-1 on the last hub.
 		dst := hops - 1
 		var pkt, circ sim.Time
 		if dst == 0 {
 			dst = 1
-			sys = core.NewLine(1, 2, params)
+			sys = core.New(core.Line(1, 2), core.WithParams(params))
 		}
 		pkt = datagramLatencyOn(sys, 0, dst, 64)
 
-		sys2 := core.NewLine(hops, 1, params)
+		sys2 := core.New(core.Line(hops, 1), core.WithParams(params))
 		if hops == 1 {
-			sys2 = core.NewLine(1, 2, params)
+			sys2 = core.New(core.Line(1, 2), core.WithParams(params))
 		}
 		circ = datagramLatencyOn(sys2, 0, dst, 4096)
 
@@ -99,7 +99,7 @@ func E6MultiHub() *Result {
 	}
 	// The per-hop increment must be small relative to the one-hop total
 	// (the paper's "not significantly higher").
-	one := datagramLatencyOn(core.NewLine(1, 2, core.DefaultParams()), 0, 1, 64)
+	one := datagramLatencyOn(core.New(core.Line(1, 2)), 0, 1, 64)
 	if perHop > one/5 {
 		pass = false
 	}
@@ -158,7 +158,7 @@ func E7Multicast() *Result {
 // multicastTime measures time from send start to the LAST destination's
 // datalink delivery, for k destinations on one HUB.
 func multicastTime(k int, useMulticast bool) sim.Time {
-	sys := core.NewSingleHub(k+1, core.DefaultParams())
+	sys := core.New(core.SingleHub(k + 1))
 	var last sim.Time
 	remaining := k
 	for i := 1; i <= k; i++ {
@@ -228,7 +228,7 @@ func E8Transports() *Result {
 
 // streamLatency measures one-way latency of a small byte-stream message.
 func streamLatency(size int) sim.Time {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 1024*1024)
 	rx.TP.Register(1, mb)
@@ -248,7 +248,7 @@ func streamLatency(size int) sim.Time {
 
 // requestRTT measures a request-response echo round trip.
 func requestRTT(size int) sim.Time {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	srv := sys.CAB(1)
 	smb := srv.Kernel.NewMailbox("srv", 1024*1024)
 	srv.TP.Register(7, smb)
@@ -279,7 +279,7 @@ func lossComparison() (dgGot, stGot, sent int) {
 	run := func(stream bool) int {
 		params := core.DefaultParams()
 		params.Topo.Errors = fiber.ErrorModel{BitErrorRate: 2e-5, Seed: 31}
-		sys := core.NewSingleHub(2, params)
+		sys := core.New(core.SingleHub(2), core.WithParams(params))
 		rx := sys.CAB(1)
 		mb := rx.Kernel.NewMailbox("in", 2*1024*1024)
 		rx.TP.Register(1, mb)

@@ -119,7 +119,7 @@ func E11Contention() *Result {
 // hotspotAggregate streams from k senders to CAB 0 and reports aggregate
 // and per-sender goodput in Mb/s.
 func hotspotAggregate(k int) (agg, minShare, maxShare float64) {
-	sys := core.NewSingleHub(k+1, core.DefaultParams())
+	sys := core.New(core.SingleHub(k + 1))
 	const per = 128 * 1024
 	rx := sys.CAB(0)
 	mb := rx.Kernel.NewMailbox("in", 8<<20)
@@ -157,7 +157,7 @@ func hotspotAggregate(k int) (agg, minShare, maxShare float64) {
 // crossbarAggregate runs k disjoint streaming pairs on one HUB and returns
 // aggregate Mb/s.
 func crossbarAggregate(k int) float64 {
-	sys := core.NewSingleHub(2*k, core.DefaultParams())
+	sys := core.New(core.SingleHub(2 * k))
 	const per = 256 * 1024
 	for i := 0; i < k; i++ {
 		src, dst := i, k+i
@@ -202,7 +202,7 @@ func lanAggregate(k int) float64 {
 func E12Apps() *Result {
 	// Vision.
 	vcfg := apps.DefaultVisionConfig()
-	vsys := core.NewSingleHub(3+vcfg.DBNodes, core.DefaultParams())
+	vsys := core.New(core.SingleHub(3 + vcfg.DBNodes))
 	vres, err := apps.RunVision(vsys, vcfg)
 	t1 := trace.NewTable("Vision pipeline (Warp + distributed spatial DB)",
 		"metric", "value")
@@ -219,7 +219,7 @@ func E12Apps() *Result {
 		// Task placement (§6.3): the same database on the Sun nodes.
 		vcfg2 := vcfg
 		vcfg2.DBOnNodes = true
-		vsys2 := core.NewSingleHub(3+vcfg2.DBNodes, core.DefaultParams())
+		vsys2 := core.New(core.SingleHub(3 + vcfg2.DBNodes))
 		if vres2, err2 := apps.RunVision(vsys2, vcfg2); err2 == nil {
 			t1.AddRow("query latency p50 (DB on Sun nodes)", vres2.QueryLatency.Median())
 			pass = pass && vres2.QueryLatency.Median() > vres.QueryLatency.Median()
@@ -233,7 +233,7 @@ func E12Apps() *Result {
 	for _, parts := range []int{1, 2, 4} {
 		cfg := apps.DefaultProductionConfig()
 		cfg.MatchNodes = parts
-		sys := core.NewSingleHub(1+parts, core.DefaultParams())
+		sys := core.New(core.SingleHub(1 + parts))
 		res, err2 := apps.RunProduction(sys, cfg)
 		if err2 != nil {
 			pass = false
@@ -256,7 +256,7 @@ func E12Apps() *Result {
 	for _, procs := range []int{1, 2, 4} {
 		cfg := apps.DefaultAnnealConfig()
 		cfg.Procs = procs
-		sys := core.NewSingleHub(maxInt(procs, 1), core.DefaultParams())
+		sys := core.New(core.SingleHub(maxInt(procs, 1)))
 		res := apps.RunAnnealing(sys, cfg)
 		if procs == 1 {
 			abase = res.Elapsed
@@ -318,9 +318,9 @@ func F1Topologies() *Result {
 		t.AddRow(name, len(sys.Net.Hubs()), n, maxHops, reachable)
 	}
 
-	check("single HUB (Fig. 2)", core.NewSingleHub(8, core.DefaultParams()))
-	check("HUB cluster pair (Fig. 3)", core.NewLine(2, 4, core.DefaultParams()))
-	check("3x3 2-D mesh (Fig. 4)", core.NewMesh(3, 3, 1, core.DefaultParams()))
+	check("single HUB (Fig. 2)", core.New(core.SingleHub(8)))
+	check("HUB cluster pair (Fig. 3)", core.New(core.Line(2, 4)))
+	check("3x3 2-D mesh (Fig. 4)", core.New(core.Mesh(3, 3, 1)))
 
 	return &Result{
 		ID: "F1", Title: "System topologies",

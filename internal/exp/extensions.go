@@ -51,7 +51,7 @@ func X3VMTP() *Result {
 
 // vmtpRTT measures a VMTP echo transaction round trip.
 func vmtpRTT(size int, params core.Params) sim.Time {
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	srv := sys.CAB(1)
 	mb := srv.Kernel.NewMailbox("srv", 4<<20)
 	srv.TP.Register(7, mb)
@@ -82,7 +82,7 @@ func lossEfficiency() (vmtpPkts, streamPkts, minPkts int64) {
 		p.Topo.Errors = fiber.ErrorModel{BitErrorRate: 4e-5, Seed: 77}
 		return p
 	}
-	sysV := core.NewSingleHub(2, lossy())
+	sysV := core.New(core.SingleHub(2), core.WithParams(lossy()))
 	srv := sysV.CAB(1)
 	mbV := srv.Kernel.NewMailbox("srv", 4<<20)
 	srv.TP.Register(7, mbV)
@@ -99,7 +99,7 @@ func lossEfficiency() (vmtpPkts, streamPkts, minPkts int64) {
 	sysV.Run()
 	vmtpPkts = sysV.CAB(0).DL.Stats().PacketsSent
 
-	sysS := core.NewSingleHub(2, lossy())
+	sysS := core.New(core.SingleHub(2), core.WithParams(lossy()))
 	rx := sysS.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 4<<20)
 	rx.TP.Register(1, mb)
@@ -126,7 +126,7 @@ func X4DSM() *Result {
 	for _, workers := range []int{2, 4, 6} {
 		cfg := apps.DefaultDSMConfig()
 		cfg.Workers = workers
-		sys := core.NewSingleHub(1+workers, core.DefaultParams())
+		sys := core.New(core.SingleHub(1 + workers))
 		res, err := apps.RunDSM(sys, cfg)
 		if err != nil {
 			pass = false

@@ -14,7 +14,7 @@ import (
 // one-way process-to-process latency of a single datagram of `size` bytes
 // between threads on two CABs.
 func cabLatencyOneWay(size int, params core.Params) sim.Time {
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 1024*1024)
 	rx.TP.Register(1, mb)
@@ -36,7 +36,7 @@ func cabLatencyOneWay(size int, params core.Params) sim.Time {
 // streamThroughput measures one-way byte-stream throughput (Mb/s) for a
 // bulk transfer of total bytes between two CABs.
 func streamThroughput(total int, params core.Params) float64 {
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 2*1024*1024)
 	rx.TP.Register(1, mb)
@@ -101,7 +101,7 @@ func hubSetupMeasurement(params core.Params) (setup, transfer sim.Time) {
 	if prop == 0 {
 		prop = fiber.DefaultPropagation
 	}
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	a := sys.CAB(0)
 	b := captureRaw(sys.CAB(1))
 	captureRaw(a)
@@ -132,7 +132,7 @@ func hubSetupMeasurement(params core.Params) (setup, transfer sim.Time) {
 // nodeSharedLatency measures node-process-to-node-process latency over the
 // shared-memory CAB-node interface.
 func nodeSharedLatency(size int) sim.Time {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	a := node.New(sys.CAB(0), "nodeA", node.DefaultParams())
 	b := node.New(sys.CAB(1), "nodeB", node.DefaultParams())
 	b.OpenBox(1, node.ModeShared, 1024*1024)
@@ -152,7 +152,7 @@ func nodeSharedLatency(size int) sim.Time {
 // nodeInterfaceRun measures one-way latency and bulk throughput for a given
 // CAB-node interface mode.
 func nodeInterfaceRun(mode node.RecvMode, size int) (lat sim.Time) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	a := node.New(sys.CAB(0), "nodeA", node.DefaultParams())
 	b := node.New(sys.CAB(1), "nodeB", node.DefaultParams())
 	b.OpenBox(1, mode, 4*1024*1024)
@@ -230,7 +230,7 @@ func lanThroughput(total int) float64 {
 // nodeThroughput measures bulk node-to-node throughput (shared-memory
 // interface, pipelined) in Mb/s.
 func nodeThroughput(total, segment int) float64 {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	np := node.DefaultParams()
 	np.PipelineSegment = segment
 	a := node.New(sys.CAB(0), "nodeA", np)

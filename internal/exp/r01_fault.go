@@ -95,7 +95,7 @@ func r1Run(sc r1Scenario) r1Outcome {
 	p.Transport.PeerMisses = 3
 	p.Transport.ReqTimeout = 2 * sim.Millisecond
 	p.Transport.ReqRetries = 3
-	sys := core.NewMesh(2, 2, 1, p)
+	sys := core.New(core.Mesh(2, 2, 1), core.WithParams(p))
 
 	// Receiver (CAB 3, the far corner): requests carry an application
 	// sequence number; duplicates (a response lost to a fault makes the

@@ -24,7 +24,7 @@ func X1VLSIScaleUp() *Result {
 		params := core.DefaultParams()
 		params.Topo = topo.Options{HubPorts: ports}
 		n := ports // one CAB per port
-		sys := core.NewSingleHub(n, params)
+		sys := core.New(core.SingleHub(n), core.WithParams(params))
 		const per = 128 * 1024
 		flows := n / 2
 		for i := 0; i < flows; i++ {
@@ -68,7 +68,7 @@ func X1VLSIScaleUp() *Result {
 // arrives and every crossbar stays consistent.
 func X2HundredNodes() *Result {
 	params := core.DefaultParams()
-	sys := core.NewMesh(5, 5, 4, params)
+	sys := core.New(core.Mesh(5, 5, 4), core.WithParams(params))
 	n := sys.NumCABs()
 
 	lat := trace.NewHistogram("delivery latency")

@@ -19,7 +19,7 @@ func T1LatencyBreakdown() *Result {
 	params := core.DefaultParams()
 	params.TraceSpans = 4096
 	params.Metrics = true
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 
 	server := sys.CAB(1)
 	mb := server.Kernel.NewMailbox("srv", 1024*1024)

@@ -1,0 +1,433 @@
+// Package load generates deterministic synthetic workloads against an
+// assembled Nectar system. It is the traffic source behind the fleet
+// harness (cmd/nectar-fleet): every CAB runs client threads issuing a
+// configurable mix of request-response, byte-stream, and VMTP transaction
+// operations against servers on the other CABs, with either closed-loop
+// (fixed concurrency) or open-loop (timed arrivals) injection and
+// uniform or zipfian destination popularity.
+//
+// Determinism: all randomness comes from per-worker rand sources derived
+// from Config.Seed, and all scheduling happens on the system's
+// discrete-event engine, so a given (system, Config) pair always produces
+// byte-identical results — Result.Digest folds every completed operation
+// and is the value the fleet harness compares across runs.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Arrival selects how operations are injected.
+type Arrival int
+
+const (
+	// ClosedLoop runs Config.Workers client threads per CAB, each issuing
+	// its next operation as soon as the previous one completes. Offered
+	// load self-regulates to the system's capacity: this is the
+	// saturation mode.
+	ClosedLoop Arrival = iota
+	// OpenLoop draws exponential interarrival times at Config.RatePerCAB
+	// per CAB and spawns one client thread per arrival, independent of
+	// completions — the paper-style fixed-rate injection. Arrivals beyond
+	// Config.MaxOutstanding in flight are shed (counted in Result.Shed),
+	// modeling a full connection backlog rather than unbounded queueing.
+	OpenLoop
+)
+
+// Op kinds, indexed into Mix weights and Result.OpCounts.
+const (
+	OpReqResp = iota
+	OpStream
+	OpVMTP
+	numOps
+)
+
+var opNames = [numOps]string{"reqresp", "stream", "vmtp"}
+
+// Mix weights the operation types. Weights are relative; zero disables a
+// type. The zero Mix is replaced by DefaultMix.
+type Mix struct {
+	ReqResp int // request-response round trips (ReqBytes out, RespBytes back)
+	Stream  int // reliable byte-stream messages of StreamBytes
+	VMTP    int // VMTP transactions (ReqBytes out, RespBytes back)
+}
+
+// DefaultMix is a datacenter-ish blend: mostly RPCs, some bulk, some VMTP.
+func DefaultMix() Mix { return Mix{ReqResp: 60, Stream: 30, VMTP: 10} }
+
+func (m Mix) total() int { return m.ReqResp + m.Stream + m.VMTP }
+
+// Config parameterizes a load run. Zero-valued fields take the documented
+// defaults.
+type Config struct {
+	// Seed derives every random stream in the run.
+	Seed int64
+	// Arrival selects closed-loop (default) or open-loop injection.
+	Arrival Arrival
+	// Workers is the closed-loop client thread count per CAB (default 2).
+	Workers int
+	// RatePerCAB is the open-loop arrival rate per CAB in operations per
+	// simulated second (default 20000).
+	RatePerCAB float64
+	// MaxOutstanding caps in-flight open-loop operations per CAB; excess
+	// arrivals are shed (default 64).
+	MaxOutstanding int
+	// Warmup runs traffic without recording (default 2ms); Duration is
+	// the measured window after warmup (default 20ms).
+	Warmup   sim.Time
+	Duration sim.Time
+	// Mix weights the operation types (default DefaultMix).
+	Mix Mix
+	// Payload sizes in bytes (defaults 64, 256, 16384).
+	ReqBytes, RespBytes, StreamBytes int
+	// ZipfS skews destination popularity: 0 means uniform; values > 1
+	// are the zipf s parameter (larger = more skew). Each source applies
+	// the skew to its own rotation of the other CABs, so hot keys spread
+	// across the machine deterministically.
+	ZipfS float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.RatePerCAB == 0 {
+		c.RatePerCAB = 20000
+	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 64
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * sim.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 20 * sim.Millisecond
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.ReqBytes == 0 {
+		c.ReqBytes = 64
+	}
+	if c.RespBytes == 0 {
+		c.RespBytes = 256
+	}
+	if c.StreamBytes == 0 {
+		c.StreamBytes = 16 << 10
+	}
+	return c
+}
+
+// Result summarizes one load run.
+type Result struct {
+	Ops      int64    // completed operations in the measured window
+	Errors   int64    // operations that returned an error
+	Shed     int64    // open-loop arrivals dropped at MaxOutstanding
+	Bytes    int64    // payload bytes moved by completed operations
+	Elapsed  sim.Time // measured window length
+	OpCounts [numOps]int64
+	// Latency is the distribution of completed-operation latencies
+	// (exact samples, so quantiles merge exactly across replicas).
+	Latency *trace.Histogram
+	// Digest folds (kind, src, dst, latency, error) of every completed
+	// operation, in completion order, through FNV-1a. Two runs of the
+	// same seed and config produce the same digest, whatever the host;
+	// the fleet harness keys its determinism check off this.
+	Digest uint64
+}
+
+// OpsPerSec is completed operations per simulated second.
+func (r *Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// MBps is payload megabytes moved per simulated second.
+func (r *Result) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds() / 1e6
+}
+
+// Mailbox numbers used by the generator on every CAB. Client source boxes
+// for streams start at boxClientBase+worker so concurrent streams from one
+// CAB use distinct connections.
+const (
+	boxReqResp    = 7
+	boxStream     = 8
+	boxVMTP       = 9
+	boxClientBase = 16
+)
+
+const fnvOffset, fnvPrime = 0xcbf29ce484222325, 0x100000001b3
+
+// run carries the mutable state shared by every generator thread.
+type run struct {
+	sys    *core.System
+	cfg    Config
+	mark   sim.Time // measurement starts here
+	end    sim.Time // traffic and measurement stop here
+	res    *Result
+	digest uint64
+}
+
+func (r *run) fold(b byte) { r.digest = (r.digest ^ uint64(b)) * fnvPrime }
+
+func (r *run) fold64(v uint64) {
+	for i := 0; i < 8; i++ {
+		r.fold(byte(v >> (8 * i)))
+	}
+}
+
+// record accounts one completed operation (thread-safe by construction:
+// the simulation engine is single-threaded).
+func (r *run) record(kind, src, dst int, start sim.Time, bytes int, err error) {
+	now := r.sys.Eng.Now()
+	if now < r.mark || now > r.end {
+		return
+	}
+	lat := now - start
+	r.res.Ops++
+	r.res.OpCounts[kind]++
+	if err != nil {
+		r.res.Errors++
+	} else {
+		r.res.Bytes += int64(bytes)
+	}
+	r.res.Latency.Add(lat)
+	r.fold(byte(kind))
+	r.fold64(uint64(src))
+	r.fold64(uint64(dst))
+	r.fold64(uint64(lat))
+	if err != nil {
+		r.fold(1)
+	} else {
+		r.fold(0)
+	}
+}
+
+// picker draws destinations and op kinds for one worker, deterministically
+// from its own seed.
+type picker struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	self int
+	n    int
+	mix  Mix
+}
+
+func newPicker(seed int64, self, n int, cfg Config) *picker {
+	rng := rand.New(rand.NewSource(seed))
+	p := &picker{rng: rng, self: self, n: n, mix: cfg.Mix}
+	if cfg.ZipfS > 1 && n > 2 {
+		p.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(n-2))
+	}
+	return p
+}
+
+// dst picks a destination CAB other than self. With zipf enabled, rank 0
+// (the hottest) maps to the next CAB after self, so every source has its
+// own hot destination and skew does not collapse the whole machine onto
+// one CAB.
+func (p *picker) dst() int {
+	var rank int
+	if p.zipf != nil {
+		rank = int(p.zipf.Uint64())
+	} else {
+		rank = p.rng.Intn(p.n - 1)
+	}
+	return (p.self + 1 + rank) % p.n
+}
+
+// kind draws an op kind according to the mix weights.
+func (p *picker) kind() int {
+	v := p.rng.Intn(p.mix.total())
+	if v < p.mix.ReqResp {
+		return OpReqResp
+	}
+	if v < p.mix.ReqResp+p.mix.Stream {
+		return OpStream
+	}
+	return OpVMTP
+}
+
+// workerSeed derives a stable per-worker seed from the run seed. The
+// multipliers are odd 64-bit constants (splitmix-style) so nearby
+// (cab, worker) pairs land far apart.
+func workerSeed(seed int64, cab, worker int) int64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	x ^= uint64(cab+1) * 0xbf58476d1ce4e5b9
+	x ^= uint64(worker+1) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// installServers registers the three service mailboxes and their daemon
+// threads on every CAB.
+func installServers(sys *core.System, cfg Config) {
+	for i := 0; i < sys.NumCABs(); i++ {
+		st := sys.CAB(i)
+		resp := make([]byte, cfg.RespBytes)
+
+		reqMB := st.Kernel.NewMailbox("load-req", 4<<20)
+		st.TP.Register(boxReqResp, reqMB)
+		st.Kernel.SpawnDaemon("load-req-srv", func(th *kernel.Thread) {
+			for {
+				req := reqMB.Get(th)
+				st.TP.Respond(th, req, resp)
+				reqMB.Release(req)
+			}
+		})
+
+		strMB := st.Kernel.NewMailbox("load-stream", 8<<20)
+		st.TP.Register(boxStream, strMB)
+		st.Kernel.SpawnDaemon("load-stream-sink", func(th *kernel.Thread) {
+			for {
+				msg := strMB.Get(th)
+				strMB.Release(msg)
+			}
+		})
+
+		vMB := st.Kernel.NewMailbox("load-vmtp", 4<<20)
+		st.TP.Register(boxVMTP, vMB)
+		st.Kernel.SpawnDaemon("load-vmtp-srv", func(th *kernel.Thread) {
+			for {
+				req := vMB.Get(th)
+				st.TP.VRespond(th, req, resp)
+				vMB.Release(req)
+			}
+		})
+	}
+}
+
+// doOp executes one operation and reports (payload bytes, error).
+func (r *run) doOp(th *kernel.Thread, kind, self, dst, worker int) (int, error) {
+	tp := r.sys.CAB(self).TP
+	cfg := r.cfg
+	srcBox := uint16(boxClientBase + worker)
+	switch kind {
+	case OpReqResp:
+		resp, err := tp.Request(th, dst, boxReqResp, srcBox, make([]byte, cfg.ReqBytes))
+		return cfg.ReqBytes + len(resp), err
+	case OpStream:
+		err := tp.StreamSend(th, dst, boxStream, srcBox, make([]byte, cfg.StreamBytes))
+		return cfg.StreamBytes, err
+	default:
+		resp, err := tp.VTransact(th, dst, boxVMTP, srcBox, make([]byte, cfg.ReqBytes))
+		return cfg.ReqBytes + len(resp), err
+	}
+}
+
+// Run drives the workload against sys until Warmup+Duration of simulated
+// time has elapsed and returns the measured-window results. It owns the
+// engine for that span (it calls sys.Eng.RunUntil); the system must not
+// have other traffic scheduled. Panics with a descriptive "load: ..."
+// message when the system is too small to generate traffic.
+func Run(sys *core.System, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	n := sys.NumCABs()
+	if n < 2 {
+		panic(fmt.Sprintf("load: need at least 2 CABs to generate traffic, system has %d", n))
+	}
+	start := sys.Eng.Now()
+	r := &run{
+		sys:    sys,
+		cfg:    cfg,
+		mark:   start + cfg.Warmup,
+		end:    start + cfg.Warmup + cfg.Duration,
+		res:    &Result{Latency: trace.NewHistogram("op latency")},
+		digest: fnvOffset,
+	}
+	installServers(sys, cfg)
+	if cfg.Arrival == ClosedLoop {
+		r.startClosed()
+	} else {
+		r.startOpen()
+	}
+	sys.Eng.RunUntil(r.end)
+	r.res.Elapsed = cfg.Duration
+	r.res.Digest = r.digest
+	return r.res
+}
+
+// startClosed spawns Workers client threads per CAB, each looping
+// operations back to back until the end of the run.
+func (r *run) startClosed() {
+	for i := 0; i < r.sys.NumCABs(); i++ {
+		for w := 0; w < r.cfg.Workers; w++ {
+			i, w := i, w
+			pk := newPicker(workerSeed(r.cfg.Seed, i, w), i, r.sys.NumCABs(), r.cfg)
+			name := fmt.Sprintf("load-%d.%d", i, w)
+			r.sys.CAB(i).Kernel.SpawnDaemon(name, func(th *kernel.Thread) {
+				for th.Proc().Now() < r.end {
+					kind, dst := pk.kind(), pk.dst()
+					opStart := th.Proc().Now()
+					bytes, err := r.doOp(th, kind, i, dst, w)
+					r.record(kind, i, dst, opStart, bytes, err)
+				}
+			})
+		}
+	}
+}
+
+// startOpen spawns one dispatcher per CAB that draws exponential
+// interarrivals and launches a short-lived client thread per arrival.
+func (r *run) startOpen() {
+	interArrival := func(rng *rand.Rand) sim.Time {
+		d := sim.Time(rng.ExpFloat64() / r.cfg.RatePerCAB * float64(sim.Second))
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	for i := 0; i < r.sys.NumCABs(); i++ {
+		i := i
+		pk := newPicker(workerSeed(r.cfg.Seed, i, 0), i, r.sys.NumCABs(), r.cfg)
+		outstanding := 0
+		seq := 0
+		k := r.sys.CAB(i).Kernel
+		k.SpawnDaemon(fmt.Sprintf("load-arrivals-%d", i), func(th *kernel.Thread) {
+			for {
+				th.Sleep(interArrival(pk.rng))
+				if th.Proc().Now() >= r.end {
+					return
+				}
+				if outstanding >= r.cfg.MaxOutstanding {
+					if now := th.Proc().Now(); now >= r.mark && now <= r.end {
+						r.res.Shed++
+					}
+					continue
+				}
+				kind, dst := pk.kind(), pk.dst()
+				// Rotate the client box so concurrent arrivals use
+				// distinct stream connections.
+				worker := seq % r.cfg.MaxOutstanding
+				seq++
+				outstanding++
+				k.Spawn(fmt.Sprintf("load-%d.op%d", i, seq), func(th *kernel.Thread) {
+					opStart := th.Proc().Now()
+					bytes, err := r.doOp(th, kind, i, dst, worker)
+					r.record(kind, i, dst, opStart, bytes, err)
+					outstanding--
+				})
+			}
+		})
+	}
+}
+
+// OpName returns the display name of an op kind.
+func OpName(kind int) string {
+	if kind < 0 || kind >= numOps {
+		return fmt.Sprintf("op(%d)", kind)
+	}
+	return opNames[kind]
+}

@@ -1,0 +1,162 @@
+package load
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func shortCfg(seed int64) Config {
+	return Config{
+		Seed:     seed,
+		Warmup:   sim.Millisecond,
+		Duration: 8 * sim.Millisecond,
+	}
+}
+
+func TestClosedLoopGeneratesAllOpKinds(t *testing.T) {
+	sys := core.New(core.SingleHub(4))
+	res := Run(sys, shortCfg(1))
+	if res.Ops == 0 {
+		t.Fatal("closed-loop run completed no operations")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("healthy system produced %d errors", res.Errors)
+	}
+	for kind, c := range res.OpCounts {
+		if c == 0 {
+			t.Errorf("mix produced zero %s operations", OpName(kind))
+		}
+	}
+	if res.Latency.Count() != int(res.Ops) {
+		t.Fatalf("latency samples %d != ops %d", res.Latency.Count(), res.Ops)
+	}
+	if got := res.OpsPerSec(); got <= 0 {
+		t.Fatalf("OpsPerSec = %v", got)
+	}
+}
+
+// The same seed and config must reproduce the run exactly — digest, op
+// count, byte count, and every latency sample.
+func TestSameSeedSameDigest(t *testing.T) {
+	for _, arrival := range []Arrival{ClosedLoop, OpenLoop} {
+		cfg := shortCfg(42)
+		cfg.Arrival = arrival
+		a := Run(core.New(core.SingleHub(4)), cfg)
+		b := Run(core.New(core.SingleHub(4)), cfg)
+		if a.Digest != b.Digest {
+			t.Fatalf("arrival=%d: same seed diverged: %x vs %x", arrival, a.Digest, b.Digest)
+		}
+		if a.Ops != b.Ops || a.Bytes != b.Bytes || a.Shed != b.Shed {
+			t.Fatalf("arrival=%d: same seed, different counts: %+v vs %+v", arrival, a, b)
+		}
+		sa, sb := a.Latency.Samples(), b.Latency.Samples()
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("arrival=%d: latency sample %d differs: %v vs %v", arrival, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := Run(core.New(core.SingleHub(4)), shortCfg(1))
+	b := Run(core.New(core.SingleHub(4)), shortCfg(2))
+	if a.Digest == b.Digest {
+		t.Fatalf("different seeds produced identical digest %x", a.Digest)
+	}
+}
+
+func TestOpenLoopRespectsRate(t *testing.T) {
+	cfg := shortCfg(7)
+	cfg.Arrival = OpenLoop
+	cfg.RatePerCAB = 5000
+	cfg.Mix = Mix{ReqResp: 1} // cheap ops: the system keeps up
+	sys := core.New(core.SingleHub(4))
+	res := Run(sys, cfg)
+	if res.Ops == 0 {
+		t.Fatal("open-loop run completed no operations")
+	}
+	// 4 CABs x 5000/s x 8ms = ~160 expected arrivals; allow wide
+	// tolerance for exponential variance but catch runaway injection.
+	if res.Ops > 400 {
+		t.Fatalf("open loop wildly over rate: %d ops in 8ms at 5000/s/CAB", res.Ops)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("open-loop run produced %d errors", res.Errors)
+	}
+}
+
+func TestOpenLoopShedsAtMaxOutstanding(t *testing.T) {
+	cfg := shortCfg(9)
+	cfg.Arrival = OpenLoop
+	cfg.RatePerCAB = 500000 // far beyond capacity
+	cfg.MaxOutstanding = 2
+	cfg.Mix = Mix{Stream: 1}
+	cfg.StreamBytes = 64 << 10 // slow ops so the backlog fills
+	res := Run(core.New(core.SingleHub(4)), cfg)
+	if res.Shed == 0 {
+		t.Fatal("overdriven open loop shed nothing")
+	}
+}
+
+// Zipf skew must bias each source toward its own hottest destination
+// while remaining deterministic.
+func TestZipfSkewsDestinations(t *testing.T) {
+	pk := newPicker(workerSeed(5, 0, 0), 0, 8, Config{ZipfS: 1.8, Mix: DefaultMix()})
+	counts := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		d := pk.dst()
+		if d == 0 {
+			t.Fatal("picker chose self as destination")
+		}
+		counts[d]++
+	}
+	// Rank 0 for source 0 is CAB 1: it must dominate.
+	for d := 2; d < 8; d++ {
+		if counts[1] <= counts[d] {
+			t.Fatalf("zipf hottest dst 1 (%d draws) not above dst %d (%d draws)",
+				counts[1], d, counts[d])
+		}
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	pk := newPicker(workerSeed(5, 3, 1), 3, 6, Config{Mix: DefaultMix()})
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		d := pk.dst()
+		if d == 3 {
+			t.Fatal("picker chose self as destination")
+		}
+		seen[d] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("uniform picker reached %d of 5 destinations", len(seen))
+	}
+}
+
+func TestRunPanicsOnTinySystem(t *testing.T) {
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "load: ") {
+			t.Fatalf("expected descriptive load panic, got %v", r)
+		}
+	}()
+	Run(core.New(core.SingleHub(1)), Config{})
+}
+
+func TestCustomMixExcludesDisabledKinds(t *testing.T) {
+	cfg := shortCfg(3)
+	cfg.Mix = Mix{ReqResp: 1}
+	res := Run(core.New(core.SingleHub(4)), cfg)
+	if res.OpCounts[OpStream] != 0 || res.OpCounts[OpVMTP] != 0 {
+		t.Fatalf("disabled op kinds ran: %v", res.OpCounts)
+	}
+	if res.OpCounts[OpReqResp] == 0 {
+		t.Fatal("enabled op kind did not run")
+	}
+}

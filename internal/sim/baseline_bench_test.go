@@ -1,0 +1,57 @@
+package sim_test
+
+// Baseline twins of the engine micro-benchmarks, running the preserved
+// pre-PR event loop. Compare:
+//
+//	go test -bench='EventHeapChurn|BaselineHeapChurn' ./internal/sim/
+//
+// cmd/nectar-fleet runs the same head-to-head programmatically and records
+// the events/sec ratio in BENCH_fleet.json.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sim/baseline"
+)
+
+func BenchmarkBaselineScheduleAndFire(b *testing.B) {
+	b.ReportAllocs()
+	e := baseline.NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.RunUntil(e.Now() + 1)
+	}
+}
+
+func BenchmarkBaselineHeapChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := baseline.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.After(sim.Time(j%7+1), func() {})
+		}
+		e.RunUntil(e.Now() + 8)
+	}
+	e.Run()
+}
+
+func BenchmarkBaselineChurnCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	e := baseline.NewEngine()
+	var timers [64]*baseline.Event
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			timers[j] = e.After(sim.Time(j%13+2), func() {})
+		}
+		for j := 0; j < 64; j++ {
+			if j%8 != 0 {
+				e.Cancel(timers[j])
+			}
+		}
+		e.RunUntil(e.Now() + 4)
+	}
+	e.Run()
+}

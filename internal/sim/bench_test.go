@@ -4,6 +4,9 @@ import "testing"
 
 // Wall-clock micro-benchmarks of the engine itself (the substrate's own
 // speed, as opposed to the simulated-time results in the root bench file).
+// The schedule-heavy churn benchmarks have baseline twins in
+// baseline_bench_test.go; cmd/nectar-fleet runs both loops head-to-head and
+// records the speedup in BENCH_fleet.json.
 
 func BenchmarkEventScheduleAndFire(b *testing.B) {
 	b.ReportAllocs()
@@ -24,6 +27,28 @@ func BenchmarkEventHeapChurn(b *testing.B) {
 			e.After(Time(j%7+1), func() {})
 		}
 		e.RunUntil(e.Now() + 8)
+	}
+	e.Run()
+}
+
+// BenchmarkEventChurnCancelHeavy models a retransmission-timer workload:
+// most scheduled events are canceled before they fire (a healthy network
+// acks almost everything), so the heap must recycle dead slots cheaply.
+func BenchmarkEventChurnCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	var timers [64]Event
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			timers[j] = e.After(Time(j%13+2), func() {})
+		}
+		for j := 0; j < 64; j++ {
+			if j%8 != 0 { // 7 of 8 timers canceled before expiry
+				e.Cancel(timers[j])
+			}
+		}
+		e.RunUntil(e.Now() + 4)
 	}
 	e.Run()
 }

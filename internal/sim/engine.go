@@ -10,12 +10,20 @@
 // goroutine runs at a time, and all randomness is drawn from seeded
 // math/rand sources owned by individual components. Two runs with the same
 // seeds produce identical event orders and identical results.
+//
+// # Fast path
+//
+// The event queue is a monomorphic 4-ary min-heap over pooled event slots:
+// no interface boxing, no container/heap indirection, and near-zero
+// allocations per event in steady state (slots are recycled through a free
+// list; new slots are allocated in chunks). Cancellation is lazy — Cancel
+// marks the slot dead and the slot is skipped and recycled when it
+// surfaces — with an O(n) compaction pass when dead slots dominate the
+// heap, so timer-heavy workloads (retransmission timers that almost always
+// cancel) stay compact.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in nanoseconds.
 type Time int64
@@ -45,47 +53,59 @@ func (t Time) String() string {
 // Seconds returns the time as floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
-// Event is a scheduled callback. It is returned by At/After so callers can
-// Cancel it (used for retransmission timers and preemption).
-type Event struct {
+// slot is the pooled storage behind a scheduled event. Slots are owned by
+// the engine: after the callback fires (or a canceled slot surfaces at the
+// top of the heap) the slot returns to the free list and is reused by a
+// later At/After. seq is unique per schedule and doubles as the FIFO
+// tie-break and the Event handle validity token.
+type slot struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-// Time returns the simulated time at which the event is scheduled to fire.
-func (ev *Event) Time() Time { return ev.at }
+// Event is a cancellation handle for a scheduled callback, returned by
+// At/After. The zero Event is valid and refers to nothing (Cancel is a
+// no-op, Canceled reports true). Handles stay safe across slot reuse: a
+// handle whose event already fired or was canceled never affects the event
+// currently occupying the recycled slot.
+type Event struct {
+	s   *slot
+	seq uint64
+}
 
-// Canceled reports whether the event was canceled before firing.
-func (ev *Event) Canceled() bool { return ev.fn == nil }
+// live reports whether the handle still refers to its pending event.
+func (ev Event) live() bool { return ev.s != nil && ev.s.seq == ev.seq && ev.s.fn != nil }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Time returns the simulated time at which the event is scheduled to fire,
+// or 0 if it already fired or was canceled.
+func (ev Event) Time() Time {
+	if !ev.live() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
+	return ev.s.at
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+
+// Canceled reports whether the event is no longer pending (it was canceled
+// or has already fired).
+func (ev Event) Canceled() bool { return !ev.live() }
+
+// slotChunk is how many event slots are allocated at once when the free
+// list runs dry, amortizing slot allocation to near zero per event.
+const slotChunk = 64
 
 // Engine is a discrete-event simulator.
 //
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+
+	// events is a 4-ary min-heap ordered by (at, seq); free is the slot
+	// free list; dead counts canceled slots still parked in the heap.
+	events []*slot
+	free   []*slot
+	dead   int
 
 	// procs counts live processes, used by Run to detect termination
 	// versus deadlock. live tracks them by name for diagnostics.
@@ -108,33 +128,37 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of scheduled (uncanceled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if ev.fn != nil {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return len(e.events) - e.dead }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
+	var s *slot
+	if n := len(e.free); n > 0 {
+		s = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		chunk := make([]slot, slotChunk)
+		for i := 1; i < slotChunk; i++ {
+			e.free = append(e.free, &chunk[i])
+		}
+		s = &chunk[0]
+	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	s.at, s.seq, s.fn = t, e.seq, fn
+	e.push(s)
+	return Event{s: s, seq: s.seq}
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -142,26 +166,152 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // Cancel prevents a scheduled event from firing. Canceling an already-fired
-// or already-canceled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev != nil {
-		ev.fn = nil
+// or already-canceled event (or the zero Event) is a no-op: handles remain
+// safe even after the engine has recycled the event's storage.
+func (e *Engine) Cancel(ev Event) {
+	if !ev.live() {
+		return
+	}
+	ev.s.fn = nil
+	e.dead++
+	// Timer-heavy workloads cancel almost every event they schedule
+	// (retransmission timers on a healthy network). When dead slots
+	// dominate a non-trivial heap, compact it in one O(n) pass instead of
+	// letting them surface one by one.
+	if e.dead > 64 && e.dead > len(e.events)/2 {
+		e.compact()
+	}
+}
+
+// recycle returns a spent slot to the free list.
+func (e *Engine) recycle(s *slot) {
+	s.fn = nil
+	e.free = append(e.free, s)
+}
+
+// less orders slots by (time, schedule sequence): the FIFO tie-break makes
+// same-time events fire in scheduling order.
+func less(a, b *slot) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push adds a slot to the 4-ary heap (sift up).
+func (e *Engine) push(s *slot) {
+	h := e.events
+	i := len(h)
+	h = append(h, s)
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(s, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = s
+	e.events = h
+}
+
+// pop removes and returns the minimum slot (sift down over 4 children).
+func (e *Engine) pop() *slot {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1 // first child
+			if c >= n {
+				break
+			}
+			// Find the least of up to four children.
+			m := c
+			if c+1 < n && less(h[c+1], h[m]) {
+				m = c + 1
+			}
+			if c+2 < n && less(h[c+2], h[m]) {
+				m = c + 2
+			}
+			if c+3 < n && less(h[c+3], h[m]) {
+				m = c + 3
+			}
+			if !less(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// compact removes canceled slots from the heap in one pass and restores the
+// heap invariant (Floyd heapify, bottom-up over 4-ary nodes).
+func (e *Engine) compact() {
+	h := e.events[:0]
+	for _, s := range e.events {
+		if s.fn != nil {
+			h = append(h, s)
+		} else {
+			e.recycle(s)
+		}
+	}
+	// Clear the tail so recycled slots are not retained by the backing
+	// array.
+	for i := len(h); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = h
+	e.dead = 0
+	n := len(h)
+	for i := (n - 2) >> 2; i >= 0; i-- {
+		s := h[i]
+		j := i
+		for {
+			c := j<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			if c+1 < n && less(h[c+1], h[m]) {
+				m = c + 1
+			}
+			if c+2 < n && less(h[c+2], h[m]) {
+				m = c + 2
+			}
+			if c+3 < n && less(h[c+3], h[m]) {
+				m = c + 3
+			}
+			if !less(h[m], s) {
+				break
+			}
+			h[j] = h[m]
+			j = m
+		}
+		h[j] = s
 	}
 }
 
 // step fires the next event. It reports false when no events remain.
 func (e *Engine) step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.fn == nil {
-			continue // canceled
+		s := e.pop()
+		if s.fn == nil { // canceled: recycle lazily
+			e.dead--
+			e.recycle(s)
+			continue
 		}
-		if ev.at < e.now {
+		if s.at < e.now {
 			panic("sim: time went backwards")
 		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
+		e.now = s.at
+		fn := s.fn
+		e.recycle(s)
 		e.executed++
 		fn()
 		return true
@@ -195,7 +345,8 @@ func (e *Engine) RunUntil(t Time) Time {
 		// Peek at the earliest event.
 		next := e.events[0]
 		if next.fn == nil {
-			heap.Pop(&e.events)
+			e.dead--
+			e.recycle(e.pop())
 			continue
 		}
 		if next.at > t {

@@ -1,0 +1,151 @@
+package sim_test
+
+// Equivalence between the optimized engine and the preserved pre-PR event
+// loop (internal/sim/baseline): on randomized schedules — including
+// cancellations, same-time ties, and callbacks that schedule more events —
+// both must fire the same callbacks at the same times in the same order.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sim/baseline"
+)
+
+// script is a deterministic schedule: ops are replayed identically against
+// both engines.
+type scriptOp struct {
+	delay  sim.Time // After(delay) relative to the op's issue time
+	cancel int      // if >= 0, cancel the event created by op `cancel`
+	nested int      // how many extra events the callback schedules
+}
+
+func makeScript(rng *rand.Rand, n int) []scriptOp {
+	ops := make([]scriptOp, n)
+	for i := range ops {
+		ops[i] = scriptOp{delay: sim.Time(rng.Intn(40)), cancel: -1}
+		if i > 0 && rng.Intn(4) == 0 {
+			ops[i].cancel = rng.Intn(i)
+		}
+		if rng.Intn(8) == 0 {
+			ops[i].nested = 1 + rng.Intn(3)
+		}
+	}
+	return ops
+}
+
+type firing struct {
+	id int
+	at sim.Time
+}
+
+func TestEngineMatchesBaselineOnRandomSchedules(t *testing.T) {
+	for trial := int64(0); trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(trial))
+		ops := makeScript(rng, 1+rng.Intn(400))
+
+		runNew := func() []firing {
+			e := sim.NewEngine()
+			var fired []firing
+			handles := make([]sim.Event, len(ops))
+			nextID := len(ops)
+			for i, op := range ops {
+				i, op := i, op
+				handles[i] = e.After(op.delay, func() {
+					fired = append(fired, firing{i, e.Now()})
+					for k := 0; k < op.nested; k++ {
+						id := nextID
+						nextID++
+						e.After(sim.Time(k*3), func() {
+							fired = append(fired, firing{id, e.Now()})
+						})
+					}
+				})
+				if op.cancel >= 0 {
+					e.Cancel(handles[op.cancel])
+				}
+			}
+			e.Run()
+			return fired
+		}
+
+		runBaseline := func() []firing {
+			e := baseline.NewEngine()
+			var fired []firing
+			handles := make([]*baseline.Event, len(ops))
+			nextID := len(ops)
+			for i, op := range ops {
+				i, op := i, op
+				handles[i] = e.After(op.delay, func() {
+					fired = append(fired, firing{i, e.Now()})
+					for k := 0; k < op.nested; k++ {
+						id := nextID
+						nextID++
+						e.After(sim.Time(k*3), func() {
+							fired = append(fired, firing{id, e.Now()})
+						})
+					}
+				})
+				if op.cancel >= 0 {
+					e.Cancel(handles[op.cancel])
+				}
+			}
+			e.Run()
+			return fired
+		}
+
+		got, want := runNew(), runBaseline()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d events, baseline fired %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: divergence at firing %d: new %+v, baseline %+v",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FIFO tie-break: a burst of same-time events interleaved with cancels must
+// drain in scheduling order on both engines.
+func TestSameTimeBurstMatchesBaseline(t *testing.T) {
+	const n = 200
+	newOrder := func() []int {
+		e := sim.NewEngine()
+		var order []int
+		evs := make([]sim.Event, n)
+		for i := 0; i < n; i++ {
+			i := i
+			evs[i] = e.At(7, func() { order = append(order, i) })
+		}
+		for i := 0; i < n; i += 3 {
+			e.Cancel(evs[i])
+		}
+		e.Run()
+		return order
+	}()
+	baseOrder := func() []int {
+		e := baseline.NewEngine()
+		var order []int
+		evs := make([]*baseline.Event, n)
+		for i := 0; i < n; i++ {
+			i := i
+			evs[i] = e.At(7, func() { order = append(order, i) })
+		}
+		for i := 0; i < n; i += 3 {
+			e.Cancel(evs[i])
+		}
+		e.Run()
+		return order
+	}()
+	if len(newOrder) != len(baseOrder) {
+		t.Fatalf("fired %d, baseline %d", len(newOrder), len(baseOrder))
+	}
+	for i := range baseOrder {
+		if newOrder[i] != baseOrder[i] {
+			t.Fatalf("tie-break divergence at %d: %v vs %v", i, newOrder, baseOrder)
+		}
+	}
+}

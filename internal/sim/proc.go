@@ -95,7 +95,7 @@ func (p *Proc) block() {
 
 // resumeAt schedules the process to resume at absolute time t and returns
 // the resume event (so it can be canceled, e.g. for timeouts).
-func (p *Proc) resumeAt(t Time) *Event {
+func (p *Proc) resumeAt(t Time) Event {
 	return p.eng.At(t, func() { p.eng.runSlice(p) })
 }
 
@@ -119,7 +119,7 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // waiter is a parked process plus an optional timeout event.
 type waiter struct {
 	p       *Proc
-	timeout *Event
+	timeout Event
 	fired   bool // set when the signal (not the timeout) woke the waiter
 }
 
@@ -169,9 +169,7 @@ func (s *Signal) wakeOne() {
 	w := s.waiters[0]
 	s.waiters = s.waiters[1:]
 	w.fired = true
-	if w.timeout != nil {
-		s.eng.Cancel(w.timeout)
-	}
+	s.eng.Cancel(w.timeout) // no-op for the zero Event (no timeout armed)
 	w.p.resumeAt(s.eng.now)
 }
 

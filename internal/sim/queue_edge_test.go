@@ -1,0 +1,118 @@
+package sim
+
+import "testing"
+
+// Capacity edge cases for Queue, with a focus on TryPut against a full
+// bounded queue while the notFull/notEmpty signals are stormed.
+
+func TestTryPutFullQueueUnderSignalStorm(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, 2)
+	if !q.TryPut(1) || !q.TryPut(2) {
+		t.Fatal("fills failed")
+	}
+
+	rejected, accepted := 0, 0
+	// Stormers hammer TryPut every tick while the queue is full; every
+	// attempt before the consumer drains must be rejected, and rejected
+	// TryPuts must not wake or disturb blocked writers' bookkeeping.
+	for s := 0; s < 4; s++ {
+		e.Go("storm", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				if q.TryPut(100) {
+					accepted++
+				} else {
+					rejected++
+				}
+				p.Sleep(1)
+			}
+		})
+	}
+	drained := 0
+	e.Go("consumer", func(p *Proc) {
+		p.Sleep(25) // let the storm rage against a full queue first
+		for q.Len() > 0 || drained < 2 {
+			if _, ok := q.TryGet(); ok {
+				drained++
+			}
+			p.Sleep(1)
+		}
+	})
+	e.Run()
+	if rejected == 0 {
+		t.Fatal("no TryPut was rejected while the queue was full")
+	}
+	if q.Len() > q.Cap() {
+		t.Fatalf("queue over capacity: len=%d cap=%d", q.Len(), q.Cap())
+	}
+	if accepted == 0 {
+		t.Fatal("no TryPut succeeded after the consumer drained")
+	}
+}
+
+// A blocked Put must win the freed slot even when TryPut callers race it:
+// the notFull signal wakes the blocked producer through the event queue,
+// and the producer re-checks Full, so an event-context TryPut that lands
+// first simply refills the queue and the producer keeps waiting.
+func TestBlockedPutVersusTryPut(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, 1)
+	if !q.TryPut(1) {
+		t.Fatal("fill failed")
+	}
+	var putDone Time
+	e.Go("producer", func(p *Proc) {
+		q.Put(p, 2) // blocks: queue full
+		putDone = p.Now()
+	})
+	// Event-context TryPut fires the instant the consumer frees the slot,
+	// before the woken producer's resume event runs.
+	e.At(10, func() {
+		q.TryGet()        // frees the slot, signals notFull
+		if !q.TryPut(3) { // steals the slot back at the same instant
+			t.Error("event-context TryPut failed on freed slot")
+		}
+	})
+	e.Go("consumer", func(p *Proc) {
+		p.Sleep(20)
+		for q.Len() > 0 {
+			q.TryGet()
+			p.Sleep(1)
+		}
+	})
+	e.Run()
+	if putDone <= 10 {
+		t.Fatalf("blocked Put completed at %v despite the slot being stolen", putDone)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: len=%d", q.Len())
+	}
+}
+
+func TestQueueFullAndCapReporting(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, 3)
+	for i := 0; i < 3; i++ {
+		if q.Full() {
+			t.Fatalf("Full before capacity at %d", i)
+		}
+		q.TryPut(i)
+	}
+	if !q.Full() {
+		t.Fatal("not Full at capacity")
+	}
+	if q.TryPut(99) {
+		t.Fatal("TryPut succeeded on full queue")
+	}
+	q.TryGet()
+	if q.Full() {
+		t.Fatal("still Full after TryGet")
+	}
+	// Unbounded queue never reports Full.
+	u := NewQueue[int](e, 0)
+	for i := 0; i < 1000; i++ {
+		if !u.TryPut(i) || u.Full() {
+			t.Fatal("unbounded queue rejected TryPut or reported Full")
+		}
+	}
+}

@@ -55,6 +55,29 @@ func (h *Histogram) Add(v sim.Time) {
 	}
 }
 
+// Samples returns the recorded samples in insertion order (or sorted, if a
+// quantile has been computed since the last Add). The slice is the
+// histogram's own backing store: callers must not mutate it.
+func (h *Histogram) Samples() []sim.Time {
+	if h == nil {
+		return nil
+	}
+	return h.samples
+}
+
+// Merge folds every sample of other into h (other may be nil or empty).
+// The fleet harness uses this to combine per-replica latency
+// distributions; because samples are retained exactly, merged quantiles
+// are exact too.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for _, v := range other.samples {
+		h.Add(v)
+	}
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int {
 	if h == nil {
@@ -229,6 +252,15 @@ type Table struct {
 func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
+
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
+// Headers returns the column headers. Callers must not mutate the slice.
+func (t *Table) Headers() []string { return t.headers }
+
+// Rows returns the formatted cell rows. Callers must not mutate them.
+func (t *Table) Rows() [][]string { return t.rows }
 
 // AddRow appends a row; cells are formatted with %v.
 func (t *Table) AddRow(cells ...interface{}) {

@@ -23,7 +23,7 @@
 //
 // Quick start:
 //
-//	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+//	sys := nectar.New(nectar.SingleHub(2))
 //	rx := sys.CAB(1)
 //	mb := rx.Kernel.NewMailbox("in", 64<<10)
 //	rx.TP.Register(1, mb)
@@ -36,6 +36,21 @@
 //	    sys.CAB(0).TP.SendDatagram(th, 1, 1, 0, []byte("hello"))
 //	})
 //	sys.Run()
+//
+// New takes a Topology (SingleHub, Mesh, or Line) and functional options:
+// WithMetrics enables the metrics registry, WithTraceSpans enables
+// end-to-end span tracing, WithFaultRecovery arms link probing and peer
+// heartbeats, and WithParams carries a fully tuned parameter set.
+//
+// # Error contract
+//
+// Constructors and accessors distinguish programmer errors from runtime
+// conditions. Programmer errors — a malformed topology (zero CABs, mesh
+// that does not fit the HUB port count), or an out-of-range System.CAB
+// index — panic with a descriptive message prefixed "nectar: ". Runtime
+// conditions that correct protocol code must handle — peer death, checksum
+// mismatches, mailbox overflow — are returned as error values (or
+// documented drop behavior) by the layer that detects them.
 //
 // Everything executes in simulated time on a deterministic discrete-event
 // engine: protocol code is real (framing, checksums, retransmission,
@@ -122,17 +137,60 @@ type Registry = trace.Registry
 // paper reproduction.
 func DefaultParams() Params { return core.DefaultParams() }
 
+// Topology describes the network shape passed to New; build one with
+// SingleHub, Mesh, or Line.
+type Topology = core.Topology
+
+// Option configures a System under construction; options apply in order.
+type Option = core.Option
+
+// SingleHub describes the paper's Figure 2 system: one HUB with nCABs CABs.
+func SingleHub(nCABs int) Topology { return core.SingleHub(nCABs) }
+
+// Mesh describes the paper's Figure 4 system: a rows x cols 2-D mesh of
+// HUB clusters with cabsPerHub CABs each.
+func Mesh(rows, cols, cabsPerHub int) Topology { return core.Mesh(rows, cols, cabsPerHub) }
+
+// Line describes a chain of nHubs HUB clusters with cabsPerHub CABs each
+// (useful for hop-count studies).
+func Line(nHubs, cabsPerHub int) Topology { return core.Line(nHubs, cabsPerHub) }
+
+// WithParams replaces the whole parameter set; options after it refine the
+// replaced set.
+func WithParams(p Params) Option { return core.WithParams(p) }
+
+// WithMetrics enables the metrics registry (System.Reg).
+func WithMetrics() Option { return core.WithMetrics() }
+
+// WithTraceSpans enables end-to-end message span tracing (System.Tr).
+func WithTraceSpans() Option { return core.WithTraceSpans() }
+
+// WithFaultRecovery arms automatic failure detection and recovery: link
+// probing, peer heartbeats, and bounded retransmission backoff.
+func WithFaultRecovery() Option { return core.WithFaultRecovery() }
+
+// New assembles a Nectar system from a topology and options. It panics
+// with a descriptive "nectar: ..." message when the topology is malformed
+// or does not fit the HUB port count (see the error contract above).
+func New(t Topology, opts ...Option) *System { return core.New(t, opts...) }
+
 // NewSingleHub builds the paper's Figure 2 system: one 16-port HUB with
 // nCABs CABs.
+//
+// Deprecated: use New(SingleHub(nCABs), WithParams(p)).
 func NewSingleHub(nCABs int, p Params) *System { return core.NewSingleHub(nCABs, p) }
 
 // NewMesh builds the paper's Figure 4 system: a rows x cols 2-D mesh of
 // HUB clusters with cabsPerHub CABs each.
+//
+// Deprecated: use New(Mesh(rows, cols, cabsPerHub), WithParams(p)).
 func NewMesh(rows, cols, cabsPerHub int, p Params) *System {
 	return core.NewMesh(rows, cols, cabsPerHub, p)
 }
 
 // NewLine builds a chain of HUB clusters (useful for hop-count studies).
+//
+// Deprecated: use New(Line(nHubs, cabsPerHub), WithParams(p)).
 func NewLine(nHubs, cabsPerHub int, p Params) *System { return core.NewLine(nHubs, cabsPerHub, p) }
 
 // NewNode attaches a node to a CAB via a VME bus.
