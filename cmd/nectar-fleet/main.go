@@ -15,17 +15,20 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sim/baseline"
 	"repro/internal/trace"
@@ -160,6 +163,7 @@ func main() {
 	verify := flag.Bool("verify", false, "run every seed twice and fail on digest mismatch")
 	noBench := flag.Bool("nobench", false, "skip the engine micro-benchmark")
 	out := flag.String("o", "BENCH_fleet.json", "output JSON path")
+	listen := flag.String("listen", "", "serve live Prometheus metrics on this address while running (e.g. :9464)")
 	flag.Parse()
 
 	if *short {
@@ -180,10 +184,42 @@ func main() {
 		cfg.Arrival = load.OpenLoop
 	}
 
-	runReplica := func(s int64) replicaRun {
-		sys := core.New(core.SingleHub(*cabs))
+	// With -listen, each replica carries the continuous-telemetry plane
+	// (metrics registry + sampler) and publishes a fresh exposition every
+	// simulated millisecond; without it, replicas run bare as before.
+	var live *liveFleet
+	if *listen != "" {
+		live = newLiveFleet(*replicas, *seed)
+		addr, err := live.serve(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "listen:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("fleet: live metrics on http://%s/metrics (per replica: /metrics/0..%d)\n",
+			addr, *replicas-1)
+	}
+
+	runReplica := func(idx int, s int64) replicaRun {
+		var opts []core.Option
+		if live != nil {
+			opts = append(opts, core.WithMetrics(), core.WithSampler(0))
+		}
+		sys := core.New(core.SingleHub(*cabs), opts...)
 		c := cfg
 		c.Seed = s
+		if live != nil {
+			labels := []obs.Label{
+				{Key: "replica", Value: strconv.Itoa(idx)},
+				{Key: "seed", Value: strconv.FormatInt(s, 10)},
+			}
+			c.TickEvery = liveTickEvery
+			c.OnTick = func(tk load.Tick) {
+				var b bytes.Buffer
+				_ = obs.WriteProm(&b, sys.Reg.Snapshot(), labels...)
+				obs.WriteSamplerProm(&b, sys.Sampler, labels...)
+				live.publish(idx, tk, b.Bytes())
+			}
+		}
 		res := load.Run(sys, c)
 		return replicaRun{res: res, events: sys.Eng.Executed()}
 	}
@@ -205,7 +241,8 @@ func main() {
 		slots <- struct{}{}
 		go func() {
 			defer func() { <-slots; wg.Done() }()
-			runs[i] = runReplica(*seed + int64(i%*replicas))
+			idx := i % *replicas
+			runs[i] = runReplica(idx, *seed+int64(idx))
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// liveMetrics is nectar-sim's opt-in -listen endpoint: the single system's
+// metrics registry (and sampler readings, when armed) as Prometheus text
+// exposition at /metrics. The simulation goroutine renders and publishes
+// the page through an atomic.Value — on a periodic engine tick during the
+// run and once more at the end — so the HTTP handler never touches live
+// simulation state.
+type liveMetrics struct {
+	blob atomic.Value // []byte
+}
+
+// publish renders the system's current exposition. Call only from the
+// simulation goroutine (or after the run has finished).
+func (lm *liveMetrics) publish(sys *core.System) {
+	var b bytes.Buffer
+	_ = obs.WriteProm(&b, sys.Reg.Snapshot())
+	obs.WriteSamplerProm(&b, sys.Sampler)
+	lm.blob.Store(b.Bytes())
+}
+
+func (lm *liveMetrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	blob, _ := lm.blob.Load().([]byte)
+	if blob == nil {
+		http.Error(w, "no metrics published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(blob)
+}
+
+// serve binds addr and serves /metrics for the life of the process,
+// returning the bound address (useful with ":0").
+func (lm *liveMetrics) serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		_ = http.Serve(ln, lm)
+	}()
+	return ln.Addr().String(), nil
+}

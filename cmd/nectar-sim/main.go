@@ -40,16 +40,21 @@ func main() {
 		senders   = flag.Int("senders", 1, "concurrent sending CABs (all target CAB 0)")
 		chaos     = flag.String("chaos", "", "chaos scenario: linkflap | corruption | portstuck | crash | storm | random (runs a fault-injected mesh; exits 1 on any undelivered message)")
 		seed      = flag.Int64("seed", 1, "chaos scenario seed (runs are byte-reproducible per seed)")
+		dump      = flag.String("dump", "", "chaos only: also write the flight-recorder post-mortem to this file")
+		listen    = flag.String("listen", "", "serve Prometheus metrics on this address during the run, then keep serving the final snapshot until interrupted")
 	)
 	flag.Parse()
 
 	if *chaos != "" {
-		os.Exit(runChaos(*chaos, *seed, *rows, *cols, *msgs))
+		os.Exit(runChaos(*chaos, *seed, *rows, *cols, *msgs, *dump))
 	}
 
 	params := core.DefaultParams()
 	if *ber > 0 {
 		params.Topo.Errors = fiber.ErrorModel{BitErrorRate: *ber, Seed: 1}
+	}
+	if *listen != "" {
+		params.Metrics = true
 	}
 
 	var sys *core.System
@@ -67,6 +72,28 @@ func main() {
 	n := sys.NumCABs()
 	if *senders >= n {
 		*senders = n - 1
+	}
+
+	// With -listen, publish the exposition on a periodic engine tick while
+	// other events remain (so Run still terminates) and once more at the
+	// end; the handler only ever reads published snapshots.
+	var live *liveMetrics
+	if *listen != "" {
+		live = &liveMetrics{}
+		addr, err := live.serve(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "listen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving live metrics on http://%s/metrics\n", addr)
+		var tick func()
+		tick = func() {
+			live.publish(sys)
+			if sys.Eng.Pending() > 0 {
+				sys.Eng.After(50*sim.Microsecond, tick)
+			}
+		}
+		sys.Eng.After(50*sim.Microsecond, tick)
 	}
 	fmt.Printf("topology %s: %d HUBs, %d CABs; %d sender(s) -> CAB 0, %d x %dB via %s\n",
 		*topoKind, len(sys.Net.Hubs()), n, *senders, *msgs, *size, *transport)
@@ -146,6 +173,12 @@ func main() {
 			tp.Retransmits, tp.AcksSent, tp.ChecksumDrops, tp.MailboxDrops,
 			st.Board.CPU.BusyTime())
 	}
+
+	if live != nil {
+		live.publish(sys)
+		fmt.Printf("\nrun complete; still serving the final snapshot on http://%s/metrics — interrupt to exit\n", *listen)
+		select {}
+	}
 }
 
 // chaosHorizon bounds a chaos run; ample time for every scenario's fault
@@ -196,8 +229,11 @@ func chaosScenario(name string, seed int64, sys *core.System) (fault.Scenario, e
 // with application-level retry, the named scenario scheduled against it,
 // and the detection/recovery stack (link probing, heartbeats, backoff)
 // doing all repair. Returns a nonzero exit status if any message goes
-// undelivered — CI's chaos smoke job keys off this.
-func runChaos(name string, seed int64, rows, cols, msgs int) int {
+// undelivered — CI's chaos smoke job keys off this. On failure the
+// flight-recorder post-mortem (recent events plus the link-state
+// timeline) goes to stderr; dumpPath, when set, receives a copy of the
+// post-mortem whatever the outcome, so CI can archive it.
+func runChaos(name string, seed int64, rows, cols, msgs int, dumpPath string) int {
 	if rows < 2 {
 		rows = 2
 	}
@@ -207,6 +243,8 @@ func runChaos(name string, seed int64, rows, cols, msgs int) int {
 	sys := core.New(core.Mesh(rows, cols, 1),
 		core.WithMetrics(),
 		core.WithFaultRecovery(),
+		core.WithFlightRecorder(),
+		core.WithStallWatchdog(0),
 		func(p *core.Params) {
 			p.Transport.ReqTimeout = 2 * sim.Millisecond
 			p.Transport.ReqRetries = 3
@@ -283,8 +321,14 @@ func runChaos(name string, seed int64, rows, cols, msgs int) int {
 		sys.Reg.Counter("net.links_failed").Value(), sys.Reg.Counter("net.links_restored").Value(),
 		tp.PeersDied, tp.PeersRevived, sys.CAB(0).Board.Crashes())
 
+	if dumpPath != "" {
+		if err := os.WriteFile(dumpPath, []byte(sys.FR.PostMortem()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dump:", err)
+		}
+	}
 	if delivered != msgs || doneAt == 0 {
 		fmt.Fprintf(os.Stderr, "FAIL: %d of %d messages undelivered\n", msgs-delivered, msgs)
+		sys.FR.Dump(os.Stderr)
 		return 1
 	}
 	fmt.Println("PASS: all messages delivered after automatic recovery")

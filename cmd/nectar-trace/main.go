@@ -18,6 +18,7 @@
 //	nectar-trace -limit 200       # retain more events
 //	nectar-trace -out trace.json  # write Chrome trace-event JSON
 //	nectar-trace -metrics         # print the metrics registry snapshot
+//	nectar-trace -prom            # print the registry as Prometheus text
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -36,6 +38,7 @@ func main() {
 	size := flag.Int("size", 128, "payload bytes")
 	out := flag.String("out", "", "write spans as Chrome trace-event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the metrics registry snapshot")
+	prom := flag.Bool("prom", false, "print the metrics registry as Prometheus text exposition")
 	flag.Parse()
 
 	switch *mode {
@@ -130,6 +133,14 @@ func main() {
 
 	if *metrics {
 		fmt.Printf("\nmetrics registry snapshot:\n%s", sys.Reg.Text())
+	}
+
+	if *prom {
+		fmt.Println()
+		if err := obs.WriteProm(os.Stdout, sys.Reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *out != "" {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cab"
 	"repro/internal/datalink"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -33,6 +34,25 @@ type Params struct {
 	// Metrics enables the metrics registry: every layer auto-registers
 	// its counters and gauges on it.
 	Metrics bool
+
+	// SamplerPeriod enables the continuous-telemetry sampler (System.
+	// Sampler): every period of simulated time it snapshots HUB port
+	// queue depths and utilization, transport in-flight operations and
+	// go-back-N windows, and flow-control credit into ring-buffered time
+	// series. 0 disables it (the default: no sampling events exist).
+	SamplerPeriod sim.Time
+	// SamplerCap bounds retained points per sampler series; past it the
+	// series downsamples (0: obs.DefaultSamplerCap).
+	SamplerCap int
+	// FlightEvents enables the flight recorder (System.FR) with a ring of
+	// this many events. 0 disables it (the default: layer Note calls hit
+	// a nil recorder and cost nothing).
+	FlightEvents int
+	// StallCheck enables the stall watchdog (System.Watchdog): every
+	// interval of simulated time it checks that in-flight transport
+	// operations are making progress, and dumps the flight recorder when
+	// they are not. 0 disables it.
+	StallCheck sim.Time
 }
 
 // DefaultParams returns the full prototype parameter set.
@@ -68,6 +88,10 @@ type CABStack struct {
 	Kernel *kernel.Kernel
 	DL     *datalink.Datalink
 	TP     *transport.Transport
+
+	// fr is the system flight recorder (nil when telemetry is off);
+	// crash and reboot are exactly the events a post-mortem needs.
+	fr *obs.FlightRecorder
 }
 
 // Crash halts the CAB: the board stops sending and receiving, and both
@@ -75,6 +99,7 @@ type CABStack struct {
 // woken with errors — the threads themselves survive, a simplification of a
 // real crash where they would be destroyed outright).
 func (c *CABStack) Crash() {
+	c.fr.Note(obs.FCrash, c.Board.Name(), int64(c.Board.ID()), 0)
 	c.Board.PowerOff()
 	c.TP.Crash()
 	c.DL.Crash()
@@ -85,6 +110,7 @@ func (c *CABStack) Crash() {
 // the HUB port it hangs off is reset, and the flow-control ready state is
 // re-established so the network can deliver again.
 func (c *CABStack) Reboot(net *topo.Network) {
+	c.fr.Note(obs.FReboot, c.Board.Name(), int64(c.Board.ID()), 0)
 	c.Board.PowerOn()
 	c.Kernel.Reboot()
 	net.ResetCABPort(c.Board.ID())
@@ -110,6 +136,18 @@ type System struct {
 	// events forever: drive probing systems with RunUntil, or call
 	// StopProbers to let Run drain.
 	Probers []*datalink.Prober
+
+	// Continuous telemetry (telemetry.go), each nil unless enabled in
+	// Params: the virtual-time sampler, the flight recorder, and the
+	// stall watchdog. An armed sampler or watchdog generates simulation
+	// events forever: drive such systems with RunUntil, or call
+	// StopTelemetry to let Run drain.
+	Sampler  *obs.Sampler
+	FR       *obs.FlightRecorder
+	Watchdog *obs.Watchdog
+	// OnStall, when non-nil, replaces the watchdog's default stall
+	// reaction (a flight-recorder post-mortem on stderr).
+	OnStall func(at sim.Time)
 }
 
 // StopProbers ends every link prober after its current round.
@@ -117,6 +155,14 @@ func (s *System) StopProbers() {
 	for _, pr := range s.Probers {
 		pr.Stop()
 	}
+}
+
+// StopTelemetry disarms the sampler and stall watchdog (collected series
+// and recorded events stay readable). Call it before Run on a system with
+// telemetry enabled; RunUntil needs no such help.
+func (s *System) StopTelemetry() {
+	s.Sampler.Stop()
+	s.Watchdog.Stop()
 }
 
 // buildStacks layers kernel/datalink/transport onto every board and wires
@@ -130,21 +176,33 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 	if p.Metrics {
 		s.Reg = trace.NewRegistry(eng)
 	}
+	if p.FlightEvents > 0 {
+		s.FR = obs.NewFlightRecorder(eng, p.FlightEvents)
+	}
 	for _, h := range net.Hubs() {
 		h.RegisterMetrics(s.Reg)
+		h.SetFlightRecorder(s.FR)
 	}
 	for _, b := range net.Boards() {
 		k := kernel.New(b, p.Kernel)
 		k.SetInstrumentation(s.Tr, s.Reg)
 		dl := datalink.New(k, net, p.Datalink)
 		dl.RegisterMetrics(s.Reg)
+		dl.SetFlightRecorder(s.FR)
 		tp := transport.New(k, dl, p.Transport)
 		tp.RegisterMetrics(s.Reg)
-		s.CABs = append(s.CABs, &CABStack{Board: b, Kernel: k, DL: dl, TP: tp})
+		tp.SetFlightRecorder(s.FR)
+		s.CABs = append(s.CABs, &CABStack{Board: b, Kernel: k, DL: dl, TP: tp, fr: s.FR})
 	}
 	// Topology changes (links failed or restored, by the probe layer or an
-	// operator) invalidate cached routes everywhere.
+	// operator) invalidate cached routes everywhere — and feed the
+	// flight recorder's link-state timeline.
 	net.OnChange(func(a, b int, up bool) {
+		if up {
+			s.FR.Note(obs.FLinkUp, "net", int64(a), int64(b))
+		} else {
+			s.FR.Note(obs.FLinkDown, "net", int64(a), int64(b))
+		}
 		for _, c := range s.CABs {
 			c.DL.FlushRoutes()
 		}
@@ -167,6 +225,7 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 			s.Probers = append(s.Probers, pr)
 		}
 	}
+	buildTelemetry(s)
 	return s
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -185,6 +186,60 @@ func WithFaultRecovery() Option {
 			p.Transport.HeartbeatInterval = 300 * sim.Microsecond
 			p.Transport.PeerMisses = 3
 		}
+	}
+}
+
+// DefaultSamplerPeriod is the sampling period WithSampler enables.
+const DefaultSamplerPeriod = 20 * sim.Microsecond
+
+// WithSampler enables the continuous-telemetry sampler (System.Sampler)
+// at the given simulated-time period (0: DefaultSamplerPeriod). An armed
+// sampler generates events forever — drive the system with RunUntil or
+// call StopTelemetry before Run.
+func WithSampler(period sim.Time) Option {
+	return func(p *Params) {
+		if period <= 0 {
+			period = DefaultSamplerPeriod
+		}
+		p.SamplerPeriod = period
+	}
+}
+
+// WithFlightRecorder enables the flight recorder (System.FR): every layer
+// notes its structured events (sends, drops, link transitions, RTO
+// expiries, crashes) into a bounded ring for post-mortem dumps.
+func WithFlightRecorder() Option {
+	return func(p *Params) {
+		if p.FlightEvents == 0 {
+			p.FlightEvents = obs.DefaultFlightEvents
+		}
+	}
+}
+
+// DefaultStallCheck is the watchdog interval WithStallWatchdog enables.
+const DefaultStallCheck = 5 * sim.Millisecond
+
+// WithStallWatchdog enables the virtual-time stall watchdog
+// (System.Watchdog) at the given check interval (0: DefaultStallCheck):
+// if transport operations are in flight but none complete over an
+// interval, it dumps the flight recorder (or calls System.OnStall). Like
+// the sampler it generates events forever — use RunUntil or StopTelemetry.
+func WithStallWatchdog(interval sim.Time) Option {
+	return func(p *Params) {
+		if interval <= 0 {
+			interval = DefaultStallCheck
+		}
+		p.StallCheck = interval
+	}
+}
+
+// WithTelemetry arms the whole continuous-telemetry plane at defaults:
+// sampler, flight recorder, and stall watchdog.
+func WithTelemetry() Option {
+	return func(p *Params) {
+		WithSampler(0)(p)
+		WithFlightRecorder()(p)
+		WithStallWatchdog(0)(p)
 	}
 }
 

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// buildTelemetry arms the continuous-telemetry plane implied by the
+// params: the virtual-time sampler and the stall watchdog (the flight
+// recorder is created earlier in buildStacks, before the layers that note
+// into it). Everything registers in deterministic order — HUBs then ports
+// ascending, then CABs ascending — so sampler exports are byte-identical
+// across runs of the same seed.
+func buildTelemetry(s *System) {
+	p := s.Params
+	if p.SamplerPeriod > 0 {
+		sa := obs.NewSampler(s.Eng, p.SamplerPeriod, p.SamplerCap)
+		for _, h := range s.Net.Hubs() {
+			for i := 0; i < h.NumPorts(); i++ {
+				pt := h.Port(i)
+				sa.Register(pt.EndpointName()+".queue_bytes", func() int64 {
+					return int64(pt.QueueBytes())
+				})
+				sa.Register(pt.EndpointName()+".conn", func() int64 {
+					if pt.Connected() {
+						return 1
+					}
+					return 0
+				})
+			}
+		}
+		for _, c := range s.CABs {
+			c := c
+			name := c.Board.Name()
+			sa.Register(name+".tp.inflight", c.TP.InFlight)
+			sa.Register(name+".tp.window", c.TP.WindowInFlight)
+			sa.Register(name+".net_credit", func() int64 {
+				if c.Board.NetReady() {
+					return 1
+				}
+				return 0
+			})
+		}
+		sa.Start()
+		s.Sampler = sa
+	}
+	if p.StallCheck > 0 {
+		progress := func() int64 {
+			var n int64
+			for _, c := range s.CABs {
+				n += c.TP.Completed()
+			}
+			return n
+		}
+		inflight := func() int64 {
+			var n int64
+			for _, c := range s.CABs {
+				n += c.TP.InFlight()
+			}
+			return n
+		}
+		w := obs.NewWatchdog(s.Eng, p.StallCheck, progress, inflight, func(at sim.Time) {
+			s.FR.Note(obs.FStall, "watchdog", inflight(), progress())
+			if s.OnStall != nil {
+				s.OnStall(at)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "nectar: watchdog: no transport progress with %d ops in flight at %v\n",
+				inflight(), at)
+			s.FR.Dump(os.Stderr)
+		})
+		w.Start()
+		s.Watchdog = w
+	}
+}

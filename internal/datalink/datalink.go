@@ -22,6 +22,7 @@ import (
 	"repro/internal/fiber"
 	"repro/internal/hub"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -117,6 +118,10 @@ type Datalink struct {
 
 	routes map[int][]topo.Hop
 
+	// Flight-recorder board (nil when telemetry is off; Note is a no-op).
+	fr     *obs.FlightRecorder
+	frName string
+
 	stats Stats
 }
 
@@ -145,6 +150,13 @@ func New(k *kernel.Kernel, net *topo.Network, params Params) *Datalink {
 
 // SetReceiver registers the transport's packet consumer.
 func (d *Datalink) SetReceiver(r Receiver) { d.recv = r }
+
+// SetFlightRecorder arms flight-recorder event notes for this datalink.
+// The label is precomputed so recording never allocates.
+func (d *Datalink) SetFlightRecorder(fr *obs.FlightRecorder) {
+	d.fr = fr
+	d.frName = d.board.Name() + ".dl"
+}
 
 // Stats returns a copy of the datalink counters.
 func (d *Datalink) Stats() Stats { return d.stats }
@@ -289,6 +301,7 @@ func (d *Datalink) SendPacket(th *kernel.Thread, dst int, payload []byte) error 
 	d.board.Send(items...)
 	d.stats.PacketsSent++
 	d.stats.BytesSent += int64(len(payload))
+	d.fr.Note(obs.FSend, d.frName, int64(dst), int64(len(payload)))
 	sp.End()
 	d.mu.V()
 	return nil
@@ -325,6 +338,7 @@ func (d *Datalink) TrySendPacketInterrupt(dst int, payload []byte, extra sim.Tim
 		d.board.Send(items...)
 		d.stats.PacketsSent++
 		d.stats.BytesSent += int64(len(payload))
+		d.fr.Note(obs.FSend, d.frName, int64(dst), int64(len(payload)))
 		sp.End()
 		d.mu.V()
 	})
@@ -432,6 +446,7 @@ func (d *Datalink) sendCircuitHops(th *kernel.Thread, hops []topo.Hop, payload [
 		if pend.want > 0 || !pend.ok {
 			// Tear down whatever was established and retry.
 			d.stats.OpenTimeouts++
+			d.fr.Note(obs.FOpenTimeout, d.frName, int64(attempt), int64(pend.want))
 			d.board.Send(d.closeAll())
 			continue
 		}
@@ -444,6 +459,7 @@ func (d *Datalink) sendCircuitHops(th *kernel.Thread, hops []topo.Hop, payload [
 		)
 		d.stats.PacketsSent++
 		d.stats.BytesSent += int64(len(payload))
+		d.fr.Note(obs.FSend, d.frName, -1, int64(len(payload)))
 		return nil
 	}
 	d.stats.OpenFailures++
@@ -512,6 +528,7 @@ func (d *Datalink) receivePacket(it *fiber.Item) {
 			rsp.End()
 			d.stats.PacketsReceived++
 			d.stats.BytesReceived += int64(n)
+			d.fr.Note(obs.FRecv, d.frName, 0, int64(n))
 			if d.recv != nil {
 				d.recv(it.Payload, it.Span)
 			}

@@ -74,6 +74,7 @@ func All() []Experiment {
 		{"T1", "latency-breakdown", T1LatencyBreakdown},
 		{"R1", "fault-recovery", R1Fault},
 		{"P1", "fleet-load", P1FleetLoad},
+		{"O1", "telemetry", O1Telemetry},
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fiber"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -197,6 +198,8 @@ type Injector struct {
 	outageAt map[[2]int]sim.Time // link physically severed, not yet detected
 	repairAt map[[2]int]sim.Time // link physically repaired, not yet restored
 
+	injected int64 // actions fired so far (flight-recorder step index)
+
 	detect  *trace.Histogram
 	recover *trace.Histogram
 }
@@ -230,6 +233,8 @@ func (inj *Injector) Schedule() {
 }
 
 func (inj *Injector) count(kind string) {
+	inj.injected++
+	inj.sys.FR.Note(obs.FInject, kind, inj.injected, 0)
 	inj.sys.Reg.Counter("fault.injected." + kind).Inc()
 }
 

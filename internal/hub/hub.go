@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fiber"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -57,6 +58,10 @@ type Hub struct {
 	ctrlFree sim.Time
 	// frozen stops the controller granting opens (SupFreeze).
 	frozen bool
+
+	// fr is the flight-recorder board (nil when telemetry is off; a nil
+	// recorder's Note is a no-op).
+	fr *obs.FlightRecorder
 
 	locks [NumLocks]lockState
 }
@@ -113,6 +118,9 @@ func (h *Hub) RegisterMetrics(reg *trace.Registry) {
 		reg.Func(p.name+".frame_errs", func() float64 { return float64(p.frameErrs) })
 	}
 }
+
+// SetFlightRecorder arms flight-recorder drop notes for every port.
+func (h *Hub) SetFlightRecorder(fr *obs.FlightRecorder) { h.fr = fr }
 
 // ConnectOutput attaches the outgoing fiber of port i. The link's far end
 // is a CAB or another HUB's input.

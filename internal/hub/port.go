@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fiber"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -98,6 +99,11 @@ func (p *Port) Enabled() bool { return p.enabled }
 // QueueBytes returns the current input queue occupancy.
 func (p *Port) QueueBytes() int { return p.inBytes }
 
+// Connected reports whether this port's output register is owned by an
+// input (a crossbar connection is established through it) — the sampler's
+// utilization read-out.
+func (p *Port) Connected() bool { return p.owner != nil }
+
 // PacketsForwarded returns packets that left through this output register.
 func (p *Port) PacketsForwarded() int64 { return p.pktOut }
 
@@ -169,6 +175,7 @@ func (p *Port) Receive(it *fiber.Item) {
 func (p *Port) drop(it *fiber.Item, why string) {
 	p.drops++
 	p.hub.rec.Record(trace.EvPacketDrop, p.name, "%v: %s", it, why)
+	p.hub.fr.Note(obs.FDrop, p.name, int64(p.id), int64(it.Bytes()))
 	if it.Kind == fiber.KindPacket && p.upstreamReady != nil {
 		p.upstreamReady()
 	}

@@ -91,6 +91,21 @@ type Config struct {
 	// the skew to its own rotation of the other CABs, so hot keys spread
 	// across the machine deterministically.
 	ZipfS float64
+	// TickEvery invokes OnTick at this simulated-time period during the
+	// run (0 disables ticks). The live fleet endpoint uses it to publish
+	// fresh progress and metrics from inside the single-threaded engine
+	// goroutine; the callback must not mutate simulation state.
+	TickEvery sim.Time
+	OnTick    func(Tick)
+}
+
+// Tick is a mid-run progress report passed to Config.OnTick.
+type Tick struct {
+	Now    sim.Time // current simulated time
+	Ops    int64    // operations completed so far in the measured window
+	Errors int64
+	Shed   int64
+	Bytes  int64
 }
 
 func (c Config) withDefaults() Config {
@@ -352,6 +367,19 @@ func Run(sys *core.System, cfg Config) *Result {
 		r.startClosed()
 	} else {
 		r.startOpen()
+	}
+	if cfg.TickEvery > 0 && cfg.OnTick != nil {
+		var tick func()
+		tick = func() {
+			cfg.OnTick(Tick{
+				Now: sys.Eng.Now(), Ops: r.res.Ops, Errors: r.res.Errors,
+				Shed: r.res.Shed, Bytes: r.res.Bytes,
+			})
+			if sys.Eng.Now() < r.end {
+				sys.Eng.After(cfg.TickEvery, tick)
+			}
+		}
+		sys.Eng.After(cfg.TickEvery, tick)
 	}
 	sys.Eng.RunUntil(r.end)
 	r.res.Elapsed = cfg.Duration

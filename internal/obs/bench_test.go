@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkFlightNoteDisabled is the acceptance guard for the disabled
+// state: a nil recorder's Note must cost nothing — no allocations, a
+// couple of instructions.
+func BenchmarkFlightNoteDisabled(b *testing.B) {
+	var f *FlightRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Note(FSend, "dl", int64(i), 128)
+	}
+}
+
+// BenchmarkFlightNoteEnabled guards the enabled state: recording into the
+// preallocated ring must also be zero-alloc, so an armed recorder never
+// touches the allocator mid-run.
+func BenchmarkFlightNoteEnabled(b *testing.B) {
+	eng := sim.NewEngine()
+	f := NewFlightRecorder(eng, DefaultFlightEvents)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Note(FSend, "dl", int64(i), 128)
+	}
+}
+
+// BenchmarkSamplerTick measures the cost of one sampling tick over a
+// realistic source count (a 4-CAB single-hub system registers ~20).
+func BenchmarkSamplerTick(b *testing.B) {
+	eng := sim.NewEngine()
+	s := NewSampler(eng, 1, 1024)
+	var v int64
+	for i := 0; i < 20; i++ {
+		s.Register("src", func() int64 { v++; return v })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ticks++
+		for j, fn := range s.fns {
+			s.series[j].add(sim.Time(i), fn())
+		}
+	}
+}
+
+func TestFlightNoteZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFlightRecorder(eng, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Note(FDrop, "hub0", 3, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled Note allocates %.1f/op, want 0", allocs)
+	}
+	var nilf *FlightRecorder
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilf.Note(FDrop, "hub0", 3, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Note allocates %.1f/op, want 0", allocs)
+	}
+}

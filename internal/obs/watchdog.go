@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"repro/internal/sim"
+)
+
+// Watchdog is a virtual-time stall detector. Every interval of simulated
+// time it reads a progress counter and an in-flight count; if work is in
+// flight but the progress counter has not moved since the previous check,
+// it invokes the stall callback (once per stall — it re-arms only after
+// progress resumes). Like the sampler it is pure pull: enabling it never
+// changes simulated behavior.
+//
+// A nil *Watchdog is valid and does nothing.
+type Watchdog struct {
+	eng      *sim.Engine
+	interval sim.Time
+	progress func() int64
+	inflight func() int64
+	onStall  func(at sim.Time)
+
+	last    int64
+	fired   bool
+	stalls  int64
+	ev      sim.Event
+	running bool
+}
+
+// NewWatchdog returns a watchdog checking every interval. progress must be
+// monotonically non-decreasing (completed-operation count); inflight
+// reports operations currently outstanding; onStall is invoked with the
+// simulated time of detection.
+func NewWatchdog(eng *sim.Engine, interval sim.Time, progress, inflight func() int64, onStall func(at sim.Time)) *Watchdog {
+	if interval <= 0 {
+		panic("obs: watchdog interval must be positive")
+	}
+	return &Watchdog{eng: eng, interval: interval, progress: progress, inflight: inflight, onStall: onStall}
+}
+
+// Stalls returns how many distinct stalls have been detected.
+func (w *Watchdog) Stalls() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.stalls
+}
+
+// Start arms the watchdog; the first check fires one interval from now.
+// An armed watchdog keeps the event queue non-empty — run the engine with
+// RunUntil (or Stop the watchdog) rather than Run.
+func (w *Watchdog) Start() {
+	if w == nil || w.running {
+		return
+	}
+	w.running = true
+	w.last = w.progress()
+	w.fired = false
+	w.ev = w.eng.After(w.interval, w.check)
+}
+
+// Stop disarms the watchdog.
+func (w *Watchdog) Stop() {
+	if w == nil || !w.running {
+		return
+	}
+	w.running = false
+	w.eng.Cancel(w.ev)
+}
+
+func (w *Watchdog) check() {
+	if !w.running {
+		return
+	}
+	p := w.progress()
+	if p == w.last && w.inflight() > 0 {
+		if !w.fired {
+			w.fired = true
+			w.stalls++
+			if w.onStall != nil {
+				w.onStall(w.eng.Now())
+			}
+		}
+	} else {
+		w.fired = false
+	}
+	w.last = p
+	w.ev = w.eng.After(w.interval, w.check)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -135,6 +136,7 @@ func (t *Transport) recvPong(h *Header) {
 	if ps.dead {
 		ps.dead = false
 		t.stats.PeersRevived++
+		t.fr.Note(obs.FPeerAlive, t.frName, int64(h.Src), 0)
 		if ps.outstanding <= 0 {
 			delete(t.watch, int(h.Src))
 		}
@@ -146,6 +148,7 @@ func (t *Transport) recvPong(h *Header) {
 func (t *Transport) markPeerDead(peer int, ps *peerState) {
 	ps.dead = true
 	t.stats.PeersDied++
+	t.fr.Note(obs.FPeerDead, t.frName, int64(peer), int64(ps.misses))
 	err := &ErrPeerDead{Peer: peer}
 
 	ids := make([]uint32, 0, len(t.pending))

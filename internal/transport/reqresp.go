@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -47,6 +48,8 @@ func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, d
 	defer delete(t.pending, reqID)
 	t.watchPeer(dst)
 	defer t.unwatchPeer(dst)
+	t.opStart()
+	defer t.opDone()
 
 	h := &Header{
 		Proto: ProtoRequest, Src: uint16(t.self), Dst: uint16(dst),
@@ -59,6 +62,7 @@ func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, d
 	for attempt := 0; attempt <= t.params.ReqRetries; attempt++ {
 		if attempt > 0 {
 			t.stats.Retransmits++
+			t.fr.Note(obs.FRetransmit, t.frName, int64(dst), int64(attempt))
 		}
 		if err := t.sendWire(th, dst, wire); err != nil {
 			return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -34,6 +35,7 @@ type streamSender struct {
 	done    bool  // AckDone received for curMsg
 	err     error // fatal failure (peer dead, local crash); set out of band
 	nextMsg uint32
+	window  int // unacked packets in flight (sampler read-out)
 }
 
 // ErrStreamTimeout is returned when a stream message exhausts
@@ -93,6 +95,9 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 	defer s.mu.V()
 	t.watchPeer(dst)
 	defer t.unwatchPeer(dst)
+	t.opStart()
+	defer t.opDone()
+	defer func() { s.window = 0 }()
 
 	msgID := s.nextMsg
 	s.nextMsg++
@@ -134,6 +139,7 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 				return err
 			}
 			next++
+			s.window = next - base
 		}
 		got := s.cond.WaitTimeout(th, t.params.RTO)
 		if s.done {
@@ -144,6 +150,7 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 		}
 		if s.acked > base {
 			base = s.acked
+			s.window = next - base
 			expiries = 0
 			continue
 		}
@@ -152,11 +159,13 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 			// cumulative ack — but not forever.
 			t.stats.Retransmits++
 			t.stats.RTOExpiries++
+			t.fr.Note(obs.FRTOExpiry, t.frName, int64(dst), int64(next-base))
 			expiries++
 			if expiries >= maxExpiries {
 				return &ErrStreamTimeout{Dst: dst, MsgID: msgID, Expiries: expiries}
 			}
 			next = base
+			s.window = 0
 		}
 	}
 	t.stats.StreamMsgsSent++

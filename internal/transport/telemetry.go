@@ -1,0 +1,51 @@
+package transport
+
+import (
+	"repro/internal/obs"
+)
+
+// Continuous-telemetry hooks (package obs). The transport exposes pull
+// accessors for the virtual-time sampler and stall watchdog, and notes
+// protocol anomalies (RTO expiries, retransmissions, peer death) into the
+// flight recorder. Everything here is free when telemetry is off: the
+// counters are plain integer fields maintained unconditionally, and a nil
+// recorder's Note is a no-op.
+
+// SetFlightRecorder arms flight-recorder event notes for this transport.
+// The label is precomputed so recording never allocates.
+func (t *Transport) SetFlightRecorder(fr *obs.FlightRecorder) {
+	t.fr = fr
+	t.frName = t.k.Board().Name() + ".tp"
+}
+
+// opStart marks a reliable operation (request, stream message, VMTP
+// transaction) entering flight.
+func (t *Transport) opStart() {
+	t.inflightOps++
+}
+
+// opDone marks a reliable operation leaving flight (success or failure —
+// both are progress for the stall watchdog).
+func (t *Transport) opDone() {
+	t.inflightOps--
+	t.completedOps++
+}
+
+// InFlight returns the number of reliable operations currently blocked in
+// this transport (sampler/watchdog read-out).
+func (t *Transport) InFlight() int64 { return t.inflightOps }
+
+// Completed returns the number of reliable operations that have finished,
+// counting failures: any return is progress (watchdog read-out).
+func (t *Transport) Completed() int64 { return t.completedOps }
+
+// WindowInFlight returns the total unacknowledged go-back-N packets
+// across this transport's outgoing streams (sampler read-out). Summing is
+// map-order independent, so the reading is deterministic.
+func (t *Transport) WindowInFlight() int64 {
+	var n int64
+	for _, s := range t.streamsOut {
+		n += int64(s.window)
+	}
+	return n
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/datalink"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -127,6 +128,13 @@ type Transport struct {
 	// plus dead peers watched for revival.
 	watch   map[int]*peerState
 	hbArmed bool
+
+	// Continuous telemetry (telemetry.go): flight-recorder board plus
+	// pull counters for the sampler and stall watchdog.
+	fr           *obs.FlightRecorder
+	frName       string
+	inflightOps  int64
+	completedOps int64
 
 	stats Stats
 }
@@ -270,6 +278,8 @@ func (t *Transport) sendWire(th *kernel.Thread, dst int, wire []byte) error {
 // ("a direct interface to the datalink layer... should only be used by
 // applications that can tolerate or recover from lost packets").
 func (t *Transport) SendDatagram(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte) error {
+	t.opStart()
+	defer t.opDone()
 	t.nextMsg++
 	h := &Header{
 		Proto: ProtoDatagram, Src: uint16(t.self), Dst: uint16(dst),
@@ -359,6 +369,8 @@ const BroadcastDst = 0xFFFF
 // multicast of paper §4.2.2/§4.2.4. Like the unicast datagram it is
 // unreliable: the crossbar tree has no per-branch acknowledgments.
 func (t *Transport) SendDatagramMulticast(th *kernel.Thread, dsts []int, dstBox, srcBox uint16, data []byte) error {
+	t.opStart()
+	defer t.opDone()
 	t.nextMsg++
 	h := &Header{
 		Proto: ProtoDatagram, Src: uint16(t.self), Dst: BroadcastDst,

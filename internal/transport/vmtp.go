@@ -166,6 +166,8 @@ func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16,
 	defer delete(vm.pending, txn)
 	t.watchPeer(dst)
 	defer t.unwatchPeer(dst)
+	t.opStart()
+	defer t.opDone()
 
 	wires := t.groupPackets(ProtoVSend, dst, dstBox, srcBox, txn, req)
 	pend.reqPkts = uint32(len(wires))
