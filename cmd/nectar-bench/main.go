@@ -50,7 +50,9 @@ func toJSON(r *exp.Result) jsonResult {
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array on stdout")
+	collOut := flag.String("collout", "", "write the C1 collective sweep as JSON to this path (e.g. BENCH_coll.json)")
 	flag.Parse()
+	exp.BenchCollPath = *collOut
 
 	if *list {
 		for _, e := range exp.All() {

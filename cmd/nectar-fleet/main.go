@@ -43,6 +43,7 @@ type replicaReport struct {
 	Errors    int64   `json:"errors"`
 	Shed      int64   `json:"shed"`
 	Bytes     int64   `json:"bytes"`
+	CollSteps int64   `json:"coll_steps,omitempty"`
 	Events    uint64  `json:"engine_events"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	P50us     float64 `json:"p50_us"`
@@ -72,6 +73,7 @@ type fleetReport struct {
 		DurationMs float64 `json:"duration_ms"`
 		BaseSeed   int64   `json:"base_seed"`
 		Threads    int     `json:"gomaxprocs"`
+		BSPSteps   int     `json:"bsp_supersteps,omitempty"`
 	} `json:"config"`
 	Engine   engineReport    `json:"engine"`
 	Replicas []replicaReport `json:"replicas"`
@@ -80,6 +82,7 @@ type fleetReport struct {
 		Errors         int64   `json:"errors"`
 		Shed           int64   `json:"shed"`
 		Bytes          int64   `json:"bytes"`
+		CollSteps      int64   `json:"coll_steps"`
 		Events         uint64  `json:"engine_events"`
 		OpsPerSec      float64 `json:"ops_per_sec"`
 		MBps           float64 `json:"mbps"`
@@ -161,6 +164,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed; replica i runs seed+i")
 	short := flag.Bool("short", false, "small quick run (CI smoke): 5ms windows")
 	verify := flag.Bool("verify", false, "run every seed twice and fail on digest mismatch")
+	bsp := flag.Int("bsp", 64, "add one collective-mix replica running this many BSP supersteps (0 disables)")
 	noBench := flag.Bool("nobench", false, "skip the engine micro-benchmark")
 	out := flag.String("o", "BENCH_fleet.json", "output JSON path")
 	listen := flag.String("listen", "", "serve live Prometheus metrics on this address while running (e.g. :9464)")
@@ -171,6 +175,13 @@ func main() {
 	}
 	if *replicas < 1 {
 		*replicas = 1
+	}
+	// The collective-mix replica runs the standard mix plus BSP supersteps
+	// on the collective subsystem, so -verify also covers barrier/allreduce
+	// traffic (including the HUB-multicast path) with its digest check.
+	total := *replicas
+	if *bsp > 0 {
+		total++
 	}
 
 	cfg := load.Config{
@@ -189,14 +200,14 @@ func main() {
 	// simulated millisecond; without it, replicas run bare as before.
 	var live *liveFleet
 	if *listen != "" {
-		live = newLiveFleet(*replicas, *seed)
+		live = newLiveFleet(total, *seed)
 		addr, err := live.serve(*listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "listen:", err)
 			os.Exit(2)
 		}
 		fmt.Printf("fleet: live metrics on http://%s/metrics (per replica: /metrics/0..%d)\n",
-			addr, *replicas-1)
+			addr, total-1)
 	}
 
 	runReplica := func(idx int, s int64) replicaRun {
@@ -207,6 +218,13 @@ func main() {
 		sys := core.New(core.SingleHub(*cabs), opts...)
 		c := cfg
 		c.Seed = s
+		if *bsp > 0 && idx == *replicas {
+			// The collective replica models an application doing RPCs plus
+			// BSP supersteps; the default mix's 16 KiB bulk streams would
+			// saturate the hub and starve the collectives entirely.
+			c.BSPSupersteps = *bsp
+			c.Mix = load.Mix{ReqResp: 1}
+		}
 		if live != nil {
 			labels := []obs.Label{
 				{Key: "replica", Value: strconv.Itoa(idx)},
@@ -231,7 +249,7 @@ func main() {
 	if *verify {
 		rounds = 2
 	}
-	runs := make([]replicaRun, *replicas*rounds)
+	runs := make([]replicaRun, total*rounds)
 	var wg sync.WaitGroup
 	slots := make(chan struct{}, runtime.GOMAXPROCS(0))
 	wallStart := time.Now()
@@ -241,7 +259,7 @@ func main() {
 		slots <- struct{}{}
 		go func() {
 			defer func() { <-slots; wg.Done() }()
-			idx := i % *replicas
+			idx := i % total
 			runs[i] = runReplica(idx, *seed+int64(idx))
 		}()
 	}
@@ -260,11 +278,12 @@ func main() {
 	rep.Config.DurationMs = *durMs
 	rep.Config.BaseSeed = *seed
 	rep.Config.Threads = runtime.GOMAXPROCS(0)
+	rep.Config.BSPSteps = *bsp
 
 	mismatch := false
 	merged := trace.NewHistogram("fleet op latency")
 	combined := uint64(fnvOffset)
-	for i := 0; i < *replicas; i++ {
+	for i := 0; i < total; i++ {
 		r := runs[i]
 		rr := replicaReport{
 			Seed:      *seed + int64(i),
@@ -272,6 +291,7 @@ func main() {
 			Errors:    r.res.Errors,
 			Shed:      r.res.Shed,
 			Bytes:     r.res.Bytes,
+			CollSteps: r.res.CollSteps,
 			Events:    r.events,
 			OpsPerSec: r.res.OpsPerSec(),
 			P50us:     us(r.res.Latency.Median()),
@@ -279,7 +299,7 @@ func main() {
 			Digest:    fmt.Sprintf("%016x", r.res.Digest),
 		}
 		if *verify {
-			twin := runs[*replicas+i]
+			twin := runs[total+i]
 			if twin.res.Digest != r.res.Digest || twin.events != r.events {
 				mismatch = true
 				fmt.Fprintf(os.Stderr, "DETERMINISM FAILURE: seed %d produced digest %016x then %016x\n",
@@ -291,6 +311,7 @@ func main() {
 		rep.Total.Errors += r.res.Errors
 		rep.Total.Shed += r.res.Shed
 		rep.Total.Bytes += r.res.Bytes
+		rep.Total.CollSteps += r.res.CollSteps
 		rep.Total.Events += r.events
 		merged.Merge(r.res.Latency)
 		// Fold per-replica digests in seed order: the combined digest is
@@ -333,9 +354,12 @@ func main() {
 	}
 
 	fmt.Printf("fleet: %d replicas x %d CABs (%s loop), %.0fms windows on %d threads\n",
-		*replicas, *cabs, *mode, *durMs, rep.Config.Threads)
+		total, *cabs, *mode, *durMs, rep.Config.Threads)
 	fmt.Printf("  %d ops (%d errors, %d shed), %.0f ops/s, %.1f MB/s aggregate\n",
 		rep.Total.Ops, rep.Total.Errors, rep.Total.Shed, rep.Total.OpsPerSec, rep.Total.MBps)
+	if rep.Total.CollSteps > 0 {
+		fmt.Printf("  %d BSP supersteps in the collective-mix replica\n", rep.Total.CollSteps)
+	}
 	fmt.Printf("  latency p50 %.1fus  p95 %.1fus  p99 %.1fus  max %.1fus\n",
 		rep.Total.P50us, rep.Total.P95us, rep.Total.P99us, rep.Total.MaxUs)
 	fmt.Printf("  %d engine events in %.2fs wall = %.2fM events/s\n",

@@ -118,8 +118,6 @@ func RunAnnealing(sys *core.System, cfg AnnealConfig) *AnnealResult {
 	g := buildGraph(cfg.Vertices, cfg.Degree)
 	res := &AnnealResult{}
 
-	const tagFlips = 100
-
 	end := ipsc.Run(sys, cfg.Procs, func(c *ipsc.Ctx) {
 		me, n := c.Mynode(), c.Numnodes()
 		// Every process keeps a full replica of side[]; flips are
@@ -164,18 +162,16 @@ func RunAnnealing(sys *core.System, cfg AnnealConfig) *AnnealResult {
 					accepted++
 				}
 			}
-			// Exchange flips all-to-all so replicas converge.
+			// Exchange flips via the collective allgather so replicas
+			// converge (flips commute: each is an XOR of one side bit).
 			buf := make([]byte, 2*len(flips))
 			for i, v := range flips {
 				binary.BigEndian.PutUint16(buf[2*i:], v)
 			}
-			for p := 0; p < n; p++ {
-				if p != me {
-					c.Csend(tagFlips+uint32(sweep), buf, p)
+			for p, got := range c.Allgather(buf) {
+				if p == me {
+					continue
 				}
-			}
-			for p := 0; p < n-1; p++ {
-				got := c.Crecv(tagFlips + uint32(sweep))
 				for i := 0; i+1 < len(got); i += 2 {
 					side[binary.BigEndian.Uint16(got[i:])] ^= 1
 				}

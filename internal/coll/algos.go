@@ -1,0 +1,599 @@
+package coll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/kernel"
+)
+
+// Phase rounds disambiguate the messages of one collective (all carrying
+// the same seq). Multi-round algorithms add the round index to a base;
+// bases are spaced 0x300 apart, far above MaxMembers rounds.
+const (
+	rBcast   uint16 = 0x01
+	rReduce  uint16 = 0x02
+	rGather  uint16 = 0x03
+	rScatter uint16 = 0x04
+	rBarUp   uint16 = 0x05
+	rBarRel  uint16 = 0x06
+	rAck     uint16 = 0x07
+	rFoldIn  uint16 = 0x10
+	rFoldOut uint16 = 0x11
+	rRD      uint16 = 0x300 // + bit index
+	rRingRS  uint16 = 0x600 // + ring step
+	rRingAG  uint16 = 0x900 // + ring step
+	rA2A     uint16 = 0xC00 // + rank offset
+	rDissem  uint16 = 0xF00 // + dissemination round
+)
+
+// algo is a resolved algorithm family.
+type algo int
+
+const (
+	aAuto algo = iota
+	aTree
+	aRD
+	aRing
+	aMcast
+)
+
+func algoName(a algo) string {
+	switch a {
+	case aTree:
+		return "tree"
+	case aRD:
+		return "rd"
+	case aRing:
+		return "ring"
+	case aMcast:
+		return "mcast"
+	default:
+		return "auto"
+	}
+}
+
+func parseAlgo(s string) (algo, error) {
+	switch s {
+	case "", "auto":
+		return aAuto, nil
+	case "tree":
+		return aTree, nil
+	case "rd":
+		return aRD, nil
+	case "ring":
+		return aRing, nil
+	case "mcast":
+		return aMcast, nil
+	}
+	return 0, fmt.Errorf("coll: unknown algorithm %q (want tree, rd, ring, mcast, or auto)", s)
+}
+
+// pick resolves the algorithm for one operation family. Forced families
+// degrade gracefully: "mcast" without hardware-multicast capability (or
+// "ring" for an operation with no ring variant) falls back to the
+// closest usable algorithm, so an override can never wedge a group.
+func (g *Group) pick(fam string, size int) algo {
+	var a algo
+	switch fam {
+	case "bcast":
+		if (g.algo == aAuto || g.algo == aMcast) && g.mcastOK {
+			a = aMcast
+		} else {
+			a = aTree
+		}
+	case "barrier":
+		switch g.algo {
+		case aTree:
+			a = aTree
+		case aRD, aRing:
+			a = aRD
+		default: // auto, mcast
+			if g.mcastOK {
+				a = aMcast
+			} else {
+				a = aRD
+			}
+		}
+	case "allreduce":
+		switch g.algo {
+		case aTree:
+			a = aTree
+		case aRD:
+			a = aRD
+		case aRing:
+			a = aRing
+		case aMcast:
+			if g.mcastOK {
+				a = aMcast
+			} else {
+				a = aRD
+			}
+		default:
+			if size <= g.smallMax {
+				a = aRD
+			} else {
+				a = aRing
+			}
+		}
+	default: // reduce, gather, scatter, alltoall: tree / pairwise only
+		a = aTree
+	}
+	g.reg.Counter("coll." + fam + ".algo." + algoName(a)).Inc()
+	return a
+}
+
+func (c *Comm) checkRoot(root int) error {
+	if root < 0 || root >= c.g.n {
+		return fmt.Errorf("coll: root %d out of range 0..%d", root, c.g.n-1)
+	}
+	return nil
+}
+
+func (c *Comm) checkOp(op Op, data []byte) error {
+	if op.Elem <= 0 || op.Combine == nil {
+		return fmt.Errorf("coll: operator %q is malformed", op.Name)
+	}
+	if len(data)%op.Elem != 0 {
+		return fmt.Errorf("coll: payload of %d bytes is not a multiple of %q's %d-byte element",
+			len(data), op.Name, op.Elem)
+	}
+	return nil
+}
+
+// lowbit returns the lowest set bit of v (v > 0).
+func lowbit(v int) int { return v & -v }
+
+// fromV maps a virtual rank (root-relative) back to a real rank.
+func (c *Comm) fromV(v, root int) int { return (v + root) % c.g.n }
+
+// Barrier blocks until every member has entered it. Algorithms:
+// hardware-multicast release (signal tree up to rank 0, one multicast
+// down), or a dissemination barrier (log2(n) rounds, any n).
+func (c *Comm) Barrier(th *kernel.Thread) error {
+	return c.op(th, "barrier", func(seq uint32) error {
+		if c.g.n == 1 {
+			return nil
+		}
+		switch c.g.pick("barrier", 0) {
+		case aMcast:
+			if _, err := c.treeReduce(th, seq, 0, noop, rBarUp, []byte{0}); err != nil {
+				return err
+			}
+			_, err := c.mcastBcast(th, seq, 0, rBarRel, nil)
+			return err
+		case aTree:
+			if _, err := c.treeReduce(th, seq, 0, noop, rBarUp, []byte{0}); err != nil {
+				return err
+			}
+			_, err := c.treeBcast(th, seq, 0, rBarRel, nil)
+			return err
+		default:
+			return c.dissemBarrier(th, seq)
+		}
+	})
+}
+
+// Bcast delivers root's data to every member and returns it. Only the
+// root's data argument is consulted; other members may pass nil.
+func (c *Comm) Bcast(th *kernel.Thread, root int, data []byte) (out []byte, err error) {
+	err = c.op(th, "bcast", func(seq uint32) error {
+		if err := c.checkRoot(root); err != nil {
+			return err
+		}
+		if c.g.n == 1 {
+			out = append([]byte(nil), data...)
+			return nil
+		}
+		var e error
+		switch c.g.pick("bcast", len(data)) {
+		case aMcast:
+			out, e = c.mcastBcast(th, seq, root, rBcast, data)
+		default:
+			out, e = c.treeBcast(th, seq, root, rBcast, data)
+		}
+		return e
+	})
+	return out, err
+}
+
+// Reduce folds every member's data with op; the result lands at root
+// (other members return nil). All members must pass equal-length
+// payloads, a multiple of op.Elem.
+func (c *Comm) Reduce(th *kernel.Thread, root int, op Op, data []byte) (out []byte, err error) {
+	err = c.op(th, "reduce", func(seq uint32) error {
+		if err := c.checkRoot(root); err != nil {
+			return err
+		}
+		if err := c.checkOp(op, data); err != nil {
+			return err
+		}
+		var e error
+		out, e = c.treeReduce(th, seq, root, op, rReduce, data)
+		return e
+	})
+	return out, err
+}
+
+// Allreduce folds every member's data with op and returns the result at
+// every member. Algorithms: recursive doubling (small payloads, with a
+// power-of-two fold for arbitrary n), ring reduce-scatter + allgather
+// (large payloads), or reduce + broadcast (tree / multicast overrides).
+func (c *Comm) Allreduce(th *kernel.Thread, op Op, data []byte) (out []byte, err error) {
+	err = c.op(th, "allreduce", func(seq uint32) error {
+		if err := c.checkOp(op, data); err != nil {
+			return err
+		}
+		if c.g.n == 1 {
+			out = append([]byte(nil), data...)
+			return nil
+		}
+		var e error
+		switch c.g.pick("allreduce", len(data)) {
+		case aRing:
+			out, e = c.ringAllreduce(th, seq, op, data)
+		case aTree, aMcast:
+			red, re := c.treeReduce(th, seq, 0, op, rReduce, data)
+			if re != nil {
+				return re
+			}
+			if c.g.pick("bcast", len(data)) == aMcast {
+				out, e = c.mcastBcast(th, seq, 0, rBcast, red)
+			} else {
+				out, e = c.treeBcast(th, seq, 0, rBcast, red)
+			}
+		default:
+			out, e = c.rdAllreduce(th, seq, op, data)
+		}
+		return e
+	})
+	return out, err
+}
+
+// Gather collects every member's payload at root, which returns them
+// indexed by rank (other members return nil). Payload lengths may vary.
+func (c *Comm) Gather(th *kernel.Thread, root int, data []byte) (out [][]byte, err error) {
+	err = c.op(th, "gather", func(seq uint32) error {
+		if err := c.checkRoot(root); err != nil {
+			return err
+		}
+		bun, e := c.treeGather(th, seq, root, rGather, data)
+		if e != nil || bun == nil {
+			return e
+		}
+		out = bundleSlice(bun, c.g.n)
+		return nil
+	})
+	return out, err
+}
+
+// Scatter distributes root's parts (indexed by rank, exactly n entries
+// at the root; ignored elsewhere) and returns each member its own part.
+func (c *Comm) Scatter(th *kernel.Thread, root int, parts [][]byte) (out []byte, err error) {
+	err = c.op(th, "scatter", func(seq uint32) error {
+		if err := c.checkRoot(root); err != nil {
+			return err
+		}
+		if c.rank == root && len(parts) != c.g.n {
+			return fmt.Errorf("coll: scatter needs %d parts, got %d", c.g.n, len(parts))
+		}
+		var e error
+		out, e = c.treeScatter(th, seq, root, parts)
+		return e
+	})
+	return out, err
+}
+
+// Alltoall performs the personalized all-to-all exchange: member i's
+// parts[j] arrives as member j's result[i]. Every member passes exactly
+// n parts; lengths may vary per pair.
+func (c *Comm) Alltoall(th *kernel.Thread, parts [][]byte) (out [][]byte, err error) {
+	err = c.op(th, "alltoall", func(seq uint32) error {
+		n := c.g.n
+		if len(parts) != n {
+			return fmt.Errorf("coll: alltoall needs %d parts, got %d", n, len(parts))
+		}
+		out = make([][]byte, n)
+		out[c.rank] = append([]byte(nil), parts[c.rank]...)
+		for r := 1; r < n; r++ {
+			to := (c.rank + r) % n
+			from := (c.rank - r + n) % n
+			round := rA2A + uint16(r)
+			if err := c.sendTo(th, to, kData, seq, round, parts[to]); err != nil {
+				return err
+			}
+			m := c.recvFrom(th, seq, from, round)
+			out[from] = m.data
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Allgather collects every member's payload and returns them at every
+// member, indexed by rank (a gather to rank 0 followed by a broadcast
+// of the bundle, which uses the hardware multicast when available).
+func (c *Comm) Allgather(th *kernel.Thread, data []byte) (out [][]byte, err error) {
+	err = c.op(th, "allgather", func(seq uint32) error {
+		bun, e := c.treeGather(th, seq, 0, rGather, data)
+		if e != nil {
+			return e
+		}
+		var wire []byte
+		if c.rank == 0 {
+			wire = encodeBundle(bun)
+		}
+		if c.g.n > 1 {
+			if c.g.pick("bcast", len(wire)) == aMcast {
+				wire, e = c.mcastBcast(th, seq, 0, rBcast, wire)
+			} else {
+				wire, e = c.treeBcast(th, seq, 0, rBcast, wire)
+			}
+			if e != nil {
+				return e
+			}
+		}
+		out = bundleSlice(decodeBundle(wire), c.g.n)
+		return nil
+	})
+	return out, err
+}
+
+// treeBcast pushes data down the binomial tree rooted at root.
+func (c *Comm) treeBcast(th *kernel.Thread, seq uint32, root int, round uint16, data []byte) ([]byte, error) {
+	n := c.g.n
+	v := (c.rank - root + n) % n
+	buf := data
+	top := 1
+	if v == 0 {
+		for top < n {
+			top <<= 1
+		}
+	} else {
+		top = lowbit(v)
+		m := c.recvFrom(th, seq, c.fromV(v-top, root), round)
+		buf = m.data
+	}
+	for m2 := top >> 1; m2 >= 1; m2 >>= 1 {
+		if v+m2 >= n {
+			continue
+		}
+		if err := c.sendTo(th, c.fromV(v+m2, root), kData, seq, round, buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// treeReduce folds payloads up the binomial tree; the accumulated value
+// surfaces at root (nil elsewhere). Children are combined in ascending
+// mask order, a deterministic association.
+func (c *Comm) treeReduce(th *kernel.Thread, seq uint32, root int, op Op, round uint16, data []byte) ([]byte, error) {
+	n := c.g.n
+	v := (c.rank - root + n) % n
+	acc := append([]byte(nil), data...)
+	for mask := 1; mask < n; mask <<= 1 {
+		if v&mask != 0 {
+			return nil, c.sendTo(th, c.fromV(v-mask, root), kData, seq, round, acc)
+		}
+		if v+mask < n {
+			m := c.recvFrom(th, seq, c.fromV(v+mask, root), round)
+			op.Combine(acc, m.data)
+		}
+	}
+	return acc, nil
+}
+
+// dissemBarrier runs the dissemination barrier: in round r every member
+// signals rank+2^r and waits for rank-2^r, so after ceil(log2 n) rounds
+// each member has (transitively) heard from everyone.
+func (c *Comm) dissemBarrier(th *kernel.Thread, seq uint32) error {
+	n := c.g.n
+	for k, r := 1, 0; k < n; k, r = k<<1, r+1 {
+		round := rDissem + uint16(r)
+		if err := c.sendTo(th, (c.rank+k)%n, kData, seq, round, nil); err != nil {
+			return err
+		}
+		c.recvFrom(th, seq, (c.rank-k+n)%n, round)
+	}
+	return nil
+}
+
+// rdAllreduce is recursive doubling with the standard power-of-two fold:
+// the first 2*rem ranks pair up (evens fold into odds) so a power of two
+// remains, those run log2 rounds of pairwise exchange-and-combine, and
+// the folded-out evens get the result back. IEEE addition is commutative,
+// and every rank combines the same pairing tree, so all members return
+// bit-identical results even for floating-point sums.
+func (c *Comm) rdAllreduce(th *kernel.Thread, seq uint32, op Op, data []byte) ([]byte, error) {
+	n := c.g.n
+	acc := append([]byte(nil), data...)
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	rem := n - p2
+	newrank := -1
+	switch {
+	case c.rank < 2*rem && c.rank%2 == 0:
+		if err := c.sendTo(th, c.rank+1, kData, seq, rFoldIn, acc); err != nil {
+			return nil, err
+		}
+	case c.rank < 2*rem:
+		m := c.recvFrom(th, seq, c.rank-1, rFoldIn)
+		op.Combine(acc, m.data)
+		newrank = c.rank / 2
+	default:
+		newrank = c.rank - rem
+	}
+	if newrank >= 0 {
+		oldOf := func(nr int) int {
+			if nr < rem {
+				return nr*2 + 1
+			}
+			return nr + rem
+		}
+		for bit, mask := 0, 1; mask < p2; bit, mask = bit+1, mask<<1 {
+			partner := oldOf(newrank ^ mask)
+			round := rRD + uint16(bit)
+			if err := c.sendTo(th, partner, kData, seq, round, acc); err != nil {
+				return nil, err
+			}
+			m := c.recvFrom(th, seq, partner, round)
+			op.Combine(acc, m.data)
+		}
+	}
+	switch {
+	case c.rank < 2*rem && c.rank%2 == 0:
+		m := c.recvFrom(th, seq, c.rank+1, rFoldOut)
+		acc = m.data
+	case c.rank < 2*rem:
+		if err := c.sendTo(th, c.rank-1, kData, seq, rFoldOut, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// ringAllreduce is the bandwidth-optimal ring: n-1 reduce-scatter steps
+// (each member ends up owning one fully reduced chunk) followed by n-1
+// allgather steps circulating the reduced chunks. Chunk boundaries are
+// element-aligned; empty chunks (fewer elements than members) are legal.
+// Every chunk is reduced along the ring in one fixed order, so all
+// members return bit-identical results.
+func (c *Comm) ringAllreduce(th *kernel.Thread, seq uint32, op Op, data []byte) ([]byte, error) {
+	n := c.g.n
+	acc := append([]byte(nil), data...)
+	nel := len(acc) / op.Elem
+	bound := func(i int) (int, int) {
+		i = ((i % n) + n) % n
+		return i * nel / n * op.Elem, (i + 1) * nel / n * op.Elem
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		so, se := bound(c.rank - s)
+		round := rRingRS + uint16(s)
+		if err := c.sendTo(th, right, kData, seq, round, acc[so:se]); err != nil {
+			return nil, err
+		}
+		m := c.recvFrom(th, seq, left, round)
+		ro, re := bound(c.rank - s - 1)
+		op.Combine(acc[ro:re], m.data)
+	}
+	for s := 0; s < n-1; s++ {
+		so, se := bound(c.rank + 1 - s)
+		round := rRingAG + uint16(s)
+		if err := c.sendTo(th, right, kData, seq, round, acc[so:se]); err != nil {
+			return nil, err
+		}
+		m := c.recvFrom(th, seq, left, round)
+		ro, re := bound(c.rank - s)
+		copy(acc[ro:re], m.data)
+	}
+	return acc, nil
+}
+
+// treeGather folds rank-keyed bundles up the binomial tree; the full
+// bundle surfaces at root (nil elsewhere).
+func (c *Comm) treeGather(th *kernel.Thread, seq uint32, root int, round uint16, data []byte) (map[int][]byte, error) {
+	n := c.g.n
+	v := (c.rank - root + n) % n
+	bun := map[int][]byte{c.rank: append([]byte(nil), data...)}
+	for mask := 1; mask < n; mask <<= 1 {
+		if v&mask != 0 {
+			return nil, c.sendTo(th, c.fromV(v-mask, root), kData, seq, round, encodeBundle(bun))
+		}
+		if v+mask < n {
+			m := c.recvFrom(th, seq, c.fromV(v+mask, root), round)
+			for r, b := range decodeBundle(m.data) {
+				bun[r] = b
+			}
+		}
+	}
+	return bun, nil
+}
+
+// treeScatter pushes per-subtree bundles down the binomial tree. The
+// subtree below virtual rank w with receive mask m covers virtual ranks
+// [w, w+m), so each hop forwards exactly the parts its subtree needs.
+func (c *Comm) treeScatter(th *kernel.Thread, seq uint32, root int, parts [][]byte) ([]byte, error) {
+	n := c.g.n
+	v := (c.rank - root + n) % n
+	var sub map[int][]byte // keyed by virtual rank
+	top := 1
+	if v == 0 {
+		for top < n {
+			top <<= 1
+		}
+		sub = make(map[int][]byte, n)
+		for w := 0; w < n; w++ {
+			sub[w] = parts[c.fromV(w, root)]
+		}
+	} else {
+		top = lowbit(v)
+		m := c.recvFrom(th, seq, c.fromV(v-top, root), rScatter)
+		sub = decodeBundle(m.data)
+	}
+	for m2 := top >> 1; m2 >= 1; m2 >>= 1 {
+		if v+m2 >= n {
+			continue
+		}
+		child := make(map[int][]byte, m2)
+		for w := v + m2; w < v+2*m2 && w < n; w++ {
+			child[w] = sub[w]
+		}
+		if err := c.sendTo(th, c.fromV(v+m2, root), kData, seq, rScatter, encodeBundle(child)); err != nil {
+			return nil, err
+		}
+	}
+	return append([]byte(nil), sub[v]...), nil
+}
+
+// Bundles frame multiple rank-keyed payloads in one message:
+// (key u16 | len u32 | bytes)*, sorted by key for determinism.
+func encodeBundle(bun map[int][]byte) []byte {
+	keys := make([]int, 0, len(bun))
+	total := 0
+	for k, b := range bun {
+		keys = append(keys, k)
+		total += 6 + len(b)
+	}
+	sort.Ints(keys)
+	w := make([]byte, 0, total)
+	for _, k := range keys {
+		var h [6]byte
+		binary.BigEndian.PutUint16(h[0:], uint16(k))
+		binary.BigEndian.PutUint32(h[2:], uint32(len(bun[k])))
+		w = append(w, h[:]...)
+		w = append(w, bun[k]...)
+	}
+	return w
+}
+
+func decodeBundle(w []byte) map[int][]byte {
+	bun := make(map[int][]byte)
+	for len(w) >= 6 {
+		k := int(binary.BigEndian.Uint16(w[0:]))
+		l := int(binary.BigEndian.Uint32(w[2:]))
+		w = w[6:]
+		if l > len(w) {
+			break
+		}
+		bun[k] = append([]byte(nil), w[:l]...)
+		w = w[l:]
+	}
+	return bun
+}
+
+// bundleSlice lays a bundle out as a rank-indexed slice.
+func bundleSlice(bun map[int][]byte, n int) [][]byte {
+	out := make([][]byte, n)
+	for r, b := range bun {
+		if r >= 0 && r < n {
+			out[r] = b
+		}
+	}
+	return out
+}

@@ -1,0 +1,438 @@
+package coll_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// spmd spawns one member thread per rank and drives the simulation to
+// completion, failing the test on any error a body reports.
+func spmd(t *testing.T, sys *core.System, g *coll.Group, body func(th *kernel.Thread, c *coll.Comm) error) {
+	t.Helper()
+	errs := make([]error, g.Size())
+	done := make([]bool, g.Size())
+	for r := 0; r < g.Size(); r++ {
+		r := r
+		c := g.Member(r)
+		sys.CAB(g.CABOf(r)).Kernel.Spawn(fmt.Sprintf("member-%d", r), func(th *kernel.Thread) {
+			errs[r] = body(th, c)
+			done[r] = true
+		})
+	}
+	sys.RunUntil(5 * sim.Second)
+	failed := false
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+			failed = true
+		} else if !done[r] {
+			t.Errorf("rank %d never completed", r)
+			failed = true
+		}
+	}
+	if failed {
+		t.FailNow()
+	}
+}
+
+func seqCABs(n int) []int {
+	cabs := make([]int, n)
+	for i := range cabs {
+		cabs[i] = i
+	}
+	return cabs
+}
+
+func TestRankAssignmentDeterministic(t *testing.T) {
+	sys := core.New(core.SingleHub(4))
+	g := coll.NewGroup(sys, 0, []int{3, 1, 2})
+	// Ranks ascend by CAB id: cab 1 -> rank 0, cab 2 -> rank 1, cab 3 -> rank 2.
+	wantCAB := []int{1, 2, 3}
+	for r, cab := range wantCAB {
+		if g.CABOf(r) != cab {
+			t.Errorf("CABOf(%d) = %d, want %d", r, g.CABOf(r), cab)
+		}
+	}
+	wantRank := []int{2, 0, 1} // input order 3,1,2
+	for i, want := range wantRank {
+		if g.RankOf(i) != want {
+			t.Errorf("RankOf(%d) = %d, want %d", i, g.RankOf(i), want)
+		}
+	}
+	if !g.MulticastCapable() {
+		t.Error("distinct CABs should be multicast capable")
+	}
+}
+
+func TestSharedCABNotMulticastCapable(t *testing.T) {
+	sys := core.New(core.SingleHub(2))
+	g := coll.NewGroup(sys, 0, []int{0, 1, 0, 1})
+	if g.MulticastCapable() {
+		t.Error("shared-CAB group must not be multicast capable")
+	}
+	if g.Size() != 4 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+}
+
+func TestDuplicateGroupIDPanics(t *testing.T) {
+	sys := core.New(core.SingleHub(2))
+	coll.NewGroup(sys, 3, []int{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate group id")
+		}
+	}()
+	coll.NewGroup(sys, 3, []int{1, 0})
+}
+
+func TestBcastAllAlgorithms(t *testing.T) {
+	payload := bytes.Repeat([]byte("nectar"), 100)
+	for _, algo := range []string{"auto", "tree", "mcast", "rd", "ring"} {
+		t.Run(algo, func(t *testing.T) {
+			sys := core.New(core.SingleHub(8))
+			g := coll.NewGroup(sys, 1, seqCABs(8), coll.WithAlgorithm(algo))
+			got := make([][]byte, 8)
+			spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+				var in []byte
+				if c.Rank() == 3 {
+					in = payload
+				}
+				out, err := c.Bcast(th, 3, in)
+				got[c.Rank()] = out
+				return err
+			})
+			for r, b := range got {
+				if !bytes.Equal(b, payload) {
+					t.Errorf("rank %d got %d bytes, want %d", r, len(b), len(payload))
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceSizesAndAlgorithms(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 8} {
+		for _, algo := range []string{"auto", "tree", "rd", "ring", "mcast"} {
+			t.Run(fmt.Sprintf("n%d-%s", n, algo), func(t *testing.T) {
+				sys := core.New(core.SingleHub(8))
+				g := coll.NewGroup(sys, 1, seqCABs(n), coll.WithAlgorithm(algo))
+				var want int64
+				for r := 0; r < n; r++ {
+					want += int64(r + 1)
+				}
+				spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+					in := coll.Int64Bytes([]int64{int64(c.Rank() + 1), int64(c.Rank())})
+					out, err := c.Allreduce(th, coll.SumInt64, in)
+					if err != nil {
+						return err
+					}
+					vals := coll.BytesInt64(out)
+					if vals[0] != want || vals[1] != want-int64(n) {
+						return fmt.Errorf("rank %d: got %v, want [%d %d]", c.Rank(), vals, want, want-int64(n))
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestAllreduceLargePayloadRing(t *testing.T) {
+	// 32 KiB payload on 5 members exercises the ring pipeline (auto
+	// selection above SmallMax) including uneven element-aligned chunks.
+	const vals = 4096
+	sys := core.New(core.SingleHub(5))
+	g := coll.NewGroup(sys, 1, seqCABs(5))
+	spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+		in := make([]int64, vals)
+		for i := range in {
+			in[i] = int64(c.Rank()+1) * int64(i+1)
+		}
+		out, err := c.Allreduce(th, coll.SumInt64, coll.Int64Bytes(in))
+		if err != nil {
+			return err
+		}
+		got := coll.BytesInt64(out)
+		for i, v := range got {
+			want := int64(15) * int64(i+1) // (1+2+3+4+5) * (i+1)
+			if v != want {
+				return fmt.Errorf("rank %d elem %d: got %d, want %d", c.Rank(), i, v, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllreduceFloatBitIdentical(t *testing.T) {
+	for _, algo := range []string{"rd", "ring", "tree"} {
+		t.Run(algo, func(t *testing.T) {
+			sys := core.New(core.SingleHub(6))
+			g := coll.NewGroup(sys, 1, seqCABs(6), coll.WithAlgorithm(algo))
+			got := make([][]byte, 6)
+			spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+				in := coll.Float64Bytes([]float64{0.1 * float64(c.Rank()+1), 3.7})
+				out, err := c.Allreduce(th, coll.SumFloat64, in)
+				got[c.Rank()] = out
+				return err
+			})
+			for r := 1; r < 6; r++ {
+				if !bytes.Equal(got[r], got[0]) {
+					t.Errorf("%s: rank %d float sum differs from rank 0", algo, r)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceAtRoot(t *testing.T) {
+	sys := core.New(core.SingleHub(6))
+	g := coll.NewGroup(sys, 1, seqCABs(6))
+	got := make([][]byte, 6)
+	spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+		in := coll.Int64Bytes([]int64{int64(c.Rank())})
+		out, err := c.Reduce(th, 2, coll.MaxInt64, in)
+		got[c.Rank()] = out
+		return err
+	})
+	for r := 0; r < 6; r++ {
+		if r == 2 {
+			if vals := coll.BytesInt64(got[r]); len(vals) != 1 || vals[0] != 5 {
+				t.Errorf("root got %v, want [5]", vals)
+			}
+		} else if got[r] != nil {
+			t.Errorf("non-root rank %d got non-nil result", r)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const n = 5
+	sys := core.New(core.SingleHub(n))
+	g := coll.NewGroup(sys, 1, seqCABs(n))
+	spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+		in := []byte(fmt.Sprintf("rank-%d-data", c.Rank()))
+		gathered, err := c.Gather(th, 0, in)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r := 0; r < n; r++ {
+				want := fmt.Sprintf("rank-%d-data", r)
+				if string(gathered[r]) != want {
+					return fmt.Errorf("gathered[%d] = %q, want %q", r, gathered[r], want)
+				}
+			}
+		}
+		// Scatter the gathered parts back out from rank 0.
+		part, err := c.Scatter(th, 0, gathered)
+		if err != nil {
+			return err
+		}
+		if string(part) != string(in) {
+			return fmt.Errorf("rank %d scatter returned %q, want %q", c.Rank(), part, in)
+		}
+		return nil
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	sys := core.New(core.SingleHub(n))
+	g := coll.NewGroup(sys, 1, seqCABs(n))
+	spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+		parts := make([][]byte, n)
+		for j := range parts {
+			parts[j] = []byte{byte(c.Rank()), byte(j)}
+		}
+		out, err := c.Alltoall(th, parts)
+		if err != nil {
+			return err
+		}
+		for i := range out {
+			if !bytes.Equal(out[i], []byte{byte(i), byte(c.Rank())}) {
+				return fmt.Errorf("rank %d out[%d] = %v", c.Rank(), i, out[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 3, 6} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			sys := core.New(core.SingleHub(6))
+			g := coll.NewGroup(sys, 1, seqCABs(n))
+			spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+				out, err := c.Allgather(th, []byte{byte(c.Rank() + 10)})
+				if err != nil {
+					return err
+				}
+				if len(out) != n {
+					return fmt.Errorf("got %d entries", len(out))
+				}
+				for r := 0; r < n; r++ {
+					if len(out[r]) != 1 || out[r][0] != byte(r+10) {
+						return fmt.Errorf("rank %d out[%d] = %v", c.Rank(), r, out[r])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	for _, algo := range []string{"mcast", "rd", "tree"} {
+		t.Run(algo, func(t *testing.T) {
+			const n = 5
+			sys := core.New(core.SingleHub(n))
+			g := coll.NewGroup(sys, 1, seqCABs(n), coll.WithAlgorithm(algo))
+			exits := make([]sim.Time, n)
+			var lastEntry sim.Time
+			spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+				// Staggered arrivals: nobody may leave before the last entry.
+				th.Sleep(sim.Time(c.Rank()) * sim.Millisecond)
+				entered := th.Proc().Now()
+				if entered > lastEntry {
+					lastEntry = entered
+				}
+				if err := c.Barrier(th); err != nil {
+					return err
+				}
+				exits[c.Rank()] = th.Proc().Now()
+				return nil
+			})
+			for r, at := range exits {
+				if at < lastEntry {
+					t.Errorf("%s: rank %d left the barrier at %v, before last entry %v", algo, r, at, lastEntry)
+				}
+			}
+		})
+	}
+}
+
+func TestSharedCABCollectives(t *testing.T) {
+	// Four ranks on two CABs: the multicast path is unavailable, every
+	// operation must still work over the point-to-point algorithms.
+	sys := core.New(core.SingleHub(2))
+	g := coll.NewGroup(sys, 0, []int{0, 1, 0, 1})
+	spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+		out, err := c.Bcast(th, 0, []byte("shared"))
+		if err != nil {
+			return err
+		}
+		if string(out) != "shared" {
+			return fmt.Errorf("bcast got %q", out)
+		}
+		sum, err := c.Allreduce(th, coll.SumInt64, coll.Int64Bytes([]int64{1}))
+		if err != nil {
+			return err
+		}
+		if v := coll.BytesInt64(sum)[0]; v != 4 {
+			return fmt.Errorf("allreduce got %d, want 4", v)
+		}
+		return c.Barrier(th)
+	})
+}
+
+func TestMeshGroupCollectives(t *testing.T) {
+	// A group spanning HUBs: multicast trees cross inter-HUB fibers.
+	sys := core.New(core.Mesh(2, 2, 2))
+	g := coll.NewGroup(sys, 2, seqCABs(7)) // non-pow2, spans all four HUBs
+	spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+		out, err := c.Bcast(th, 0, []byte("mesh"))
+		if err != nil {
+			return err
+		}
+		if string(out) != "mesh" {
+			return fmt.Errorf("bcast got %q", out)
+		}
+		sum, err := c.Allreduce(th, coll.SumInt64, coll.Int64Bytes([]int64{int64(c.Rank())}))
+		if err != nil {
+			return err
+		}
+		if v := coll.BytesInt64(sum)[0]; v != 21 {
+			return fmt.Errorf("allreduce got %d, want 21", v)
+		}
+		return nil
+	})
+}
+
+func TestConsecutiveCollectivesDoNotCross(t *testing.T) {
+	const n, iters = 4, 12
+	sys := core.New(core.SingleHub(n))
+	g := coll.NewGroup(sys, 1, seqCABs(n))
+	spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+		for i := 0; i < iters; i++ {
+			// Ranks race ahead at different speeds between collectives.
+			th.Sleep(sim.Time(c.Rank()*17+i) * sim.Microsecond)
+			out, err := c.Allreduce(th, coll.SumInt64, coll.Int64Bytes([]int64{int64(i)}))
+			if err != nil {
+				return err
+			}
+			if v := coll.BytesInt64(out)[0]; v != int64(i*n) {
+				return fmt.Errorf("iter %d: got %d, want %d", i, v, i*n)
+			}
+		}
+		return nil
+	})
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() string {
+		sys := core.New(core.SingleHub(8), core.WithMetrics())
+		g := coll.NewGroup(sys, 1, seqCABs(8))
+		spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+			for i := 0; i < 5; i++ {
+				if _, err := c.Allreduce(th, coll.SumInt64, coll.Int64Bytes([]int64{int64(c.Rank())})); err != nil {
+					return err
+				}
+				if _, err := c.Bcast(th, i%8, []byte("replay")); err != nil {
+					return err
+				}
+			}
+			return c.Barrier(th)
+		})
+		return sys.Reg.Text()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("same-seed collective runs diverged")
+	}
+}
+
+func TestMcastBeatsTreeBcast(t *testing.T) {
+	// The acceptance bar of experiment C1: with one multicast copy on the
+	// root's fiber instead of log2(n) serialized stream copies, the
+	// hardware path must complete a broadcast strictly faster.
+	elapsed := func(algo string) sim.Time {
+		sys := core.New(core.SingleHub(8))
+		g := coll.NewGroup(sys, 1, seqCABs(8), coll.WithAlgorithm(algo))
+		payload := bytes.Repeat([]byte{0xA5}, 1024)
+		var done sim.Time
+		spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+			var in []byte
+			if c.Rank() == 0 {
+				in = payload
+			}
+			if _, err := c.Bcast(th, 0, in); err != nil {
+				return err
+			}
+			if at := th.Proc().Now(); at > done {
+				done = at
+			}
+			return nil
+		})
+		return done
+	}
+	tree, mcast := elapsed("tree"), elapsed("mcast")
+	if mcast >= tree {
+		t.Errorf("hardware multicast bcast (%v) not faster than binomial tree (%v)", mcast, tree)
+	}
+}

@@ -53,6 +53,11 @@ type Params struct {
 	// operations are making progress, and dumps the flight recorder when
 	// they are not. 0 disables it.
 	StallCheck sim.Time
+
+	// Coll tunes the collective-communication subsystem (internal/coll):
+	// algorithm override, payload-size thresholds, and the multicast
+	// reliability protocol's timeouts.
+	Coll CollParams
 }
 
 // DefaultParams returns the full prototype parameter set.
@@ -79,6 +84,7 @@ func (p Params) normalize() Params {
 	if p.Topo.HubPorts == 0 {
 		p.Topo = topo.DefaultOptions()
 	}
+	p.Coll = p.Coll.normalize()
 	return p
 }
 

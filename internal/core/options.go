@@ -233,6 +233,54 @@ func WithStallWatchdog(interval sim.Time) Option {
 	}
 }
 
+// CollParams tunes the collective-communication subsystem (internal/coll).
+// The zero value selects every default.
+type CollParams struct {
+	// Algorithm forces one algorithm family for every collective on the
+	// system: "tree" (binomial trees), "rd" (recursive doubling /
+	// dissemination), "ring" (ring pipeline), or "mcast" (HUB hardware
+	// multicast where the group allows it). Empty or "auto" selects per
+	// operation by payload size, group size, and topology. Groups can
+	// override per group with coll.WithAlgorithm.
+	Algorithm string
+	// SmallMax is the allreduce payload size (bytes) at or below which the
+	// latency-optimal recursive-doubling algorithm is chosen; larger
+	// payloads use the bandwidth-optimal ring pipeline (default 4096).
+	SmallMax int
+	// AckTimeout bounds each level of multicast ack aggregation: how long
+	// a member waits for a child's ack bitmap before reporting without it,
+	// and (doubled) how long the root waits before retransmitting to the
+	// missing members over reliable streams (default 150us).
+	AckTimeout sim.Time
+	// MaxRetries bounds per-link retries of a collective's point-to-point
+	// stream sends when the transport reports failure, with exponential
+	// backoff between attempts (default 8 — enough to ride out a
+	// multi-millisecond link flap).
+	MaxRetries int
+}
+
+// normalize fills zero-valued collective parameters with defaults.
+func (cp CollParams) normalize() CollParams {
+	if cp.SmallMax == 0 {
+		cp.SmallMax = 4096
+	}
+	if cp.AckTimeout == 0 {
+		cp.AckTimeout = 150 * sim.Microsecond
+	}
+	if cp.MaxRetries == 0 {
+		cp.MaxRetries = 8
+	}
+	return cp
+}
+
+// WithCollAlgorithm forces the collective-communication algorithm family
+// ("tree", "rd", "ring", "mcast") for every group built on the system,
+// overriding the automatic payload-size x group-size x topology selection.
+// Empty or "auto" restores automatic selection.
+func WithCollAlgorithm(name string) Option {
+	return func(p *Params) { p.Coll.Algorithm = name }
+}
+
 // WithTelemetry arms the whole continuous-telemetry plane at defaults:
 // sampler, flight recorder, and stall watchdog.
 func WithTelemetry() Option {

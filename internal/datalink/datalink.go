@@ -91,6 +91,7 @@ type Stats struct {
 	PacketsReceived int64
 	BytesSent       int64
 	BytesReceived   int64
+	McastsSent      int64
 	FramingErrors   int64
 	OpenTimeouts    int64
 	OpenFailures    int64
@@ -172,6 +173,7 @@ func (d *Datalink) RegisterMetrics(reg *trace.Registry) {
 	reg.Func(prefix+".packets_received", func() float64 { return float64(d.stats.PacketsReceived) })
 	reg.Func(prefix+".bytes_sent", func() float64 { return float64(d.stats.BytesSent) })
 	reg.Func(prefix+".bytes_received", func() float64 { return float64(d.stats.BytesReceived) })
+	reg.Func(prefix+".mcasts_sent", func() float64 { return float64(d.stats.McastsSent) })
 	reg.Func(prefix+".framing_errors", func() float64 { return float64(d.stats.FramingErrors) })
 	reg.Func(prefix+".open_timeouts", func() float64 { return float64(d.stats.OpenTimeouts) })
 	reg.Func(prefix+".open_failures", func() float64 { return float64(d.stats.OpenFailures) })
@@ -364,6 +366,7 @@ func (d *Datalink) SendMulticastCircuit(th *kernel.Thread, dsts []int, payload [
 	if err != nil {
 		return err
 	}
+	d.stats.McastsSent++
 	return d.sendCircuitHops(th, hops, payload, countTerminals(hops))
 }
 
@@ -393,6 +396,8 @@ func (d *Datalink) SendMulticastPacket(th *kernel.Thread, dsts []int, payload []
 	d.board.Send(items...)
 	d.stats.PacketsSent++
 	d.stats.BytesSent += int64(len(payload))
+	d.stats.McastsSent++
+	d.fr.Note(obs.FSend, d.frName, -1, int64(len(payload)))
 	return nil
 }
 

@@ -75,6 +75,7 @@ func All() []Experiment {
 		{"R1", "fault-recovery", R1Fault},
 		{"P1", "fleet-load", P1FleetLoad},
 		{"O1", "telemetry", O1Telemetry},
+		{"C1", "collectives", C1Collectives},
 	}
 }
 

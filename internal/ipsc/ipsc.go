@@ -11,13 +11,18 @@
 package ipsc
 
 import (
-	"encoding/binary"
 	"math"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/nectarine"
 	"repro/internal/sim"
 )
+
+// collGroupID is the collective group the cube reserves (internal/coll
+// partitions box space by group id; applications building their own
+// groups alongside a cube should avoid it).
+const collGroupID = 15
 
 // Ctx is the view one hypercube process has of the library.
 type Ctx struct {
@@ -25,13 +30,14 @@ type Ctx struct {
 	me int
 	n  int
 
+	// comm drives the global operations (gsync and the reductions)
+	// through the CAB-offloaded collective subsystem; rankToNode maps its
+	// canonical ranks back to hypercube node numbers.
+	comm       *coll.Comm
+	rankToNode []int
+
 	nextIsend int
 	isends    map[int]*isendState
-
-	// redSeq numbers collective operations so that tags from successive
-	// collectives cannot be confused (all processes invoke collectives
-	// in the same order, as in any SPMD program).
-	redSeq uint32
 }
 
 type isendState struct{ done bool }
@@ -44,12 +50,28 @@ func taskName(k int) string {
 // Run builds a cube of nprocs processes (one per CAB, round-robin over the
 // system's CABs), runs body in each, and drives the simulation to
 // completion. It returns the final simulated time.
+//
+// Any process count is supported — the global operations run on the
+// collective subsystem (internal/coll), whose algorithms handle arbitrary
+// group sizes and pick the HUB hardware multicast when every process has
+// its own CAB.
 func Run(sys *core.System, nprocs int, body func(c *Ctx)) sim.Time {
 	app := nectarine.NewApp(sys)
+	cabs := make([]int, nprocs)
+	for k := range cabs {
+		cabs[k] = k % sys.NumCABs()
+	}
+	g := coll.NewGroup(sys, collGroupID, cabs)
+	rankToNode := make([]int, nprocs)
+	for k := 0; k < nprocs; k++ {
+		rankToNode[g.RankOf(k)] = k
+	}
 	for k := 0; k < nprocs; k++ {
 		k := k
-		app.NewCABTask(taskName(k), k%sys.NumCABs(), func(tc *nectarine.TaskCtx) {
-			c := &Ctx{tc: tc, me: k, n: nprocs, isends: make(map[int]*isendState)}
+		app.NewCABTask(taskName(k), cabs[k], func(tc *nectarine.TaskCtx) {
+			c := &Ctx{tc: tc, me: k, n: nprocs,
+				comm: g.Member(g.RankOf(k)), rankToNode: rankToNode,
+				isends: make(map[int]*isendState)}
 			body(c)
 		})
 	}
@@ -109,88 +131,56 @@ func (c *Ctx) Msgwait(id int) {
 	}
 }
 
-// Collective message tags live in 0xFF000000+ space: a sequence number
-// distinguishes successive collectives, and the low byte the round within
-// one collective. User tags must stay below 0xFF000000.
-const collectiveBase = uint32(0xFF000000)
-
-func collTag(seq uint32, round int) uint32 {
-	return collectiveBase | (seq&0xFFFF)<<8 | uint32(round&0xFF)
-}
-
-// hypercube dimension-exchange pattern with padding to the next power of
-// two: processes beyond n wrap to a tree fallback. For simplicity, gsync
-// and the reductions use recursive doubling when n is a power of two and a
-// root-gather otherwise.
-func pow2(n int) bool { return n&(n-1) == 0 }
+// The global operations run on the collective subsystem (internal/coll)
+// rather than over csend/crecv: the CAB kernel threads execute the
+// algorithms directly — binomial trees, recursive doubling with a
+// power-of-two fold (so any nprocs works, not just powers of two), and
+// the HUB hardware multicast for barrier release and result broadcast
+// when every process has its own CAB. The built-in operators are
+// commutative, so the subsystem's canonical ranks need no translation
+// back to node numbers (Allgather, which is positional, does translate).
 
 // Gsync is the global barrier.
 func (c *Ctx) Gsync() {
-	c.reduce(0, func(a, b uint64) uint64 { return 0 })
+	if err := c.comm.Barrier(c.tc.Thread()); err != nil {
+		panic(err)
+	}
 }
 
 // Gisum computes the global sum of v across all processes.
 func (c *Ctx) Gisum(v int64) int64 {
-	r := c.reduce(uint64(v), func(a, b uint64) uint64 {
-		return uint64(int64(a) + int64(b))
-	})
-	return int64(r)
+	return int64(c.allreduce(coll.SumInt64, uint64(v)))
 }
 
 // Gihigh computes the global maximum of v.
 func (c *Ctx) Gihigh(v int64) int64 {
-	r := c.reduce(uint64(v), func(a, b uint64) uint64 {
-		if int64(a) > int64(b) {
-			return a
-		}
-		return b
-	})
-	return int64(r)
+	return int64(c.allreduce(coll.MaxInt64, uint64(v)))
 }
 
 // Gdsum computes the global sum of a float64.
 func (c *Ctx) Gdsum(v float64) float64 {
-	r := c.reduce(math.Float64bits(v), func(a, b uint64) uint64 {
-		return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
-	})
-	return math.Float64frombits(r)
+	return math.Float64frombits(c.allreduce(coll.SumFloat64, math.Float64bits(v)))
 }
 
-// reduce performs an all-reduce of one 64-bit value.
-func (c *Ctx) reduce(v uint64, op func(a, b uint64) uint64) uint64 {
-	c.redSeq++
-	seq := c.redSeq
-	buf := make([]byte, 8)
-	if c.n == 1 {
-		return v
+// Allgather collects data from every process and returns the payloads
+// indexed by node number (the iPSC gcol operation).
+func (c *Ctx) Allgather(data []byte) [][]byte {
+	byRank, err := c.comm.Allgather(c.tc.Thread(), data)
+	if err != nil {
+		panic(err)
 	}
-	if pow2(c.n) {
-		// Recursive doubling: log2(n) rounds of pairwise exchange.
-		round := 0
-		for d := 1; d < c.n; d <<= 1 {
-			partner := c.me ^ d
-			binary.BigEndian.PutUint64(buf, v)
-			c.Csend(collTag(seq, round), buf, partner)
-			got := c.Crecv(collTag(seq, round))
-			v = op(v, binary.BigEndian.Uint64(got))
-			round++
-		}
-		return v
+	byNode := make([][]byte, c.n)
+	for r, b := range byRank {
+		byNode[c.rankToNode[r]] = b
 	}
-	// General n: gather to node 0, reduce, broadcast.
-	if c.me == 0 {
-		for i := 1; i < c.n; i++ {
-			got := c.Crecv(collTag(seq, 0))
-			v = op(v, binary.BigEndian.Uint64(got))
-		}
-		binary.BigEndian.PutUint64(buf, v)
-		for i := 1; i < c.n; i++ {
-			c.Csend(collTag(seq, 1), buf, i)
-		}
-		return v
+	return byNode
+}
+
+// allreduce folds one 64-bit lane across all processes.
+func (c *Ctx) allreduce(op coll.Op, v uint64) uint64 {
+	out, err := c.comm.Allreduce(c.tc.Thread(), op, coll.Int64Bytes([]int64{int64(v)}))
+	if err != nil {
+		panic(err)
 	}
-	binary.BigEndian.PutUint64(buf, v)
-	c.Csend(collTag(seq, 0), buf, 0)
-	got := c.Crecv(collTag(seq, 1))
-	return binary.BigEndian.Uint64(got)
+	return uint64(coll.BytesInt64(out)[0])
 }

@@ -2,6 +2,7 @@ package ipsc_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -176,4 +177,58 @@ func TestMoreProcsThanCABs(t *testing.T) {
 			t.Fatalf("node %d: %d, want 8", i, r)
 		}
 	}
+}
+
+// Every collective must work at arbitrary process counts — the old
+// implementation special-cased powers of two; the collective subsystem's
+// power-of-two fold and tree algorithms lift that restriction.
+func TestCollectivesArbitraryProcessCounts(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			sys := core.NewSingleHub(8, core.DefaultParams())
+			sums := make([]int64, n)
+			highs := make([]int64, n)
+			dsums := make([]float64, n)
+			ipsc.Run(sys, n, func(c *ipsc.Ctx) {
+				c.Gsync()
+				sums[c.Mynode()] = c.Gisum(int64(c.Mynode() + 1))
+				highs[c.Mynode()] = c.Gihigh(int64(c.Mynode() * 3))
+				dsums[c.Mynode()] = c.Gdsum(0.25)
+				c.Gsync()
+			})
+			wantSum := int64(n*(n+1)) / 2
+			for i := 0; i < n; i++ {
+				if sums[i] != wantSum {
+					t.Errorf("node %d: Gisum = %d, want %d", i, sums[i], wantSum)
+				}
+				if highs[i] != int64((n-1)*3) {
+					t.Errorf("node %d: Gihigh = %d, want %d", i, highs[i], (n-1)*3)
+				}
+				if dsums[i] != 0.25*float64(n) {
+					t.Errorf("node %d: Gdsum = %g, want %g", i, dsums[i], 0.25*float64(n))
+				}
+			}
+		})
+	}
+}
+
+// TestAllgather checks the node-number indexing of the gcol-style
+// operation (the collective subsystem's ranks are CAB-ordered, so the
+// library must translate back to hypercube node numbers).
+func TestAllgather(t *testing.T) {
+	const n = 5
+	sys := core.NewSingleHub(3, core.DefaultParams()) // shared CABs: ranks != nodes
+	ipsc.Run(sys, n, func(c *ipsc.Ctx) {
+		all := c.Allgather([]byte(fmt.Sprintf("node-%d", c.Mynode())))
+		if len(all) != n {
+			t.Errorf("node %d: got %d entries", c.Mynode(), len(all))
+			return
+		}
+		for k := 0; k < n; k++ {
+			if want := fmt.Sprintf("node-%d", k); string(all[k]) != want {
+				t.Errorf("node %d: all[%d] = %q, want %q", c.Mynode(), k, all[k], want)
+			}
+		}
+	})
 }

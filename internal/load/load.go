@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/sim"
@@ -97,6 +98,20 @@ type Config struct {
 	// goroutine; the callback must not mutate simulation state.
 	TickEvery sim.Time
 	OnTick    func(Tick)
+
+	// BSPSupersteps adds a bulk-synchronous workload alongside the
+	// point-to-point mix: one BSP worker per CAB runs this many
+	// compute+allreduce supersteps on the collective subsystem
+	// (internal/coll; the workload reserves group id 14). 0 disables it
+	// (the default). Completed supersteps are counted in Result.CollSteps
+	// and folded into the determinism digest; a superstep whose global
+	// sum comes back wrong counts as an error.
+	BSPSupersteps int
+	// BSPBytes is the allreduce payload per superstep (default 1024).
+	BSPBytes int
+	// BSPCompute is the mean of each worker's exponential compute phase
+	// (default 50us).
+	BSPCompute sim.Time
 }
 
 // Tick is a mid-run progress report passed to Config.OnTick.
@@ -136,6 +151,12 @@ func (c Config) withDefaults() Config {
 	if c.StreamBytes == 0 {
 		c.StreamBytes = 16 << 10
 	}
+	if c.BSPBytes == 0 {
+		c.BSPBytes = 1024
+	}
+	if c.BSPCompute == 0 {
+		c.BSPCompute = 50 * sim.Microsecond
+	}
 	return c
 }
 
@@ -147,6 +168,9 @@ type Result struct {
 	Bytes    int64    // payload bytes moved by completed operations
 	Elapsed  sim.Time // measured window length
 	OpCounts [numOps]int64
+	// CollSteps is the number of BSP supersteps (collective allreduces)
+	// completed in the measured window (0 unless Config.BSPSupersteps).
+	CollSteps int64
 	// Latency is the distribution of completed-operation latencies
 	// (exact samples, so quantiles merge exactly across replicas).
 	Latency *trace.Histogram
@@ -368,6 +392,9 @@ func Run(sys *core.System, cfg Config) *Result {
 	} else {
 		r.startOpen()
 	}
+	if cfg.BSPSupersteps > 0 {
+		r.startBSP()
+	}
 	if cfg.TickEvery > 0 && cfg.OnTick != nil {
 		var tick func()
 		tick = func() {
@@ -450,6 +477,71 @@ func (r *run) startOpen() {
 			}
 		})
 	}
+}
+
+// bspGroupID is the collective group the BSP workload reserves.
+const bspGroupID = 14
+
+// startBSP spawns one bulk-synchronous worker per CAB: each superstep is
+// an exponential compute phase followed by a group-wide allreduce over
+// the collective subsystem. Rank 0 verifies the global sum, counts the
+// superstep, and folds it into the determinism digest.
+func (r *run) startBSP() {
+	n := r.sys.NumCABs()
+	g := coll.NewGroup(r.sys, bspGroupID, seqInts(n))
+	vals := r.cfg.BSPBytes / 8
+	if vals < 1 {
+		vals = 1
+	}
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		c := g.Member(rank)
+		cab := g.CABOf(rank)
+		rng := rand.New(rand.NewSource(workerSeed(r.cfg.Seed, cab, 1<<20)))
+		r.sys.CAB(cab).Kernel.SpawnDaemon(fmt.Sprintf("load-bsp-%d", rank), func(th *kernel.Thread) {
+			for s := 0; s < r.cfg.BSPSupersteps; s++ {
+				th.Compute("bsp-compute", sim.Time(rng.ExpFloat64()*float64(r.cfg.BSPCompute)))
+				in := make([]int64, vals)
+				for j := range in {
+					in[j] = int64(rank+1)*int64(s+1) + int64(j)
+				}
+				stepStart := th.Proc().Now()
+				out, err := c.Allreduce(th, coll.SumInt64, coll.Int64Bytes(in))
+				if rank != 0 {
+					continue
+				}
+				if err == nil {
+					want := int64(n*(n+1))/2*int64(s+1) + int64(n)*0
+					if coll.BytesInt64(out)[0] != want {
+						err = fmt.Errorf("load: superstep %d sum %d, want %d",
+							s, coll.BytesInt64(out)[0], want)
+					}
+				}
+				now := th.Proc().Now()
+				if now < r.mark || now > r.end {
+					continue
+				}
+				if err != nil {
+					r.res.Errors++
+					continue
+				}
+				r.res.CollSteps++
+				r.fold(0xCC)
+				r.fold64(uint64(s))
+				r.fold64(uint64(coll.BytesInt64(out)[0]))
+				r.fold64(uint64(now - stepStart))
+			}
+		})
+	}
+}
+
+// seqInts returns 0..n-1.
+func seqInts(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
 }
 
 // OpName returns the display name of an op kind.

@@ -149,6 +149,31 @@ func TestRunPanicsOnTinySystem(t *testing.T) {
 	Run(core.New(core.SingleHub(1)), Config{})
 }
 
+// The BSP workload must complete supersteps alongside the point-to-point
+// mix, verify the global sums, and stay deterministic.
+func TestBSPSuperstepsRunAndReplay(t *testing.T) {
+	cfg := shortCfg(11)
+	cfg.BSPSupersteps = 6
+	a := Run(core.New(core.SingleHub(4)), cfg)
+	if a.CollSteps == 0 {
+		t.Fatal("BSP workload completed no supersteps")
+	}
+	if a.Errors != 0 {
+		t.Fatalf("BSP run produced %d errors", a.Errors)
+	}
+	b := Run(core.New(core.SingleHub(4)), cfg)
+	if a.Digest != b.Digest || a.CollSteps != b.CollSteps {
+		t.Fatalf("BSP same-seed runs diverged: digest %x/%x steps %d/%d",
+			a.Digest, b.Digest, a.CollSteps, b.CollSteps)
+	}
+	// The collective traffic must perturb the digest relative to a run
+	// without it (it is folded in, not ignored).
+	plain := Run(core.New(core.SingleHub(4)), shortCfg(11))
+	if plain.Digest == a.Digest {
+		t.Fatal("BSP supersteps did not affect the determinism digest")
+	}
+}
+
 func TestCustomMixExcludesDisabledKinds(t *testing.T) {
 	cfg := shortCfg(3)
 	cfg.Mix = Mix{ReqResp: 1}

@@ -245,6 +245,14 @@ func (tc *TaskCtx) Proc() *sim.Proc { return tc.proc }
 // Machine returns the machine type the task runs on.
 func (tc *TaskCtx) Machine() MachineType { return tc.task.app.machineAt(tc.task.cabID) }
 
+// Thread returns the kernel thread a CAB-resident task runs on (nil for
+// node-resident tasks), for driving kernel-level services — notably the
+// collective-communication endpoints of internal/coll — from a task body.
+func (tc *TaskCtx) Thread() *kernel.Thread { return tc.th }
+
+// CAB returns the CAB id the task is placed on.
+func (tc *TaskCtx) CAB() int { return tc.task.cabID }
+
 // Compute charges d of processing on the task's processor.
 func (tc *TaskCtx) Compute(d sim.Time) {
 	if tc.th != nil {

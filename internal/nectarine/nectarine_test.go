@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/nectarine"
 	"repro/internal/node"
@@ -289,5 +290,51 @@ func TestTaskCtxSurface(t *testing.T) {
 	app.Run()
 	if !cabOK || !nodeOK {
 		t.Fatalf("cabOK=%v nodeOK=%v", cabOK, nodeOK)
+	}
+}
+
+// TestCollective drives the coll subsystem through the Nectarine task
+// API: a broadcast from a named root and an allreduce across four tasks.
+func TestCollective(t *testing.T) {
+	sys := core.New(core.SingleHub(4))
+	app := nectarine.NewApp(sys)
+	names := []string{"w0", "w1", "w2", "w3"}
+	var cl *nectarine.Collective
+	sums := make([]int64, 4)
+	for i, name := range names {
+		i, name := i, name
+		app.NewCABTask(name, i, func(tc *nectarine.TaskCtx) {
+			if cl.Rank(tc) != cl.RankOf(tc.Name()) {
+				t.Errorf("task %s: Rank != RankOf", tc.Name())
+			}
+			var in []byte
+			if tc.Name() == "w2" {
+				in = []byte("from-w2")
+			}
+			got, err := cl.Bcast(tc, "w2", in)
+			if err != nil {
+				t.Errorf("task %s: bcast: %v", tc.Name(), err)
+				return
+			}
+			if string(got) != "from-w2" {
+				t.Errorf("task %s: bcast got %q", tc.Name(), got)
+			}
+			out, err := cl.Allreduce(tc, coll.SumInt64, coll.Int64Bytes([]int64{int64(i + 1)}))
+			if err != nil {
+				t.Errorf("task %s: allreduce: %v", tc.Name(), err)
+				return
+			}
+			sums[i] = coll.BytesInt64(out)[0]
+			if err := cl.Barrier(tc); err != nil {
+				t.Errorf("task %s: barrier: %v", tc.Name(), err)
+			}
+		})
+	}
+	cl = app.NewCollective(7, names)
+	app.Run()
+	for i, s := range sums {
+		if s != 10 {
+			t.Errorf("task %d: allreduce sum = %d, want 10", i, s)
+		}
 	}
 }

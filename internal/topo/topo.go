@@ -414,24 +414,31 @@ func (n *Network) Route(src, dst int) ([]Hop, error) {
 // destination CAB, as in paper §4.2.2: the shortest-path tree is opened
 // hop by hop, and each terminal open (onto a destination CAB's port)
 // carries the reply flag.
+//
+// The destination set is normalized first: duplicates are collapsed (a CAB
+// gets exactly one terminal open however often it is listed), and a
+// destination equal to the source is skipped — the sender already holds the
+// data, and the crossbar cannot loop a port back onto itself. Only a set
+// that is empty after normalization is an error.
 func (n *Network) MulticastTree(src int, dsts []int) ([]Hop, error) {
-	if len(dsts) == 0 {
-		return nil, fmt.Errorf("topo: empty multicast set")
-	}
 	root := n.attachHub[src]
 	// children[h] = hubs below h in the tree; terminals[h] = CAB ports on
 	// h that are destinations.
 	children := make(map[int][]int)
 	terminals := make(map[int][]int)
 	inTree := map[int]bool{root: true}
+	seen := make(map[int]bool, len(dsts))
+	reached := 0
 	for _, d := range dsts {
-		if d == src {
-			return nil, fmt.Errorf("topo: multicast to self")
+		if d == src || seen[d] {
+			continue
 		}
+		seen[d] = true
 		path, ok := n.hubPath(root, n.attachHub[d])
 		if !ok {
 			return nil, fmt.Errorf("topo: no path to CAB %d", d)
 		}
+		reached++
 		for i := 1; i < len(path); i++ {
 			if !inTree[path[i]] {
 				inTree[path[i]] = true
@@ -440,6 +447,9 @@ func (n *Network) MulticastTree(src int, dsts []int) ([]Hop, error) {
 		}
 		leaf := path[len(path)-1]
 		terminals[leaf] = append(terminals[leaf], n.attachPort[d])
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("topo: empty multicast set")
 	}
 	var hops []Hop
 	var dfs func(h int)

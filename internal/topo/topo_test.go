@@ -119,15 +119,111 @@ func TestMulticastTreeSharedPrefix(t *testing.T) {
 	}
 }
 
-func TestMulticastToSelfFails(t *testing.T) {
+func TestMulticastNormalization(t *testing.T) {
 	eng := sim.NewEngine()
 	n := SingleHub(eng, nil, DefaultOptions(), 3)
-	if _, err := n.MulticastTree(0, []int{0, 1}); err == nil {
-		t.Fatal("multicast including self should fail")
+	// A destination equal to the source is skipped, not an error: the
+	// sender already holds the data.
+	hops, err := n.MulticastTree(0, []int{0, 1})
+	if err != nil {
+		t.Fatalf("multicast with self in set: %v", err)
 	}
+	if len(hops) != 1 || !hops[0].Terminal {
+		t.Fatalf("hops = %+v, want one terminal open to CAB 1", hops)
+	}
+	// Only a set that is empty after normalization fails.
 	if _, err := n.MulticastTree(0, nil); err == nil {
 		t.Fatal("empty multicast should fail")
 	}
+	if _, err := n.MulticastTree(0, []int{0, 0}); err == nil {
+		t.Fatal("self-only multicast should fail")
+	}
+}
+
+func TestMulticastDuplicateDestinations(t *testing.T) {
+	eng := sim.NewEngine()
+	n := SingleHub(eng, nil, DefaultOptions(), 4)
+	a, err := n.MulticastTree(0, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.MulticastTree(0, []int{3, 1, 2, 1, 3, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(a) {
+		t.Fatalf("duplicated set opened %d hops, deduped set %d", len(b), len(a))
+	}
+	seen := map[byte]int{}
+	for _, h := range b {
+		if !h.Terminal {
+			t.Fatalf("unexpected non-terminal open %+v on a single hub", h)
+		}
+		seen[h.Port]++
+	}
+	for p, c := range seen {
+		if c != 1 {
+			t.Fatalf("port %d opened %d times, want exactly once", p, c)
+		}
+	}
+}
+
+func TestMulticastOverlappingSetsMesh(t *testing.T) {
+	eng := sim.NewEngine()
+	// 2x2 mesh, 2 CABs per hub: hub h carries CABs 2h and 2h+1.
+	n := Mesh2D(eng, nil, DefaultOptions(), 2, 2, 2)
+	// Overlapping destination sets sharing tree edges, with duplicates and
+	// the source mixed in: each normalizes to the same opens as its clean
+	// equivalent.
+	for _, tc := range [][2][]int{
+		{{2, 4, 6}, {6, 2, 4, 2, 0, 6}},
+		{{1, 3}, {3, 1, 1, 0, 3}},
+	} {
+		clean, err := n.MulticastTree(0, tc[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		messy, err := n.MulticastTree(0, tc[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(messy) != len(clean) {
+			t.Fatalf("dsts %v: %d opens, clean set %v has %d",
+				tc[1], len(messy), tc[0], len(clean))
+		}
+		if ca, cb := countTerm(clean), countTerm(messy); ca != cb || ca != len(tc[0]) {
+			t.Fatalf("dsts %v: %d terminals, want %d", tc[1], cb, len(tc[0]))
+		}
+	}
+}
+
+func TestMulticastOverlappingSetsLine(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Line(eng, nil, DefaultOptions(), 3, 2)
+	// CABs: hub0: 0,1; hub1: 2,3; hub2: 4,5. The far set rides the same
+	// inter-hub edges as the near set; a self+duplicate-laden variant must
+	// produce the identical tree.
+	clean, err := n.MulticastTree(0, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	messy, err := n.MulticastTree(0, []int{4, 0, 2, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(messy) != len(clean) || countTerm(messy) != 2 {
+		t.Fatalf("messy tree %+v, want same shape as clean %+v", messy, clean)
+	}
+}
+
+func countTerm(hops []Hop) int {
+	n := 0
+	for _, h := range hops {
+		if h.Terminal {
+			n++
+		}
+	}
+	return n
 }
 
 // TestWiringEndToEnd drives raw HUB commands through a topo-built network:

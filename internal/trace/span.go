@@ -23,6 +23,7 @@ import (
 // layer when building latency-breakdown tables.
 const (
 	LayerApp       = "app"       // application / Nectarine
+	LayerColl      = "coll"      // collective-communication subsystem
 	LayerNode      = "node"      // node process software
 	LayerVME       = "vme"       // VME bus transfers
 	LayerKernel    = "kernel"    // CAB kernel (context switches)

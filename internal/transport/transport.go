@@ -71,6 +71,7 @@ func DefaultParams() Params {
 // Stats are transport counters.
 type Stats struct {
 	DatagramsSent  int64
+	McastsSent     int64
 	DatagramsRecv  int64
 	StreamMsgsSent int64
 	StreamMsgsRecv int64
@@ -178,6 +179,7 @@ func (t *Transport) RegisterMetrics(reg *trace.Registry) {
 	}
 	prefix := t.k.Board().Name() + ".transport"
 	reg.Func(prefix+".datagrams_sent", func() float64 { return float64(t.stats.DatagramsSent) })
+	reg.Func(prefix+".mcasts_sent", func() float64 { return float64(t.stats.McastsSent) })
 	reg.Func(prefix+".datagrams_recv", func() float64 { return float64(t.stats.DatagramsRecv) })
 	reg.Func(prefix+".stream_msgs_sent", func() float64 { return float64(t.stats.StreamMsgsSent) })
 	reg.Func(prefix+".stream_msgs_recv", func() float64 { return float64(t.stats.StreamMsgsRecv) })
@@ -380,6 +382,7 @@ func (t *Transport) SendDatagramMulticast(th *kernel.Thread, dsts []int, dstBox,
 	wire := Encode(h, data)
 	th.Compute("tp-mcast", t.params.ProcSend)
 	t.stats.DatagramsSent++
+	t.stats.McastsSent++
 	if len(wire) <= datalink.MaxPacketPayload {
 		return t.dl.SendMulticastPacket(th, dsts, wire)
 	}

@@ -17,6 +17,9 @@
 //     network driver), plus a 10 Mb/s Ethernet baseline for comparison;
 //   - Nectarine, the task/buffer/message programming layer, with an iPSC
 //     hypercube compatibility library on top;
+//   - a CAB-offloaded collective-communication subsystem (barrier,
+//     broadcast, reductions, gather/scatter) that rides the HUB's
+//     hardware multicast where the topology allows;
 //   - the paper's applications (vision pipeline, parallel production
 //     system, simulated annealing) and the full experiment harness that
 //     regenerates every quantitative claim in the paper.
@@ -61,6 +64,7 @@ package nectar
 
 import (
 	"repro/internal/apps"
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/ipsc"
@@ -165,6 +169,10 @@ func WithMetrics() Option { return core.WithMetrics() }
 // WithTraceSpans enables end-to-end message span tracing (System.Tr).
 func WithTraceSpans() Option { return core.WithTraceSpans() }
 
+// WithCollAlgorithm forces the collective subsystem's algorithm family
+// ("tree", "rd", "ring", or "mcast") in place of automatic selection.
+func WithCollAlgorithm(name string) Option { return core.WithCollAlgorithm(name) }
+
 // WithFaultRecovery arms automatic failure detection and recovery: link
 // probing, peer heartbeats, and bounded retransmission backoff.
 func WithFaultRecovery() Option { return core.WithFaultRecovery() }
@@ -210,6 +218,41 @@ func RunIPSC(sys *System, nprocs int, body func(c *ipsc.Ctx)) Time {
 // Experiments returns the full paper-reproduction experiment suite
 // (E1-E12, F1); each returns printable tables and a pass flag.
 func Experiments() []exp.Experiment { return exp.All() }
+
+// Collective communication (internal/coll): CAB-offloaded barrier,
+// broadcast, reductions, and the gather/scatter family over the HUB
+// hardware multicast.
+type (
+	// CollGroup is a collective group (deterministic rank per member CAB).
+	CollGroup = coll.Group
+	// CollComm is one member's endpoint for the collective operations.
+	CollComm = coll.Comm
+	// CollOp is a reduction operator (SumInt64, MaxInt64, SumFloat64...).
+	CollOp = coll.Op
+)
+
+// NewCollGroup declares collective group id over the given member CABs;
+// drive the operations from kernel threads via Group.Member. Nectarine
+// tasks use App.NewCollective instead.
+func NewCollGroup(sys *System, id int, cabs []int, opts ...coll.Option) *CollGroup {
+	return coll.NewGroup(sys, id, cabs, opts...)
+}
+
+// Reduction operators for Reduce/Allreduce (8-byte little-endian lanes).
+var (
+	SumInt64Op   = coll.SumInt64
+	MaxInt64Op   = coll.MaxInt64
+	SumFloat64Op = coll.SumFloat64
+)
+
+// Lane converters between typed slices and the byte payloads the
+// collective operations move.
+var (
+	Int64Bytes   = coll.Int64Bytes
+	BytesInt64   = coll.BytesInt64
+	Float64Bytes = coll.Float64Bytes
+	BytesFloat64 = coll.BytesFloat64
+)
 
 // Application entry points and configurations (paper section 7).
 type (

@@ -94,6 +94,30 @@ func TestFacadeIPSC(t *testing.T) {
 	}
 }
 
+func TestFacadeCollectives(t *testing.T) {
+	sys := nectar.New(nectar.SingleHub(4), nectar.WithCollAlgorithm("tree"))
+	g := nectar.NewCollGroup(sys, 1, []int{0, 1, 2, 3})
+	sums := make([]int64, 4)
+	for r := 0; r < 4; r++ {
+		r := r
+		c := g.Member(r)
+		sys.CAB(r).Kernel.Spawn(fmt.Sprintf("member-%d", r), func(th *nectar.Thread) {
+			out, err := c.Allreduce(th, nectar.SumInt64Op, nectar.Int64Bytes([]int64{int64(r + 1)}))
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			sums[r] = nectar.BytesInt64(out)[0]
+		})
+	}
+	sys.Run()
+	for r, s := range sums {
+		if s != 10 {
+			t.Fatalf("rank %d: allreduce sum %d, want 10", r, s)
+		}
+	}
+}
+
 func TestFacadeApplications(t *testing.T) {
 	sys := nectar.NewSingleHub(6, nectar.DefaultParams())
 	cfg := nectar.DefaultVisionConfig()
