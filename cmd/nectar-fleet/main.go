@@ -213,7 +213,7 @@ func main() {
 	runReplica := func(idx int, s int64) replicaRun {
 		var opts []core.Option
 		if live != nil {
-			opts = append(opts, core.WithMetrics(), core.WithSampler(0))
+			opts = append(opts, core.WithMetrics(), core.WithSampler(0), core.WithFlows(0))
 		}
 		sys := core.New(core.SingleHub(*cabs), opts...)
 		c := cfg
@@ -235,6 +235,7 @@ func main() {
 				var b bytes.Buffer
 				_ = obs.WriteProm(&b, sys.Reg.Snapshot(), labels...)
 				obs.WriteSamplerProm(&b, sys.Sampler, labels...)
+				sys.Flows.WriteProm(&b, labels...)
 				live.publish(idx, tk, b.Bytes())
 			}
 		}

@@ -26,6 +26,7 @@ func (lm *liveMetrics) publish(sys *core.System) {
 	var b bytes.Buffer
 	_ = obs.WriteProm(&b, sys.Reg.Snapshot())
 	obs.WriteSamplerProm(&b, sys.Sampler)
+	sys.Flows.WriteProm(&b)
 	lm.blob.Store(b.Bytes())
 }
 

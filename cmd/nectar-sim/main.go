@@ -55,6 +55,7 @@ func main() {
 	}
 	if *listen != "" {
 		params.Metrics = true
+		params.FlowTopK = core.DefaultFlowTopK
 	}
 
 	var sys *core.System

@@ -1,0 +1,266 @@
+// nectar-top is the congestion observatory's console: it runs a mesh under
+// a configurable congestion storm with the full observatory armed — flow
+// accounting with the heavy-hitter sketch, per-port queue telemetry, span
+// tracing — and prints who is talking to whom (top flows), where it hurts
+// (the weathermap), and where the latency went (per-hop critical-path
+// attribution of the p50/p99 request and the aggregate over the storm
+// window).
+//
+// Usage:
+//
+//	nectar-top                     # 2x2 mesh, 3 CABs/HUB, 8ms, storm on
+//	nectar-top -rows 1 -cols 2     # smaller fabric
+//	nectar-top -storm=false        # just the background request traffic
+//	nectar-top -json               # machine-readable report
+//	nectar-top -out report.txt     # also write the report to a file (CI artifact)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hub"
+	"repro/internal/kernel"
+	"repro/internal/obs/flow"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+const reqBox = 0x42
+
+// report is the -json shape.
+type report struct {
+	Config struct {
+		Rows, Cols, Per int
+		DurationMs      float64
+		Storm           bool
+		StormSrcs       []int `json:",omitempty"`
+		StormDst        int
+	}
+	Flows      []flowRow         `json:"flows"`
+	Top        []flow.TopEntry   `json:"top"`
+	Weathermap *flow.Weathermap  `json:"weathermap"`
+	P99        *pathReport       `json:"p99,omitempty"`
+	P50        *pathReport       `json:"p50,omitempty"`
+	Aggregate  []trace.PathSlice `json:"aggregate,omitempty"`
+	Requests   int               `json:"requests"`
+}
+
+type flowRow struct {
+	Src, Dst, Proto            string
+	Frames, Bytes, Retransmits int64
+	QueueNs                    int64
+}
+
+type pathReport struct {
+	TotalNs int64             `json:"total_ns"`
+	Slices  []trace.PathSlice `json:"slices"`
+}
+
+func main() {
+	rows := flag.Int("rows", 2, "mesh rows")
+	cols := flag.Int("cols", 2, "mesh columns")
+	per := flag.Int("per", 3, "CABs per HUB")
+	durMs := flag.Float64("duration", 8, "simulated run length, ms")
+	storm := flag.Bool("storm", true, "blast the last CAB from its hub-local neighbors mid-run")
+	size := flag.Int("size", 512, "storm datagram payload bytes")
+	k := flag.Int("k", 0, "heavy-hitter sketch size (0 = default)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	outPath := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	sys := core.New(core.Mesh(*rows, *cols, *per),
+		core.WithMetrics(),
+		core.WithObservatory(),
+		core.WithFlows(*k),
+		core.WithSampler(20*sim.Microsecond),
+		func(p *core.Params) { p.TraceSpans = 400000 },
+	)
+	n := sys.NumCABs()
+	if n < 3 {
+		fmt.Fprintln(os.Stderr, "need at least 3 CABs (one client, one victim, one blaster)")
+		os.Exit(2)
+	}
+	victimID := n - 1
+	victim := sys.CAB(victimID)
+	horizon := sim.Time(*durMs * float64(sim.Millisecond))
+	stormAt, stormDur := horizon/8, horizon/2
+
+	// Request server on the victim, echoing 8 bytes back.
+	srvBox := victim.Kernel.NewMailbox("top-srv", 1<<20)
+	victim.TP.Register(reqBox, srvBox)
+	victim.Kernel.SpawnDaemon("top-srv", func(th *kernel.Thread) {
+		for {
+			m := srvBox.Get(th)
+			_ = victim.TP.Respond(th, m, m.Bytes()[:8])
+			srvBox.Release(m)
+		}
+	})
+
+	// Paced background client on CAB 0: one request every 100us, so the
+	// span trace holds a steady stream of cross-fabric messages for the
+	// critical-path post-processor.
+	requests := 0
+	client := sys.CAB(0)
+	client.Kernel.SpawnDaemon("top-client", func(th *kernel.Thread) {
+		payload := make([]byte, 64)
+		for i := 0; ; i++ {
+			next := sim.Time(i) * 100 * sim.Microsecond
+			if now := sys.Eng.Now(); next > now {
+				th.Sleep(next - now)
+			}
+			_, _ = client.TP.Request(th, victimID, reqBox, 1, payload)
+			requests++
+		}
+	})
+
+	// The storm: the victim's hub-local neighbors blast it with datagrams,
+	// so all contention converges on its HUB's output register.
+	var srcs []int
+	if *storm {
+		base := (victimID / *per) * *per
+		for c := base; c < base+*per && len(srcs) < 2; c++ {
+			if c != victimID && c != 0 {
+				srcs = append(srcs, c)
+			}
+		}
+		sink := victim.Kernel.NewMailbox("top-sink", 8<<20)
+		victim.TP.Register(fault.StormBox, sink)
+		victim.Kernel.SpawnDaemon("top-sink", func(th *kernel.Thread) {
+			for {
+				sink.Release(sink.Get(th))
+			}
+		})
+		inj := fault.New(sys, fault.Scenario{Name: "top-storm", Actions: []fault.Action{
+			fault.CongestionStorm{Srcs: srcs, Dst: victimID,
+				At: stormAt, Duration: stormDur, Size: *size},
+		}})
+		inj.Schedule()
+	}
+
+	sys.RunUntil(horizon)
+	sys.StopTelemetry()
+
+	// Post-process: client request roots inside the storm window (whole run
+	// when the storm is off).
+	lo, hi := stormAt, stormAt+stormDur
+	if !*storm {
+		lo, hi = 0, horizon
+	}
+	clientName := client.Board.Name()
+	byRoot := trace.GroupByRoot(sys.Tr.Spans())
+	var roots []*trace.Span
+	for _, r := range sys.Tr.Roots() {
+		if r.Comp() == clientName && r.Name() == "msg" &&
+			r.Ended() && r.Start() >= lo && r.Start() <= hi {
+			roots = append(roots, r)
+		}
+	}
+	breakdown := func(q float64) *trace.PathBreakdown {
+		return trace.CriticalPathIn(byRoot[trace.QuantileRoot(roots, q)],
+			trace.QuantileRoot(roots, q), hub.TransferLatency)
+	}
+	p50, p99 := breakdown(0.50), breakdown(0.99)
+	var all []*trace.PathBreakdown
+	for _, r := range roots {
+		all = append(all, trace.CriticalPathIn(byRoot[r], r, hub.TransferLatency))
+	}
+	agg := trace.AggregatePaths(all)
+	weather := sys.Weathermap()
+
+	if *jsonOut {
+		rep := &report{}
+		rep.Config.Rows, rep.Config.Cols, rep.Config.Per = *rows, *cols, *per
+		rep.Config.DurationMs = *durMs
+		rep.Config.Storm = *storm
+		rep.Config.StormSrcs = srcs
+		rep.Config.StormDst = victimID
+		for _, r := range sys.Flows.Records() {
+			rep.Flows = append(rep.Flows, flowRow{
+				Src:    fmt.Sprintf("cab%d", r.Src),
+				Dst:    dstLabel(r.Dst),
+				Proto:  sys.Flows.ProtoName(r.Proto),
+				Frames: r.Frames, Bytes: r.Bytes, Retransmits: r.Retransmits,
+				QueueNs: int64(r.Queue),
+			})
+		}
+		rep.Top = sys.Flows.Top()
+		rep.Weathermap = weather
+		rep.P50 = pathJSON(p50)
+		rep.P99 = pathJSON(p99)
+		rep.Aggregate = agg
+		rep.Requests = requests
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "encode:", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		os.Stdout.Write(blob)
+		writeOut(*outPath, blob)
+		return
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "nectar-top: %dx%d mesh, %d CABs/HUB, %d requests over %v\n",
+		*rows, *cols, *per, requests, horizon)
+	if *storm {
+		fmt.Fprintf(&b, "storm: CABs %v -> cab%d, %v..%v, %dB datagrams\n",
+			srcs, victimID, stormAt, stormAt+stormDur, *size)
+	}
+	b.WriteString("\n")
+	b.WriteString(sys.Flows.Text(16))
+	b.WriteString("\n")
+	b.WriteString(weather.Text())
+	b.WriteString("\n")
+	if p99 != nil {
+		fmt.Fprintf(&b, "p99 request %s", p99.String())
+		fmt.Fprintf(&b, "p50 request %s", p50.String())
+		fmt.Fprintf(&b, "aggregate over %d requests in the window:\n", len(all))
+		var total sim.Time
+		for _, pb := range all {
+			total += pb.Total
+		}
+		for _, s := range agg {
+			pct := float64(0)
+			if total > 0 {
+				pct = 100 * float64(s.Time) / float64(total)
+			}
+			fmt.Fprintf(&b, "  %-16s %-12s %12v  %5.1f%%\n", s.Comp, s.Kind, s.Time, pct)
+		}
+	} else {
+		b.WriteString("no traced requests completed in the window\n")
+	}
+	os.Stdout.WriteString(b.String())
+	writeOut(*outPath, []byte(b.String()))
+}
+
+func dstLabel(d uint16) string {
+	if d == flow.McastDst {
+		return "*"
+	}
+	return fmt.Sprintf("cab%d", d)
+}
+
+func pathJSON(p *trace.PathBreakdown) *pathReport {
+	if p == nil {
+		return nil
+	}
+	return &pathReport{TotalNs: int64(p.Total), Slices: p.Slices}
+}
+
+func writeOut(path string, blob []byte) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote report to %s\n", path)
+}

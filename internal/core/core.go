@@ -11,6 +11,7 @@ import (
 	"repro/internal/datalink"
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/obs/flow"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -53,6 +54,12 @@ type Params struct {
 	// operations are making progress, and dumps the flight recorder when
 	// they are not. 0 disables it.
 	StallCheck sim.Time
+	// FlowTopK enables the flow observatory (System.Flows): NetFlow-style
+	// per-(src CAB, dst CAB, protocol) accounting on the datalink and
+	// transport hot paths, with a space-saving heavy-hitter sketch of this
+	// many entries. 0 disables it (the default: accounting calls hit a nil
+	// table and cost nothing).
+	FlowTopK int
 
 	// Coll tunes the collective-communication subsystem (internal/coll):
 	// algorithm override, payload-size thresholds, and the multicast
@@ -151,6 +158,11 @@ type System struct {
 	Sampler  *obs.Sampler
 	FR       *obs.FlightRecorder
 	Watchdog *obs.Watchdog
+	// Flows is the flow observatory's accounting table (nil unless
+	// Params.FlowTopK > 0): per-(src, dst, proto) flow records fed by the
+	// datalink/transport hot paths, with a heavy-hitter sketch. Snapshot
+	// the link side with Weathermap.
+	Flows *flow.Table
 	// OnStall, when non-nil, replaces the watchdog's default stall
 	// reaction (a flight-recorder post-mortem on stderr).
 	OnStall func(at sim.Time)
@@ -185,6 +197,11 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 	if p.FlightEvents > 0 {
 		s.FR = obs.NewFlightRecorder(eng, p.FlightEvents)
 	}
+	if p.FlowTopK > 0 {
+		s.Flows = flow.NewTable(p.FlowTopK, func(b byte) string {
+			return transport.Proto(b).String()
+		})
+	}
 	for _, h := range net.Hubs() {
 		h.RegisterMetrics(s.Reg)
 		h.SetFlightRecorder(s.FR)
@@ -195,9 +212,11 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 		dl := datalink.New(k, net, p.Datalink)
 		dl.RegisterMetrics(s.Reg)
 		dl.SetFlightRecorder(s.FR)
+		dl.SetFlowTable(s.Flows)
 		tp := transport.New(k, dl, p.Transport)
 		tp.RegisterMetrics(s.Reg)
 		tp.SetFlightRecorder(s.FR)
+		tp.SetFlowTable(s.Flows)
 		s.CABs = append(s.CABs, &CABStack{Board: b, Kernel: k, DL: dl, TP: tp, fr: s.FR})
 	}
 	// Topology changes (links failed or restored, by the probe layer or an

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"repro/internal/hub"
+	"repro/internal/obs/flow"
+)
+
+// Weathermap snapshots every HUB port's congestion state — queue
+// occupancy and high-water mark, crossbar connection, drop and packet
+// counters — into a flow.Weathermap for text/JSON rendering. Ports are
+// walked HUBs-then-ports ascending, so the snapshot is deterministic. It
+// works on any system (the port counters are maintained unconditionally);
+// no telemetry option is required.
+func (s *System) Weathermap() *flow.Weathermap {
+	w := &flow.Weathermap{At: s.Eng.Now(), QueueCap: hub.InputQueueBytes}
+	for _, h := range s.Net.Hubs() {
+		for i := 0; i < h.NumPorts(); i++ {
+			pt := h.Port(i)
+			w.Ports = append(w.Ports, flow.PortWeather{
+				Hub:        h.Name(),
+				Port:       i,
+				Name:       pt.EndpointName(),
+				QueueBytes: int64(pt.QueueBytes()),
+				QueuePeak:  int64(pt.PeakQueueBytes()),
+				Connected:  pt.Connected(),
+				Drops:      pt.Drops(),
+				PktsIn:     pt.PacketsReceived(),
+				PktsOut:    pt.PacketsForwarded(),
+				Congested:  pt.PeakQueueBytes() >= hub.CongestionHighWater,
+			})
+		}
+	}
+	return w
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flow"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -291,6 +292,67 @@ func WithTelemetry() Option {
 	}
 }
 
+// DefaultFlowTopK is the heavy-hitter sketch size WithFlows enables.
+const DefaultFlowTopK = flow.DefaultTopK
+
+// WithFlows enables the flow observatory (System.Flows): NetFlow-style
+// per-(src CAB, dst CAB, protocol) flow records accumulated on the
+// datalink/transport hot paths, with a space-saving top-k sketch of k
+// entries for heavy-hitter detection (k <= 0: DefaultFlowTopK). Accounting
+// only mutates counters — an observed run is byte-identical to an
+// unobserved one.
+func WithFlows(k int) Option {
+	return func(p *Params) {
+		if k <= 0 {
+			k = DefaultFlowTopK
+		}
+		p.FlowTopK = k
+	}
+}
+
+// WithObservatory arms the full congestion observatory: flow records with
+// the heavy-hitter sketch (WithFlows), the virtual-time sampler for
+// per-port queue-depth/utilization/drop series (WithSampler), and the
+// flight recorder for congestion-onset events (WithFlightRecorder).
+// Combine with WithTraceSpans for critical-path latency attribution.
+func WithObservatory() Option {
+	return func(p *Params) {
+		WithFlows(0)(p)
+		WithSampler(0)(p)
+		WithFlightRecorder()(p)
+	}
+}
+
+// validateTelemetry rejects malformed telemetry parameters with the
+// descriptive "nectar: ..." panic contract. Zero stays valid everywhere —
+// it is the documented "disabled" sentinel for each of these knobs — but a
+// negative value is always a caller bug that would otherwise silently
+// disable (FlightEvents, FlowTopK) or panic deep inside obs with a
+// non-contract message (SamplerPeriod).
+func validateTelemetry(p Params) {
+	if p.SamplerPeriod < 0 {
+		panic(fmt.Sprintf("nectar: SamplerPeriod %v is negative (0 disables the sampler; a positive period enables it)", p.SamplerPeriod))
+	}
+	if p.SamplerCap < 0 {
+		panic(fmt.Sprintf("nectar: SamplerCap %d is negative (0 selects the default capacity)", p.SamplerCap))
+	}
+	if p.FlightEvents < 0 {
+		panic(fmt.Sprintf("nectar: FlightEvents %d is negative (0 disables the flight recorder)", p.FlightEvents))
+	}
+	if p.StallCheck < 0 {
+		panic(fmt.Sprintf("nectar: StallCheck %v is negative (0 disables the stall watchdog)", p.StallCheck))
+	}
+	if p.FlowTopK < 0 {
+		panic(fmt.Sprintf("nectar: FlowTopK %d is negative (0 disables the flow observatory)", p.FlowTopK))
+	}
+	if p.TraceSpans < 0 {
+		panic(fmt.Sprintf("nectar: TraceSpans %d is negative (0 disables span tracing)", p.TraceSpans))
+	}
+	if p.RecorderLimit < 0 {
+		panic(fmt.Sprintf("nectar: RecorderLimit %d is negative (0 disables the event recorder)", p.RecorderLimit))
+	}
+}
+
 // New assembles a Nectar system: the topology's HUBs and fibers, and a full
 // software stack (kernel, datalink, transport) on every CAB. Parameters
 // start at DefaultParams and are refined by the options in order.
@@ -305,6 +367,7 @@ func New(t Topology, opts ...Option) *System {
 	}
 	p = p.normalize()
 	t.validate(p)
+	validateTelemetry(p)
 	eng := sim.NewEngine()
 	rec := newRecorder(eng, p)
 	var net *topo.Network

@@ -135,3 +135,42 @@ func TestTopologyString(t *testing.T) {
 		}
 	}
 }
+
+func TestNewValidatesTelemetryParams(t *testing.T) {
+	bad := func(mutate func(p *Params)) func() {
+		return func() {
+			p := DefaultParams()
+			mutate(&p)
+			New(SingleHub(2), WithParams(p))
+		}
+	}
+	mustPanic(t, "SamplerPeriod", bad(func(p *Params) { p.SamplerPeriod = -sim.Microsecond }))
+	mustPanic(t, "SamplerCap", bad(func(p *Params) { p.SamplerCap = -1 }))
+	mustPanic(t, "FlightEvents", bad(func(p *Params) { p.FlightEvents = -1 }))
+	mustPanic(t, "StallCheck", bad(func(p *Params) { p.StallCheck = -5 }))
+	mustPanic(t, "FlowTopK", bad(func(p *Params) { p.FlowTopK = -2 }))
+	mustPanic(t, "TraceSpans", bad(func(p *Params) { p.TraceSpans = -1 }))
+	mustPanic(t, "RecorderLimit", bad(func(p *Params) { p.RecorderLimit = -1 }))
+
+	// Zero stays valid everywhere: it is the documented "disabled" sentinel.
+	sys := New(SingleHub(2))
+	if sys.Sampler != nil || sys.FR != nil || sys.Flows != nil {
+		t.Fatal("zero-valued telemetry params must leave every instrument disarmed")
+	}
+}
+
+func TestWithFlowsAndObservatory(t *testing.T) {
+	sys := New(SingleHub(2), WithFlows(7))
+	if sys.Flows == nil {
+		t.Fatal("WithFlows did not arm the flow table")
+	}
+	def := New(SingleHub(2), WithFlows(0))
+	if def.Flows == nil || def.Params.FlowTopK != DefaultFlowTopK {
+		t.Fatalf("WithFlows(0) should select the default sketch size, got %d", def.Params.FlowTopK)
+	}
+	obs := New(SingleHub(2), WithObservatory())
+	if obs.Flows == nil || obs.Sampler == nil || obs.FR == nil {
+		t.Fatal("WithObservatory should arm flows, sampler, and flight recorder")
+	}
+	obs.StopTelemetry()
+}

@@ -30,6 +30,7 @@ func buildTelemetry(s *System) {
 					}
 					return 0
 				})
+				sa.Register(pt.EndpointName()+".drops", pt.Drops)
 			}
 		}
 		for _, c := range s.CABs {

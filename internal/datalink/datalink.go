@@ -23,6 +23,7 @@ import (
 	"repro/internal/hub"
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/obs/flow"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -123,6 +124,11 @@ type Datalink struct {
 	fr     *obs.FlightRecorder
 	frName string
 
+	// fl is the system flow table (nil when the observatory is off;
+	// Account is a no-op). Every outgoing frame is charged to its
+	// (src, dst, proto) flow with its sender-side queueing time.
+	fl *flow.Table
+
 	stats Stats
 }
 
@@ -157,6 +163,18 @@ func (d *Datalink) SetReceiver(r Receiver) { d.recv = r }
 func (d *Datalink) SetFlightRecorder(fr *obs.FlightRecorder) {
 	d.fr = fr
 	d.frName = d.board.Name() + ".dl"
+}
+
+// SetFlowTable arms flow accounting for this datalink's outgoing frames.
+func (d *Datalink) SetFlowTable(fl *flow.Table) { d.fl = fl }
+
+// wireProto classifies a frame for flow accounting: every datalink payload
+// is an encoded transport packet, whose first wire byte is the protocol.
+func wireProto(payload []byte) byte {
+	if len(payload) == 0 {
+		return 0
+	}
+	return payload[0]
 }
 
 // Stats returns a copy of the datalink counters.
@@ -288,11 +306,19 @@ func (d *Datalink) SendPacket(th *kernel.Thread, dst int, payload []byte) error 
 		return err
 	}
 	sp := th.Span().Child(trace.LayerDatalink, d.board.Name(), "dl-send-packet")
+	t0 := d.k.Engine().Now()
 	d.mu.P(th)
 	th.Compute("dl-send-setup", d.params.SendSetup)
 	// Our own output's flow control: the attached HUB input queue must be
 	// ready for a new packet.
 	d.board.WaitNetReady(th.Proc())
+	// Flow accounting: everything between entry and credit beyond the
+	// fixed setup cost is sender-side queueing (transmit mutex plus
+	// flow-control credit wait).
+	queued := d.k.Engine().Now() - t0 - d.params.SendSetup
+	if queued < 0 {
+		queued = 0
+	}
 	items := make([]*fiber.Item, 0, len(hops)+2)
 	for _, hp := range hops {
 		items = append(items, d.command(hub.OpTestOpenRetry, hp.HubID, hp.Port, 0))
@@ -304,6 +330,7 @@ func (d *Datalink) SendPacket(th *kernel.Thread, dst int, payload []byte) error 
 	d.stats.PacketsSent++
 	d.stats.BytesSent += int64(len(payload))
 	d.fr.Note(obs.FSend, d.frName, int64(dst), int64(len(payload)))
+	d.fl.Account(d.board.ID(), dst, wireProto(payload), len(payload), queued)
 	sp.End()
 	d.mu.V()
 	return nil
@@ -341,6 +368,9 @@ func (d *Datalink) TrySendPacketInterrupt(dst int, payload []byte, extra sim.Tim
 		d.stats.PacketsSent++
 		d.stats.BytesSent += int64(len(payload))
 		d.fr.Note(obs.FSend, d.frName, int64(dst), int64(len(payload)))
+		// Interrupt-level sends only go out when credit is already
+		// there, so their queueing time is zero by construction.
+		d.fl.Account(d.board.ID(), dst, wireProto(payload), len(payload), 0)
 		sp.End()
 		d.mu.V()
 	})
@@ -356,7 +386,7 @@ func (d *Datalink) SendCircuit(th *kernel.Thread, dst int, payload []byte) error
 	if err != nil {
 		return err
 	}
-	return d.sendCircuitHops(th, hops, payload, 1)
+	return d.sendCircuitHops(th, dst, hops, payload, 1)
 }
 
 // SendMulticastCircuit opens the multicast tree to all dsts (§4.2.2),
@@ -367,7 +397,7 @@ func (d *Datalink) SendMulticastCircuit(th *kernel.Thread, dsts []int, payload [
 		return err
 	}
 	d.stats.McastsSent++
-	return d.sendCircuitHops(th, hops, payload, countTerminals(hops))
+	return d.sendCircuitHops(th, -1, hops, payload, countTerminals(hops))
 }
 
 // SendMulticastPacket is the §4.2.4 packet-switched multicast: test opens
@@ -381,11 +411,16 @@ func (d *Datalink) SendMulticastPacket(th *kernel.Thread, dsts []int, payload []
 		return err
 	}
 	sp := th.Span().Child(trace.LayerDatalink, d.board.Name(), "dl-send-packet")
+	t0 := d.k.Engine().Now()
 	defer sp.End()
 	d.mu.P(th)
 	defer d.mu.V()
 	th.Compute("dl-send-setup", d.params.SendSetup)
 	d.board.WaitNetReady(th.Proc())
+	queued := d.k.Engine().Now() - t0 - d.params.SendSetup
+	if queued < 0 {
+		queued = 0
+	}
 	items := make([]*fiber.Item, 0, len(hops)+2)
 	for _, hp := range hops {
 		items = append(items, d.command(hub.OpTestOpenRetry, hp.HubID, hp.Port, 0))
@@ -398,6 +433,7 @@ func (d *Datalink) SendMulticastPacket(th *kernel.Thread, dsts []int, payload []
 	d.stats.BytesSent += int64(len(payload))
 	d.stats.McastsSent++
 	d.fr.Note(obs.FSend, d.frName, -1, int64(len(payload)))
+	d.fl.Account(d.board.ID(), -1, wireProto(payload), len(payload), queued)
 	return nil
 }
 
@@ -415,8 +451,9 @@ func countTerminals(hops []topo.Hop) int {
 // "If CAB3 does not receive a reply soon enough, it... can decide to take
 // down all the existing connections by using close all, and attempt to
 // re-establish an entire route."
-func (d *Datalink) sendCircuitHops(th *kernel.Thread, hops []topo.Hop, payload []byte, wantReplies int) error {
+func (d *Datalink) sendCircuitHops(th *kernel.Thread, dst int, hops []topo.Hop, payload []byte, wantReplies int) error {
 	sp := th.Span().Child(trace.LayerDatalink, d.board.Name(), "dl-send-circuit")
+	t0 := d.k.Engine().Now()
 	defer sp.End()
 	d.mu.P(th)
 	defer d.mu.V()
@@ -465,6 +502,14 @@ func (d *Datalink) sendCircuitHops(th *kernel.Thread, hops []topo.Hop, payload [
 		d.stats.PacketsSent++
 		d.stats.BytesSent += int64(len(payload))
 		d.fr.Note(obs.FSend, d.frName, -1, int64(len(payload)))
+		// For circuit sends the queueing time spans the mutex wait, the
+		// flow-control credit wait, and the open handshake(s) — everything
+		// between entry and the data leaving, minus the fixed setup cost.
+		queued := d.k.Engine().Now() - t0 - d.params.SendSetup
+		if queued < 0 {
+			queued = 0
+		}
+		d.fl.Account(d.board.ID(), dst, wireProto(payload), len(payload), queued)
 		return nil
 	}
 	d.stats.OpenFailures++

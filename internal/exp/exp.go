@@ -75,6 +75,7 @@ func All() []Experiment {
 		{"R1", "fault-recovery", R1Fault},
 		{"P1", "fleet-load", P1FleetLoad},
 		{"O1", "telemetry", O1Telemetry},
+		{"O2", "flow-observatory", O2FlowObservatory},
 		{"C1", "collectives", C1Collectives},
 	}
 }

@@ -1,0 +1,310 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hub"
+	"repro/internal/kernel"
+	"repro/internal/obs/flow"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// O2 — the flow observatory under a congestion storm. On a 2x2 mesh, two
+// CABs blast datagrams at a victim while a background client runs paced
+// request-response traffic through the same victim port. The observatory
+// must (a) change nothing: the background traffic's latency digest is
+// byte-identical with the observatory fully armed and fully off, and two
+// armed runs export byte-identical flow/sampler records; (b) finger the
+// culprits: the space-saving sketch names the two storm flows as the
+// heaviest; (c) localize the pain: the weathermap's hottest port is on the
+// storm HUB, and the critical-path decomposition of the storm-window p99
+// request attributes at least half its latency to queueing at the
+// congested HUB's ports.
+
+const (
+	o2Horizon  = 8 * sim.Millisecond
+	o2StormAt  = sim.Millisecond
+	o2StormDur = 4 * sim.Millisecond
+	o2StormSz  = 512
+	o2ReqEvery = 100 * sim.Microsecond
+	o2ReqBox   = 0x42
+)
+
+// Mesh(2,2,3): CAB = hubIdx*3 + k. Client CAB 1 (hub idx 0) sends requests
+// to CAB 11 (hub idx 3, "hub4"); storm sources CAB 9 and CAB 10 are the
+// victim's hub-local neighbors, so the only contended resource is hub4's
+// output register toward CAB 11 — queue peaks and the request's queueing
+// both concentrate on hub4's ports, nowhere else.
+var (
+	o2StormSrcs = []int{9, 10}
+	o2StormDst  = 11
+	o2Client    = 1
+)
+
+type o2Outcome struct {
+	digest     uint64
+	requests   int
+	flowCSV    []byte
+	samplerCSV []byte
+	top        []flow.TopEntry
+	flows      *flow.Table
+	weather    *flow.Weathermap
+	p99        *trace.PathBreakdown
+}
+
+// o2Run drives the scenario. observe arms the full observatory (flows,
+// sampler, flight recorder, span tracing, metrics); off leaves every
+// instrument dark. The returned digest folds each background request's
+// index, latency, and error state — any timing perturbation from the
+// observatory would change it.
+func o2Run(observe bool) o2Outcome {
+	opts := []core.Option{}
+	if observe {
+		opts = append(opts,
+			core.WithMetrics(),
+			core.WithObservatory(),
+			core.WithSampler(o1Period),
+			func(p *core.Params) { p.TraceSpans = 200000 },
+		)
+	}
+	sys := core.New(core.Mesh(2, 2, 3), opts...)
+
+	// Storm sink, so the blast keeps pressure on the network instead of
+	// dying in mailbox drops.
+	victim := sys.CAB(o2StormDst)
+	sink := victim.Kernel.NewMailbox("o2-sink", 8<<20)
+	victim.TP.Register(fault.StormBox, sink)
+	victim.Kernel.SpawnDaemon("o2-sink", func(th *kernel.Thread) {
+		for {
+			sink.Release(sink.Get(th))
+		}
+	})
+
+	// Request server on the victim.
+	reqBox := victim.Kernel.NewMailbox("o2-srv", 1<<20)
+	victim.TP.Register(o2ReqBox, reqBox)
+	victim.Kernel.SpawnDaemon("o2-srv", func(th *kernel.Thread) {
+		for {
+			m := reqBox.Get(th)
+			_ = victim.TP.Respond(th, m, m.Bytes()[:8])
+			reqBox.Release(m)
+		}
+	})
+
+	// Paced background client: one request every o2ReqEvery, latencies
+	// folded into the digest.
+	const fnvOffset, fnvPrime = 0xcbf29ce484222325, 0x100000001b3
+	digest := uint64(fnvOffset)
+	fold := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			digest ^= (v >> (8 * i)) & 0xFF
+			digest *= fnvPrime
+		}
+	}
+	requests := 0
+	client := sys.CAB(o2Client)
+	client.Kernel.SpawnDaemon("o2-client", func(th *kernel.Thread) {
+		payload := make([]byte, 64)
+		for i := 0; ; i++ {
+			next := sim.Time(i) * o2ReqEvery
+			if now := sys.Eng.Now(); next > now {
+				th.Sleep(next - now)
+			}
+			t0 := sys.Eng.Now()
+			_, err := client.TP.Request(th, o2StormDst, o2ReqBox, 1, payload)
+			lat := sys.Eng.Now() - t0
+			requests++
+			fold(uint64(i))
+			fold(uint64(lat))
+			if err != nil {
+				fold(1)
+			} else {
+				fold(0)
+			}
+		}
+	})
+
+	inj := fault.New(sys, fault.Scenario{Name: "o2-storm", Actions: []fault.Action{
+		fault.CongestionStorm{Srcs: o2StormSrcs, Dst: o2StormDst,
+			At: o2StormAt, Duration: o2StormDur, Size: o2StormSz},
+	}})
+	inj.Schedule()
+
+	sys.RunUntil(o2Horizon)
+	sys.StopTelemetry()
+
+	out := o2Outcome{digest: digest, requests: requests}
+	if !observe {
+		return out
+	}
+	out.flows = sys.Flows
+	out.flowCSV = sys.Flows.CSV()
+	out.samplerCSV = sys.Sampler.CSV()
+	out.top = sys.Flows.Top()
+	out.weather = sys.Weathermap()
+	out.p99 = o2P99(sys)
+	return out
+}
+
+// o2P99 picks the storm-window p99 background request message and
+// decomposes its latency. Request one-way messages are the root "msg"
+// spans originating at the client board.
+func o2P99(sys *core.System) *trace.PathBreakdown {
+	clientName := sys.CAB(o2Client).Board.Name()
+	byRoot := trace.GroupByRoot(sys.Tr.Spans())
+	var roots []*trace.Span
+	for _, r := range sys.Tr.Roots() {
+		if r.Comp() != clientName || r.Name() != "msg" || !r.Ended() {
+			continue
+		}
+		if r.Start() < o2StormAt || r.Start() > o2StormAt+o2StormDur {
+			continue
+		}
+		roots = append(roots, r)
+	}
+	p99 := trace.QuantileRoot(roots, 0.99)
+	if p99 == nil {
+		return nil
+	}
+	return trace.CriticalPathIn(byRoot[p99], p99, hub.TransferLatency)
+}
+
+// stormHub is the name of the HUB the storm converges on (CAB 11 lives on
+// mesh hub index 3; hub IDs are 1-based).
+const stormHub = "hub4"
+
+// O2FlowObservatory runs the flow-observatory congestion experiment.
+func O2FlowObservatory() *Result {
+	dark := o2Run(false)
+	a := o2Run(true)
+	b := o2Run(true)
+
+	pass := true
+	var notes []string
+	fail := func(format string, args ...interface{}) {
+		pass = false
+		notes = append(notes, fmt.Sprintf(format, args...))
+	}
+	ok := func(format string, args ...interface{}) {
+		notes = append(notes, fmt.Sprintf(format, args...))
+	}
+
+	// (a) The observatory is invisible to the run.
+	if dark.digest != a.digest || dark.requests != a.requests {
+		fail("observatory PERTURBED the run: digest %016x/%d requests dark vs %016x/%d observed",
+			dark.digest, dark.requests, a.digest, a.requests)
+	} else {
+		ok("observatory invisible: latency digest %016x over %d requests, armed and dark",
+			a.digest, a.requests)
+	}
+	if !bytes.Equal(a.flowCSV, b.flowCSV) {
+		fail("flow-record export NOT byte-identical across two armed runs")
+	} else if !bytes.Equal(a.samplerCSV, b.samplerCSV) {
+		fail("sampler export NOT byte-identical across two armed runs")
+	} else {
+		ok("replay deterministic: flow CSV (%d bytes) and sampler CSV (%d bytes) byte-identical",
+			len(a.flowCSV), len(a.samplerCSV))
+	}
+
+	// (b) The sketch names the storm flows heaviest.
+	want := map[flow.Key]bool{}
+	for _, src := range o2StormSrcs {
+		want[flow.Key{Src: uint16(src), Dst: uint16(o2StormDst), Proto: 1}] = true // ProtoDatagram
+	}
+	named := 0
+	for i, e := range a.top {
+		if i >= len(o2StormSrcs) {
+			break
+		}
+		if want[e.Key] {
+			named++
+		}
+	}
+	if named != len(o2StormSrcs) {
+		fail("top-k sketch missed the heavy hitters: top entries %v", a.top)
+	} else {
+		ok("top-k sketch names both storm flows heaviest (cab9->cab11, cab10->cab11 datagram)")
+	}
+
+	// (c) The weathermap fingers a port on the storm HUB.
+	hot := a.weather.Hottest()
+	if hot == nil || hot.Hub != stormHub {
+		name := "<none>"
+		if hot != nil {
+			name = hot.Name
+		}
+		fail("weathermap hottest port %s is not on the storm hub %s", name, stormHub)
+	} else {
+		ok("weathermap fingers %s: peak %d/%d bytes, %d drops",
+			hot.Name, hot.QueuePeak, a.weather.QueueCap, hot.Drops)
+	}
+
+	// (d) Critical path: >= half the storm-window p99 request latency is
+	// queueing at the congested port.
+	var critTable *trace.Table
+	if a.p99 == nil {
+		fail("no traced background request completed inside the storm window")
+	} else {
+		critTable = trace.NewTable(
+			fmt.Sprintf("Where did the p99 go? (storm-window p99 request: %v end to end)", a.p99.Total),
+			"component", "kind", "time", "share")
+		for _, s := range a.p99.Slices {
+			critTable.AddRow(s.Comp, s.Kind, s.Time,
+				fmt.Sprintf("%.1f%%", 100*float64(s.Time)/float64(a.p99.Total)))
+		}
+		mq := a.p99.MaxQueue()
+		share := float64(mq.Time) / float64(a.p99.Total)
+		if !strings.HasPrefix(mq.Comp, stormHub+".") {
+			fail("p99 queueing hotspot %s is not on the storm hub %s", mq.Comp, stormHub)
+		} else if share < 0.5 {
+			fail("congested port %s explains only %.0f%% of the p99 (want >= 50%%)", mq.Comp, 100*share)
+		} else {
+			ok("critical path: %.0f%% of the p99 request (%v) is queueing at %s",
+				100*share, a.p99.Total, mq.Comp)
+		}
+	}
+
+	ft := trace.NewTable("Heaviest flows during the storm (2 blasters + request traffic -> CAB 11)",
+		"src", "dst", "proto", "frames", "bytes", "rexmit", "queue")
+	for i, r := range a.flows.Records() {
+		if i >= 8 {
+			break
+		}
+		dst := fmt.Sprintf("cab%d", r.Dst)
+		if r.Dst == flow.McastDst {
+			dst = "*"
+		}
+		ft.AddRow(fmt.Sprintf("cab%d", r.Src), dst, a.flows.ProtoName(r.Proto),
+			r.Frames, r.Bytes, r.Retransmits, r.Queue)
+	}
+
+	wt := trace.NewTable("Congestion weathermap (ports that saw traffic)",
+		"port", "queue_peak", "drops", "pkts_in", "pkts_out", "congested")
+	for _, p := range a.weather.Ports {
+		if p.QueuePeak == 0 && p.PktsIn == 0 && p.PktsOut == 0 && p.Drops == 0 {
+			continue
+		}
+		ft := ""
+		if p.Congested {
+			ft = "HOT"
+		}
+		wt.AddRow(p.Name, p.QueuePeak, p.Drops, p.PktsIn, p.PktsOut, ft)
+	}
+
+	tables := []*trace.Table{ft, wt}
+	if critTable != nil {
+		tables = append(tables, critTable)
+	}
+	return &Result{
+		ID:     "O2",
+		Title:  "flow observatory fingers the hot port and heavy hitters",
+		Tables: tables,
+		Notes:  notes,
+		Pass:   pass,
+	}
+}

@@ -37,6 +37,11 @@ const (
 	// packet for packet switching (paper §4.2.3: 1 kilobyte).
 	InputQueueBytes = 1024
 
+	// CongestionHighWater is the input-queue occupancy at which a port
+	// notes congestion onset into the flight recorder (3/4 of the queue);
+	// the episode re-arms once the queue drains below half the mark.
+	CongestionHighWater = InputQueueBytes * 3 / 4
+
 	// DefaultPorts is the prototype HUB's port count (16 x 16 crossbar).
 	DefaultPorts = 16
 

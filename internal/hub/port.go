@@ -61,6 +61,14 @@ type Port struct {
 	// occ is the input queue's time-weighted occupancy gauge (nil unless
 	// a metrics registry is attached; nil gauges record nothing).
 	occ *trace.Gauge
+	// peakBytes is the input queue's high-water mark over the run — the
+	// congestion weathermap's heat reading, maintained unconditionally
+	// (one compare per enqueue).
+	peakBytes int
+	// congested latches once inBytes crosses CongestionHighWater and
+	// re-arms below half of it, so the flight recorder notes congestion
+	// onset once per episode instead of once per packet.
+	congested bool
 
 	// Counters (readable via status/supervisor commands).
 	pktIn, pktOut     int64
@@ -98,6 +106,13 @@ func (p *Port) Enabled() bool { return p.enabled }
 
 // QueueBytes returns the current input queue occupancy.
 func (p *Port) QueueBytes() int { return p.inBytes }
+
+// PeakQueueBytes returns the input queue's high-water mark over the run.
+func (p *Port) PeakQueueBytes() int { return p.peakBytes }
+
+// Congested reports whether the input queue is in a congestion episode
+// (crossed CongestionHighWater and has not yet drained below half of it).
+func (p *Port) Congested() bool { return p.congested }
 
 // Connected reports whether this port's output register is owned by an
 // input (a crossbar connection is established through it) — the sampler's
@@ -165,6 +180,13 @@ func (p *Port) Receive(it *fiber.Item) {
 	if it.Kind == fiber.KindPacket {
 		p.inBytes += it.Bytes()
 		p.occ.Set(int64(p.inBytes))
+		if p.inBytes > p.peakBytes {
+			p.peakBytes = p.inBytes
+		}
+		if !p.congested && p.inBytes >= CongestionHighWater {
+			p.congested = true
+			p.hub.fr.Note(obs.FCongestion, p.name, int64(p.id), int64(p.inBytes))
+		}
 	}
 	p.kick()
 }
@@ -233,6 +255,9 @@ func (p *Port) pop() *fiber.Item {
 	if it.Kind == fiber.KindPacket {
 		p.inBytes -= it.Bytes()
 		p.occ.Set(int64(p.inBytes))
+		if p.congested && p.inBytes < CongestionHighWater/2 {
+			p.congested = false
+		}
 	}
 	return it
 }
@@ -399,6 +424,7 @@ func (p *Port) execSupervisor(it *fiber.Item, op Opcode) {
 			q.inBytes = 0
 			q.occ.Set(0)
 			q.stalled = false
+			q.congested = false
 			// Restoring the ready bit also retries opens that parked
 			// while the port was wedged.
 			q.SetReady()
@@ -431,6 +457,7 @@ func (p *Port) execSupervisor(it *fiber.Item, op Opcode) {
 	case SupClearCounters:
 		for _, q := range h.ports {
 			q.pktIn, q.pktOut, q.bytesIn, q.bytesOut, q.cmds, q.drops, q.frameErrs = 0, 0, 0, 0, 0, 0, 0
+			q.peakBytes = 0
 		}
 	case SupReadCounters:
 		var total int64

@@ -31,6 +31,7 @@ const (
 	FStall              // watchdog saw no progress    A=in-flight ops  B=progress count
 	FCollRetrans        // collective multicast retransmit  A=loser rank  B=seq
 	FCollStraggler      // collective ack-wait timed out    A=missing rank B=seq
+	FCongestion         // hub input queue crossed high water  A=port  B=queue bytes
 	kindCount
 )
 
@@ -52,6 +53,7 @@ var kindNames = [kindCount]string{
 	FStall:         "stall",
 	FCollRetrans:   "coll-retrans",
 	FCollStraggler: "coll-straggler",
+	FCongestion:    "congestion",
 }
 
 // String returns the kind's display name.

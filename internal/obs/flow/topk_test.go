@@ -1,0 +1,88 @@
+package flow
+
+import (
+	"reflect"
+	"testing"
+)
+
+func k(src int) Key { return Key{Src: uint16(src), Dst: 99, Proto: 1} }
+
+func TestTopKExactUnderCapacity(t *testing.T) {
+	s := NewTopK(4)
+	s.Offer(k(1), 10)
+	s.Offer(k(2), 30)
+	s.Offer(k(1), 15)
+	e := s.Entries()
+	if len(e) != 2 {
+		t.Fatalf("entries = %d, want 2", len(e))
+	}
+	if e[0].Key != k(2) || e[0].Count != 30 || e[0].Err != 0 {
+		t.Fatalf("heaviest = %+v", e[0])
+	}
+	if e[1].Count != 25 {
+		t.Fatalf("second count = %d, want 25", e[1].Count)
+	}
+}
+
+func TestTopKEvictionInheritsMinCount(t *testing.T) {
+	s := NewTopK(2)
+	s.Offer(k(1), 100)
+	s.Offer(k(2), 10)
+	// k(3) misses a full sketch: evicts the min (k(2), count 10) and
+	// inherits its count as the error bound.
+	s.Offer(k(3), 5)
+	e := s.Entries()
+	if len(e) != 2 {
+		t.Fatalf("entries = %d, want 2", len(e))
+	}
+	if e[1].Key != k(3) || e[1].Count != 15 || e[1].Err != 10 {
+		t.Fatalf("evictor entry = %+v, want count 15 err 10", e[1])
+	}
+	// The true heavy hitter survives untouched.
+	if e[0].Key != k(1) || e[0].Count != 100 {
+		t.Fatalf("heavy hitter lost: %+v", e[0])
+	}
+}
+
+func TestTopKHeavyHitterAlwaysSurfaces(t *testing.T) {
+	// Space-saving guarantee: any flow with true count > N/k is in the
+	// sketch. One elephant among many mice.
+	s := NewTopK(4)
+	for i := 0; i < 1000; i++ {
+		s.Offer(k(i%20+10), 1) // 20 mice, 50 each
+		s.Offer(k(1), 5)       // the elephant: 5000 total
+	}
+	e := s.Entries()
+	if e[0].Key != k(1) {
+		t.Fatalf("elephant not on top: %+v", e[0])
+	}
+	if e[0].Count < 5000 {
+		t.Fatalf("elephant undercounted: %d (space-saving never undercounts)", e[0].Count)
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	run := func() []TopEntry {
+		s := NewTopK(3)
+		for i := 0; i < 100; i++ {
+			s.Offer(k(i%7), int64(i%11+1))
+		}
+		return s.Entries()
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("sketch not deterministic across identical runs")
+	}
+}
+
+func TestTopKOfferZeroAlloc(t *testing.T) {
+	s := NewTopK(2)
+	s.Offer(k(1), 1)
+	s.Offer(k(2), 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Offer(k(1), 1) // hit
+		s.Offer(k(3), 1) // miss -> evict
+	})
+	if allocs != 0 {
+		t.Fatalf("Offer allocates %.1f per call pair, want 0", allocs)
+	}
+}

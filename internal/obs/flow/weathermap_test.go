@@ -1,0 +1,71 @@
+package flow
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func wmap() *Weathermap {
+	return &Weathermap{
+		At:       1000,
+		QueueCap: 1024,
+		Ports: []PortWeather{
+			{Hub: "hub1", Port: 0, Name: "hub1.p0", QueuePeak: 100, PktsIn: 5, PktsOut: 5},
+			{Hub: "hub1", Port: 1, Name: "hub1.p1"}, // idle
+			{Hub: "hub2", Port: 0, Name: "hub2.p0", QueuePeak: 900, Drops: 2, PktsIn: 40, Congested: true},
+			{Hub: "hub2", Port: 1, Name: "hub2.p1", QueuePeak: 900, Drops: 1, PktsIn: 39},
+		},
+	}
+}
+
+func TestWeathermapHottest(t *testing.T) {
+	w := wmap()
+	h := w.Hottest()
+	// Peak ties (hub2.p0 vs hub2.p1) break by drops.
+	if h == nil || h.Name != "hub2.p0" {
+		t.Fatalf("Hottest = %+v, want hub2.p0", h)
+	}
+	if (&Weathermap{Ports: []PortWeather{{Name: "idle"}}}).Hottest() != nil {
+		t.Fatal("all-idle map should have no hottest port")
+	}
+	var nilMap *Weathermap
+	if nilMap.Hottest() != nil {
+		t.Fatal("nil map should have no hottest port")
+	}
+}
+
+func TestWeathermapText(t *testing.T) {
+	txt := wmap().Text()
+	if !strings.Contains(txt, "hub2.p0") || !strings.Contains(txt, "HOT") {
+		t.Fatalf("Text missing congested port:\n%s", txt)
+	}
+	if !strings.Contains(txt, "(1 idle ports omitted)") {
+		t.Fatalf("Text should tally idle ports:\n%s", txt)
+	}
+	if !strings.Contains(txt, "hottest: hub2.p0") {
+		t.Fatalf("Text missing hottest footer:\n%s", txt)
+	}
+	var nilMap *Weathermap
+	if !strings.Contains(nilMap.Text(), "not armed") {
+		t.Fatal("nil map Text should say not armed")
+	}
+}
+
+func TestWeathermapJSON(t *testing.T) {
+	blob, err := wmap().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Weathermap
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ports) != 4 || back.Ports[2].QueuePeak != 900 || !back.Ports[2].Congested {
+		t.Fatalf("JSON round trip lost data: %+v", back.Ports)
+	}
+	var nilMap *Weathermap
+	if blob, err = nilMap.JSON(); err != nil || !json.Valid(blob) {
+		t.Fatalf("nil map JSON = %s, %v", blob, err)
+	}
+}

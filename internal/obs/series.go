@@ -100,7 +100,12 @@ type seriesJSON struct {
 	Points []Point `json:"points"`
 }
 
-// MarshalJSON exports the series with its downsampling stride.
+// MarshalJSON exports the series with its downsampling stride. A series
+// that never collected a point exports "points": [] rather than null.
 func (s *Series) MarshalJSON() ([]byte, error) {
-	return json.Marshal(seriesJSON{Name: s.name, Stride: s.stride, Max: s.max, Points: s.pts})
+	pts := s.pts
+	if pts == nil {
+		pts = []Point{}
+	}
+	return json.Marshal(seriesJSON{Name: s.name, Stride: s.stride, Max: s.max, Points: pts})
 }

@@ -122,3 +122,33 @@ func TestNilSamplerSafe(t *testing.T) {
 		t.Fatalf("nil sampler JSON: %v", err)
 	}
 }
+
+func TestEmptySeriesExports(t *testing.T) {
+	// A series registered but never ticked (the sampler armed on a system
+	// that finished before the first period) must still export cleanly.
+	eng := sim.NewEngine()
+	s := NewSampler(eng, 10, 0)
+	s.Register("never.ticked", func() int64 { return 42 })
+
+	if got := string(s.CSV()); got != "series,at_ns,value\n" {
+		t.Fatalf("empty-series CSV = %q, want header only", got)
+	}
+	blob, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := string(blob)
+	if !strings.Contains(js, `"never.ticked"`) {
+		t.Fatalf("JSON lost the empty series:\n%s", js)
+	}
+	if !strings.Contains(js, `"points": []`) || strings.Contains(js, "null") {
+		t.Fatalf("empty series should export points as [], not null:\n%s", js)
+	}
+
+	// Per-series CSV of an empty series appends nothing.
+	var b bytes.Buffer
+	s.Series()[0].CSV(&b)
+	if b.Len() != 0 {
+		t.Fatalf("empty Series.CSV wrote %q", b.String())
+	}
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// buildPath makes a synthetic message tree: root [0,1000], one transport
+// span [0,100] with a nested datalink sub-span [20,60] (union must not
+// double-count), a fiber hop [100,200], and two hub hops — one uncontended
+// [200,250] and one queued [250,850] — with hubService 50.
+func buildPath(t *testing.T) (*Tracer, *Span) {
+	t.Helper()
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	root := tr.Start(nil, LayerApp, "cab0", "msg")
+	tp := root.ChildAt(0, LayerTransport, "cab0", "tp-send")
+	dl := tp.ChildAt(20, LayerTransport, "cab0", "tp-frag") // nested same layer
+	dl.EndAt(60)
+	tp.EndAt(100)
+	fib := root.ChildAt(100, LayerFiber, "cab0->hub1", "tx")
+	fib.EndAt(200)
+	h1 := root.ChildAt(200, LayerHub, "hub1.p0", "xbar")
+	h1.EndAt(250)
+	h2 := root.ChildAt(250, LayerHub, "hub2.p3", "xbar")
+	h2.EndAt(850)
+	root.EndAt(1000)
+	return tr, root
+}
+
+func TestCriticalPathDecomposition(t *testing.T) {
+	tr, root := buildPath(t)
+	pb := CriticalPath(tr, root, 50)
+	if pb.Total != 1000 {
+		t.Fatalf("Total = %v", pb.Total)
+	}
+	// Hub1: 50 all service. Hub2: 600 = 50 service + 550 queue.
+	if pb.Service != 100 || pb.Queue != 550 {
+		t.Fatalf("service/queue = %v/%v, want 100/550", pb.Service, pb.Queue)
+	}
+	if pb.Propagation != 100 {
+		t.Fatalf("propagation = %v, want 100", pb.Propagation)
+	}
+	// Transport software is the union [0,100], not 100+40.
+	if pb.Software != 100 {
+		t.Fatalf("software = %v, want 100 (union, no double count)", pb.Software)
+	}
+	mq := pb.MaxQueue()
+	if mq.Comp != "hub2.p3" || mq.Time != 550 {
+		t.Fatalf("MaxQueue = %+v", mq)
+	}
+	// Slices are sorted largest first.
+	if pb.Slices[0].Comp != "hub2.p3" || pb.Slices[0].Kind != PathQueue {
+		t.Fatalf("largest slice = %+v", pb.Slices[0])
+	}
+	if !strings.Contains(pb.String(), "hub2.p3") {
+		t.Fatalf("String missing hotspot:\n%s", pb.String())
+	}
+}
+
+func TestCriticalPathNilSafe(t *testing.T) {
+	if CriticalPath(nil, nil, 50) != nil {
+		t.Fatal("nil tracer should yield nil breakdown")
+	}
+	if CriticalPathIn(nil, nil, 50) != nil {
+		t.Fatal("nil root should yield nil breakdown")
+	}
+	var pb *PathBreakdown
+	if !strings.Contains(pb.String(), "no trace") {
+		t.Fatal("nil breakdown String")
+	}
+}
+
+func TestCriticalPathIgnoresUnendedSpans(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	root := tr.Start(nil, LayerApp, "cab0", "msg")
+	open := root.ChildAt(0, LayerHub, "hub1.p0", "xbar")
+	_ = open // never ended: a hop still in flight must not be attributed
+	root.EndAt(100)
+	pb := CriticalPath(tr, root, 50)
+	if pb.Queue != 0 || pb.Service != 0 || len(pb.Slices) != 0 {
+		t.Fatalf("unended span attributed: %+v", pb)
+	}
+}
+
+func TestQuantileRoot(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	var roots []*Span
+	for i := 1; i <= 100; i++ {
+		r := tr.Start(nil, LayerApp, "cab0", "msg")
+		r.EndAt(sim.Time(i) * 10)
+		roots = append(roots, r)
+	}
+	if got := QuantileRoot(roots, 0.5).Duration(); got != 500 {
+		t.Fatalf("p50 duration = %v, want 500", got)
+	}
+	if got := QuantileRoot(roots, 0.99).Duration(); got != 990 {
+		t.Fatalf("p99 duration = %v, want 990", got)
+	}
+	if got := QuantileRoot(roots, 1).Duration(); got != 1000 {
+		t.Fatalf("p100 duration = %v, want 1000", got)
+	}
+	if QuantileRoot(nil, 0.5) != nil {
+		t.Fatal("no roots should yield nil")
+	}
+	unended := tr.Start(nil, LayerApp, "cab0", "msg")
+	if QuantileRoot([]*Span{unended}, 0.5) != nil {
+		t.Fatal("unended roots should yield nil")
+	}
+}
+
+func TestGroupByRootAndAggregate(t *testing.T) {
+	tr1, r1 := buildPath(t)
+	byRoot := GroupByRoot(tr1.Spans())
+	if len(byRoot[r1]) != len(tr1.Spans()) {
+		t.Fatalf("GroupByRoot bucket = %d spans, want %d", len(byRoot[r1]), len(tr1.Spans()))
+	}
+	pb1 := CriticalPathIn(byRoot[r1], r1, 50)
+	pb2 := CriticalPathIn(byRoot[r1], r1, 50)
+	agg := AggregatePaths([]*PathBreakdown{pb1, pb2, nil})
+	var q sim.Time
+	for _, s := range agg {
+		if s.Comp == "hub2.p3" && s.Kind == PathQueue {
+			q = s.Time
+		}
+	}
+	if q != 1100 {
+		t.Fatalf("aggregated queue at hub2.p3 = %v, want 1100", q)
+	}
+	if agg[0].Kind != PathQueue {
+		t.Fatalf("aggregate not sorted largest first: %+v", agg[0])
+	}
+}
+
+func TestBreakdownSingleHop(t *testing.T) {
+	// A single-hop (no-mesh) exchange: one app root over transport and
+	// datalink, no HUB or fiber spans at all — the shape of a loopback or
+	// same-board message. Breakdown must cover exactly the layers present.
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	root := tr.Start(nil, LayerApp, "cab0", "msg")
+	tp := root.ChildAt(0, LayerTransport, "cab0", "tp-send")
+	dl := tp.ChildAt(10, LayerDatalink, "cab0", "dl-send")
+	dl.EndAt(40)
+	tp.EndAt(50)
+	root.EndAt(60)
+
+	stats := Breakdown(tr.Spans())
+	byLayer := map[string]LayerStat{}
+	for _, st := range stats {
+		byLayer[st.Layer] = st
+	}
+	if len(byLayer) != 3 {
+		t.Fatalf("Breakdown layers = %v, want app/transport/datalink only", stats)
+	}
+	if st := byLayer[LayerTransport]; st.Spans != 1 || st.Total != 50 || st.Busy != 50 {
+		t.Fatalf("transport stat = %+v", st)
+	}
+	if st := byLayer[LayerDatalink]; st.Busy != 30 {
+		t.Fatalf("datalink stat = %+v", st)
+	}
+	if _, ok := byLayer[LayerHub]; ok {
+		t.Fatal("single-hop tree must not report a hub layer")
+	}
+}

@@ -63,6 +63,7 @@ func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, d
 		if attempt > 0 {
 			t.stats.Retransmits++
 			t.fr.Note(obs.FRetransmit, t.frName, int64(dst), int64(attempt))
+			t.fl.Retrans(t.self, dst, byte(ProtoRequest))
 		}
 		if err := t.sendWire(th, dst, wire); err != nil {
 			return nil, err

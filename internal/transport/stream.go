@@ -160,6 +160,7 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 			t.stats.Retransmits++
 			t.stats.RTOExpiries++
 			t.fr.Note(obs.FRTOExpiry, t.frName, int64(dst), int64(next-base))
+			t.fl.Retrans(t.self, dst, byte(ProtoStream))
 			expiries++
 			if expiries >= maxExpiries {
 				return &ErrStreamTimeout{Dst: dst, MsgID: msgID, Expiries: expiries}

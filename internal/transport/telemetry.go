@@ -2,6 +2,7 @@ package transport
 
 import (
 	"repro/internal/obs"
+	"repro/internal/obs/flow"
 )
 
 // Continuous-telemetry hooks (package obs). The transport exposes pull
@@ -17,6 +18,12 @@ func (t *Transport) SetFlightRecorder(fr *obs.FlightRecorder) {
 	t.fr = fr
 	t.frName = t.k.Board().Name() + ".tp"
 }
+
+// SetFlowTable arms flow accounting: protocol retransmissions are charged
+// to their (src, dst, proto) flow, and local loopback deliveries — which
+// bypass the datalink — are accounted here so every frame shows up exactly
+// once.
+func (t *Transport) SetFlowTable(fl *flow.Table) { t.fl = fl }
 
 // opStart marks a reliable operation (request, stream message, VMTP
 // transaction) entering flight.

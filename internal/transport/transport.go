@@ -6,6 +6,7 @@ import (
 	"repro/internal/datalink"
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/obs/flow"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -136,6 +137,8 @@ type Transport struct {
 	frName       string
 	inflightOps  int64
 	completedOps int64
+	// fl is the system flow table (nil when the observatory is off).
+	fl *flow.Table
 
 	stats Stats
 }
@@ -267,6 +270,7 @@ func (t *Transport) sendWire(th *kernel.Thread, dst int, wire []byte) error {
 	th.Compute("tp-send", t.params.ProcSend)
 	tsp.End()
 	if dst == t.self {
+		t.fl.Account(t.self, dst, wire[0], len(wire), 0)
 		t.k.Engine().After(loopbackDelay, func() { t.handlePacket(wire, sp) })
 		return nil
 	}

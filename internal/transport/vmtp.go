@@ -204,6 +204,7 @@ func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16,
 			return nil, pend.err
 		}
 		t.stats.Retransmits++
+		t.fl.Retrans(t.self, dst, byte(ProtoVSend))
 		if err := send(pend.ackMask); err != nil {
 			return nil, err
 		}
@@ -346,6 +347,7 @@ func (t *Transport) recvVNack(h *Header, payload []byte, sp *trace.Span) {
 			return
 		}
 		t.stats.Retransmits++
+		t.fl.Retrans(t.self, int(h.Src), byte(ProtoVResp))
 		for i, w := range wires {
 			if mask&(1<<uint(i)) == 0 {
 				t.enqueueControl(int(h.Src), w, sp)

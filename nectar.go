@@ -177,6 +177,15 @@ func WithCollAlgorithm(name string) Option { return core.WithCollAlgorithm(name)
 // probing, peer heartbeats, and bounded retransmission backoff.
 func WithFaultRecovery() Option { return core.WithFaultRecovery() }
 
+// WithFlows arms the flow-level congestion observatory (System.Flows): per
+// (src, dst, protocol) accounting with a k-entry heavy-hitter sketch
+// (k <= 0 selects the default size).
+func WithFlows(k int) Option { return core.WithFlows(k) }
+
+// WithObservatory arms the full observability plane in one option: flow
+// accounting, the virtual-time sampler, and the flight recorder.
+func WithObservatory() Option { return core.WithObservatory() }
+
 // New assembles a Nectar system from a topology and options. It panics
 // with a descriptive "nectar: ..." message when the topology is malformed
 // or does not fit the HUB port count (see the error contract above).
