@@ -23,6 +23,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -38,7 +39,7 @@ func main() {
 		size      = flag.Int("size", 256, "message size in bytes")
 		ber       = flag.Float64("ber", 0, "fiber bit error rate (per byte)")
 		senders   = flag.Int("senders", 1, "concurrent sending CABs (all target CAB 0)")
-		chaos     = flag.String("chaos", "", "chaos scenario: linkflap | corruption | portstuck | crash | storm | random (runs a fault-injected mesh; exits 1 on any undelivered message)")
+		chaos     = flag.String("chaos", "", "chaos scenario: linkflap | corruption | portstuck | crash | storm | overload | random (runs a fault-injected mesh; exits 1 on any undelivered message, or for overload on a critical-class SLO violation)")
 		seed      = flag.Int64("seed", 1, "chaos scenario seed (runs are byte-reproducible per seed)")
 		dump      = flag.String("dump", "", "chaos only: also write the flight-recorder post-mortem to this file")
 		listen    = flag.String("listen", "", "serve Prometheus metrics on this address during the run, then keep serving the final snapshot until interrupted")
@@ -219,6 +220,14 @@ func chaosScenario(name string, seed int64, sys *core.System) (fault.Scenario, e
 			fault.CongestionStorm{Srcs: []int{1, 2}, Dst: n - 1,
 				At: at, Duration: 8 * sim.Millisecond, Size: 900},
 		}}, nil
+	case "overload":
+		n := sys.NumCABs()
+		return fault.Scenario{Name: name, Actions: []fault.Action{
+			fault.OverloadStorm{Srcs: []int{1, 2}, Dst: n - 1,
+				At: at, Duration: 20 * sim.Millisecond,
+				Class: transport.ClassBulk, Deadline: 500 * sim.Microsecond,
+				Rate: 30000, Size: 2048, Outstanding: 128, Seed: seed},
+		}}, nil
 	case "random":
 		return fault.RandomScenario(sys, seed, 4, 40*sim.Millisecond), nil
 	default:
@@ -226,14 +235,22 @@ func chaosScenario(name string, seed int64, sys *core.System) (fault.Scenario, e
 	}
 }
 
+// overloadSLO bounds the critical-class per-message p99 in the overload
+// chaos scenario: with admission control shedding the bulk storm, critical
+// requests must keep completing at healthy-system latencies.
+const overloadSLO = 2 * sim.Millisecond
+
 // runChaos drives a fault-injected mesh: corner-to-corner request traffic
 // with application-level retry, the named scenario scheduled against it,
 // and the detection/recovery stack (link probing, heartbeats, backoff)
 // doing all repair. Returns a nonzero exit status if any message goes
-// undelivered — CI's chaos smoke job keys off this. On failure the
-// flight-recorder post-mortem (recent events plus the link-state
-// timeline) goes to stderr; dumpPath, when set, receives a copy of the
-// post-mortem whatever the outcome, so CI can archive it.
+// undelivered — CI's chaos smoke job keys off this. The overload scenario
+// arms the overload-control subsystem, sends the application traffic at
+// ClassCritical, and additionally fails the run if the critical-class
+// per-message p99 violates overloadSLO while the bulk storm rages. On
+// failure the flight-recorder post-mortem (recent events plus the
+// link-state timeline) goes to stderr; dumpPath, when set, receives a copy
+// of the post-mortem whatever the outcome, so CI can archive it.
 func runChaos(name string, seed int64, rows, cols, msgs int, dumpPath string) int {
 	if rows < 2 {
 		rows = 2
@@ -241,7 +258,8 @@ func runChaos(name string, seed int64, rows, cols, msgs int, dumpPath string) in
 	if cols < 2 {
 		cols = 2
 	}
-	sys := core.New(core.Mesh(rows, cols, 1),
+	overload := name == "overload"
+	opts := []core.Option{
 		core.WithMetrics(),
 		core.WithFaultRecovery(),
 		core.WithFlightRecorder(),
@@ -249,7 +267,12 @@ func runChaos(name string, seed int64, rows, cols, msgs int, dumpPath string) in
 		func(p *core.Params) {
 			p.Transport.ReqTimeout = 2 * sim.Millisecond
 			p.Transport.ReqRetries = 3
-		})
+		},
+	}
+	if overload {
+		opts = append(opts, core.WithOverloadControl(transport.DefaultOverloadParams()))
+	}
+	sys := core.New(core.Mesh(rows, cols, 1), opts...)
 	n := sys.NumCABs()
 
 	sc, err := chaosScenario(name, seed, sys)
@@ -287,21 +310,45 @@ func runChaos(name string, seed int64, rows, cols, msgs int, dumpPath string) in
 		}
 	})
 
+	// The overload scenario's bulk storm needs a sink that answers, so the
+	// storm exercises the receive-side admission path rather than just
+	// timing out against an unregistered box.
+	if overload {
+		stormMB := rx.Kernel.NewMailbox("storm-server", 256*1024)
+		rx.TP.Register(fault.StormBox, stormMB)
+		rx.Kernel.SpawnDaemon("storm-server", func(th *kernel.Thread) {
+			for {
+				req := stormMB.Get(th)
+				rx.TP.Respond(th, req, req.Bytes()[:1])
+				stormMB.Release(req)
+			}
+		})
+	}
+
 	// Sender: at-least-once with application retry, paced so the message
-	// train spans the fault window.
+	// train spans the fault window. Under the overload scenario the
+	// application traffic is critical-class: the SLO says the storm must
+	// not move its p99.
+	var cls transport.SendOpts
+	if overload {
+		cls.Class = transport.ClassCritical
+	}
+	critLat := trace.NewHistogram("critical-class message latency")
 	var doneAt sim.Time
 	tx := sys.CAB(0)
 	tx.Kernel.Spawn("chaos-client", func(th *kernel.Thread) {
 		body := make([]byte, 64)
 		for i := 0; i < msgs; i++ {
 			binary.BigEndian.PutUint32(body, uint32(i))
+			start := th.Proc().Now()
 			for {
-				resp, err := tx.TP.Request(th, n-1, 9, 1, body)
+				resp, err := tx.TP.RequestOpts(th, n-1, 9, 1, body, cls)
 				if err == nil && binary.BigEndian.Uint32(resp) == uint32(i) {
 					break
 				}
 				th.Sleep(500 * sim.Microsecond)
 			}
+			critLat.Add(th.Proc().Now() - start)
 			th.Sleep(sim.Millisecond)
 		}
 		doneAt = th.Proc().Now()
@@ -322,6 +369,17 @@ func runChaos(name string, seed int64, rows, cols, msgs int, dumpPath string) in
 		sys.Reg.Counter("net.links_failed").Value(), sys.Reg.Counter("net.links_restored").Value(),
 		tp.PeersDied, tp.PeersRevived, sys.CAB(0).Board.Crashes())
 
+	if overload {
+		var sheds, expired, trips int64
+		for _, c := range sys.CABs {
+			sheds += c.TP.OverloadSheds()
+			expired += c.TP.OverloadExpired()
+			trips += c.TP.OverloadBreakerTrips()
+		}
+		fmt.Printf("overload control: sheds=%d expired=%d breaker-trips=%d; critical p99=%v (SLO %v)\n",
+			sheds, expired, trips, critLat.Quantile(0.99), overloadSLO)
+	}
+
 	if dumpPath != "" {
 		if err := os.WriteFile(dumpPath, []byte(sys.FR.PostMortem()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "dump:", err)
@@ -331,6 +389,16 @@ func runChaos(name string, seed int64, rows, cols, msgs int, dumpPath string) in
 		fmt.Fprintf(os.Stderr, "FAIL: %d of %d messages undelivered\n", msgs-delivered, msgs)
 		sys.FR.Dump(os.Stderr)
 		return 1
+	}
+	if p99 := critLat.Quantile(0.99); overload && p99 > overloadSLO {
+		fmt.Fprintf(os.Stderr, "FAIL: critical-class p99 %v violates the %v SLO under the bulk storm\n",
+			p99, overloadSLO)
+		sys.FR.Dump(os.Stderr)
+		return 1
+	}
+	if overload {
+		fmt.Println("PASS: all messages delivered and the critical-class SLO held under overload")
+		return 0
 	}
 	fmt.Println("PASS: all messages delivered after automatic recovery")
 	return 0

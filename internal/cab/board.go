@@ -39,7 +39,25 @@ type Board struct {
 
 	itemsIn, itemsDropped int64
 	crashes               int64
+
+	// Class-segregated send accounting (index = priority class & 3), fed
+	// by the transport when overload control is armed.
+	classOutBytes [4]int64
+	classOutPkts  [4]int64
 }
+
+// AccountClassSend records one outbound wire packet against its priority
+// class (class-segregated occupancy accounting for overload control).
+func (b *Board) AccountClassSend(class uint8, bytes int) {
+	b.classOutBytes[class&3] += int64(bytes)
+	b.classOutPkts[class&3]++
+}
+
+// ClassSentBytes returns the bytes sent so far in the given class.
+func (b *Board) ClassSentBytes(class uint8) int64 { return b.classOutBytes[class&3] }
+
+// ClassSentPkts returns the packets sent so far in the given class.
+func (b *Board) ClassSentPkts(class uint8) int64 { return b.classOutPkts[class&3] }
 
 // NewBoard creates a CAB board with all devices.
 func NewBoard(eng *sim.Engine, id int, name string) *Board {

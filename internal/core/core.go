@@ -86,7 +86,12 @@ func (p Params) normalize() Params {
 		p.Datalink = datalink.DefaultParams()
 	}
 	if p.Transport.Window == 0 {
+		// Preserve option-set fields that DefaultParams leaves zero.
+		ov := p.Transport.Overload
+		hb, misses := p.Transport.HeartbeatInterval, p.Transport.PeerMisses
 		p.Transport = transport.DefaultParams()
+		p.Transport.Overload = ov
+		p.Transport.HeartbeatInterval, p.Transport.PeerMisses = hb, misses
 	}
 	if p.Topo.HubPorts == 0 {
 		p.Topo = topo.DefaultOptions()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Topology describes the network shape passed to New. Build one with
@@ -234,6 +235,53 @@ func WithStallWatchdog(interval sim.Time) Option {
 	}
 }
 
+// WithOverloadControl arms the transport overload-control subsystem with
+// the given parameters (Enabled is forced on): deadline propagation
+// checked at every queueing point, priority classes with weighted-deficit
+// scheduling of the CAB send queue, token-bucket + sojourn-time admission
+// control shedding lowest-class-first with deterministic ErrOverload
+// fast-rejects, and per-peer circuit breakers with jittered half-open
+// re-admission. Pass transport.DefaultOverloadParams() (re-exported as
+// nectar.DefaultOverloadParams) for every default.
+func WithOverloadControl(op transport.OverloadParams) Option {
+	return func(p *Params) {
+		op.Enabled = true
+		p.Transport.Overload = op
+	}
+}
+
+// validateOverload rejects malformed overload-control parameters with the
+// descriptive "nectar: ..." panic contract.
+func validateOverload(p Params) {
+	op := p.Transport.Overload
+	if !op.Enabled {
+		return
+	}
+	for c := 0; c < transport.NumClasses; c++ {
+		if op.Rate[c] < 0 {
+			panic(fmt.Sprintf("nectar: Overload.Rate[%s] %d is negative (0 means unlimited)", transport.Class(c), op.Rate[c]))
+		}
+		if op.Burst[c] < 0 {
+			panic(fmt.Sprintf("nectar: Overload.Burst[%s] %d is negative (0 selects the default)", transport.Class(c), op.Burst[c]))
+		}
+		if op.Quantum[c] < 0 {
+			panic(fmt.Sprintf("nectar: Overload.Quantum[%s] %d is negative (0 selects the default)", transport.Class(c), op.Quantum[c]))
+		}
+	}
+	if op.SojournTarget < 0 {
+		panic(fmt.Sprintf("nectar: Overload.SojournTarget %v is negative (0 selects the default)", op.SojournTarget))
+	}
+	if op.SojournWindow < 0 {
+		panic(fmt.Sprintf("nectar: Overload.SojournWindow %v is negative (0 selects the default)", op.SojournWindow))
+	}
+	if op.BreakerTrip < 0 {
+		panic(fmt.Sprintf("nectar: Overload.BreakerTrip %d is negative (0 selects the default)", op.BreakerTrip))
+	}
+	if op.BreakerCooldown < 0 {
+		panic(fmt.Sprintf("nectar: Overload.BreakerCooldown %v is negative (0 selects the default)", op.BreakerCooldown))
+	}
+}
+
 // CollParams tunes the collective-communication subsystem (internal/coll).
 // The zero value selects every default.
 type CollParams struct {
@@ -368,6 +416,7 @@ func New(t Topology, opts ...Option) *System {
 	p = p.normalize()
 	t.validate(p)
 	validateTelemetry(p)
+	validateOverload(p)
 	eng := sim.NewEngine()
 	rec := newRecorder(eng, p)
 	var net *topo.Network

@@ -16,6 +16,31 @@ import (
 // across runs of the same seed.
 func buildTelemetry(s *System) {
 	p := s.Params
+	if s.Reg != nil && p.Transport.Overload.Enabled {
+		// System-wide overload aggregates (per-board breakdowns live
+		// under <board>.transport.overload.*).
+		s.Reg.Func("overload.sheds", func() float64 {
+			var n int64
+			for _, c := range s.CABs {
+				n += c.TP.OverloadSheds()
+			}
+			return float64(n)
+		})
+		s.Reg.Func("overload.expired", func() float64 {
+			var n int64
+			for _, c := range s.CABs {
+				n += c.TP.OverloadExpired()
+			}
+			return float64(n)
+		})
+		s.Reg.Func("overload.breaker_open", func() float64 {
+			var n int64
+			for _, c := range s.CABs {
+				n += c.TP.OverloadBreakerOpen()
+			}
+			return float64(n)
+		})
+	}
 	if p.SamplerPeriod > 0 {
 		sa := obs.NewSampler(s.Eng, p.SamplerPeriod, p.SamplerCap)
 		for _, h := range s.Net.Hubs() {
@@ -44,6 +69,11 @@ func buildTelemetry(s *System) {
 				}
 				return 0
 			})
+			if p.Transport.Overload.Enabled {
+				sa.Register(name+".overload.queued", c.TP.OverloadQueued)
+				sa.Register(name+".overload.sheds", c.TP.OverloadSheds)
+				sa.Register(name+".overload.breaker_open", c.TP.OverloadBreakerOpen)
+			}
 		}
 		sa.Start()
 		s.Sampler = sa

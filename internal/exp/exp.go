@@ -73,6 +73,7 @@ func All() []Experiment {
 		{"X4", "dsm", X4DSM},
 		{"T1", "latency-breakdown", T1LatencyBreakdown},
 		{"R1", "fault-recovery", R1Fault},
+		{"R2", "overload-brownout", R2Overload},
 		{"P1", "fleet-load", P1FleetLoad},
 		{"O1", "telemetry", O1Telemetry},
 		{"O2", "flow-observatory", O2FlowObservatory},

@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Action is one scripted fault. Implementations arm simulation events when
@@ -186,6 +187,94 @@ func (a CongestionStorm) schedule(inj *Injector) {
 	})
 }
 
+// OverloadStorm drives a bounded open-loop burst of classed request traffic
+// at CAB Dst: from At until Duration elapses, every CAB in Srcs issues
+// request-response operations of priority class Class against Dst's
+// StormBox at Rate arrivals per simulated second, each stamped with a
+// per-operation deadline. Where CongestionStorm saturates a HUB port with
+// raw datagrams, the overload storm rides the reliable path end to end, so
+// it exercises the transport's overload-control machinery: admission
+// shedding, deadline expiry, and circuit breaking. Storm operations that
+// are rejected or expire are simply dropped — the storm is the attacker,
+// not the victim.
+type OverloadStorm struct {
+	Srcs     []int
+	Dst      int
+	At       sim.Time
+	Duration sim.Time
+	// Class is the priority class the storm traffic carries (zero value:
+	// ClassNormal; a brownout attacker typically uses ClassBulk).
+	Class transport.Class
+	// Deadline is each operation's deadline measured from its issue time
+	// (0: no deadline — operations ride out the full retransmission
+	// schedule).
+	Deadline sim.Time
+	// Rate is the arrival rate per source in operations per simulated
+	// second (default 50000).
+	Rate float64
+	// Size is the request payload in bytes (default 256).
+	Size int
+	// Outstanding caps in-flight operations per source; arrivals beyond it
+	// are dropped at the source (default 32).
+	Outstanding int
+	// Seed derives the per-source interarrival RNG streams.
+	Seed int64
+}
+
+func (a OverloadStorm) String() string {
+	return fmt.Sprintf("overload-storm %v->cab%d @%v for %v class=%v rate=%g",
+		a.Srcs, a.Dst, a.At, a.Duration, a.Class, a.Rate)
+}
+
+func (a OverloadStorm) schedule(inj *Injector) {
+	rate := a.Rate
+	if rate <= 0 {
+		rate = 50000
+	}
+	size := a.Size
+	if size <= 0 {
+		size = 256
+	}
+	limit := a.Outstanding
+	if limit <= 0 {
+		limit = 32
+	}
+	inj.eng.After(a.At, func() {
+		inj.count("overload_storm")
+		end := inj.eng.Now() + a.Duration
+		for si, src := range a.Srcs {
+			stack := inj.sys.CAB(src)
+			rng := rand.New(rand.NewSource(a.Seed + int64(si)))
+			payload := make([]byte, size)
+			outstanding := 0
+			seq := 0
+			k := stack.Kernel
+			k.SpawnDaemon(fmt.Sprintf("overload-storm-%d", src), func(th *kernel.Thread) {
+				for inj.eng.Now() < end {
+					d := sim.Time(rng.ExpFloat64() / rate * float64(sim.Second))
+					if d < 1 {
+						d = 1
+					}
+					th.Sleep(d)
+					if inj.eng.Now() >= end || outstanding >= limit {
+						continue
+					}
+					opts := transport.SendOpts{Class: a.Class}
+					if a.Deadline > 0 {
+						opts.Deadline = inj.eng.Now() + a.Deadline
+					}
+					outstanding++
+					seq++
+					k.Spawn(fmt.Sprintf("overload-storm-%d.op%d", src, seq), func(th *kernel.Thread) {
+						stack.TP.RequestOpts(th, a.Dst, StormBox, StormBox, payload, opts)
+						outstanding--
+					})
+				}
+			})
+		}
+	})
+}
+
 // Injector binds a scenario to a system and measures the failure-handling
 // machinery: how long detection takes (fault injected until the probe layer
 // fails the route) and how long recovery takes (fault repaired until the
@@ -289,7 +378,7 @@ func RandomScenario(sys *core.System, seed int64, n int, horizon sim.Time) Scena
 	for i := 0; i < n; i++ {
 		at := horizon/8 + sim.Time(rng.Int63n(int64(horizon/2)))
 		dur := horizon/16 + sim.Time(rng.Int63n(int64(horizon/8)))
-		kind := rng.Intn(4)
+		kind := rng.Intn(5)
 		if len(edges) == 0 && kind < 2 {
 			kind = 2 + rng.Intn(2)
 		}
@@ -306,7 +395,7 @@ func RandomScenario(sys *core.System, seed int64, n int, horizon sim.Time) Scena
 		case 2:
 			cab := rng.Intn(nCABs)
 			sc.Actions = append(sc.Actions, CrashCAB{CAB: cab, At: at, RebootAfter: dur})
-		default:
+		case 3:
 			dst := rng.Intn(nCABs)
 			src := rng.Intn(nCABs)
 			if src == dst {
@@ -314,6 +403,17 @@ func RandomScenario(sys *core.System, seed int64, n int, horizon sim.Time) Scena
 			}
 			sc.Actions = append(sc.Actions, CongestionStorm{
 				Srcs: []int{src}, Dst: dst, At: at, Duration: dur / 2, Size: 512,
+			})
+		default:
+			dst := rng.Intn(nCABs)
+			src := rng.Intn(nCABs)
+			if src == dst {
+				src = (src + 1) % nCABs
+			}
+			sc.Actions = append(sc.Actions, OverloadStorm{
+				Srcs: []int{src}, Dst: dst, At: at, Duration: dur / 2,
+				Class: transport.ClassBulk, Deadline: 500 * sim.Microsecond,
+				Seed: rng.Int63(),
 			})
 		}
 	}

@@ -18,6 +18,12 @@ type Message struct {
 	SrcBox  uint16 // source mailbox (filled by the transport)
 	Tag     uint32 // application tag / message type
 	Arrived sim.Time
+	// Class is the message's priority class (transport wire byte; 0 =
+	// normal) and Deadline the absolute virtual time after which the work
+	// is worthless (0 = none). Both are filled by the transport at
+	// delivery when overload control is armed.
+	Class    uint8
+	Deadline sim.Time
 	// Span is the delivered message's trace span (nil when untraced);
 	// consumers that move the message further (e.g. up a VME bus to a
 	// node) parent their spans under it.
@@ -25,6 +31,13 @@ type Message struct {
 
 	mb        *Mailbox
 	committed bool
+}
+
+// Expired reports whether the message carries a deadline that has already
+// passed at virtual time now — a server should Release it unserved (the
+// kernel-mailbox queueing point of deadline propagation).
+func (m *Message) Expired(now sim.Time) bool {
+	return m.Deadline != 0 && now >= m.Deadline
 }
 
 // Bytes reads the message body out of CAB memory (kernel domain).
@@ -56,6 +69,12 @@ type Mailbox struct {
 	notFull  *Cond
 
 	puts, gets int64
+
+	// Class-segregated occupancy (index = priority class & 3; classes are
+	// stamped by the transport after Commit via Classify). Everything
+	// lands in class 0 until reclassified.
+	classBytes [4]int
+	classMsgs  [4]int
 }
 
 // NewMailbox creates a mailbox bounded to capacity bytes of CAB memory.
@@ -89,6 +108,31 @@ func (m *Mailbox) Len() int { return len(m.msgs) }
 // UsedBytes returns the CAB memory held by buffered messages.
 func (m *Mailbox) UsedBytes() int { return m.used }
 
+// Capacity returns the mailbox's byte bound.
+func (m *Mailbox) Capacity() int { return m.capacity }
+
+// ClassBytes returns the committed bytes currently held by messages of the
+// given priority class (class-segregated occupancy accounting).
+func (m *Mailbox) ClassBytes(class uint8) int { return m.classBytes[class&3] }
+
+// ClassMsgs returns the committed message count of the given class.
+func (m *Mailbox) ClassMsgs(class uint8) int { return m.classMsgs[class&3] }
+
+// Classify re-labels a committed message's priority class and deadline and
+// moves its occupancy into the class's bucket. The transport calls it right
+// after delivery (TryPut commits before the wire header's class is known).
+func (m *Mailbox) Classify(msg *Message, class uint8, deadline sim.Time) {
+	old := msg.Class & 3
+	msg.Class = class
+	msg.Deadline = deadline
+	if msg.committed && old != class&3 {
+		m.classBytes[old] -= msg.Len
+		m.classMsgs[old]--
+		m.classBytes[class&3] += msg.Len
+		m.classMsgs[class&3]++
+	}
+}
+
 // Reserve allocates space for an incoming message before its data arrives
 // (the datalink upcall "uses the transport header to determine the
 // destination mailbox for the packet", then DMA fills it). It does not
@@ -121,6 +165,8 @@ func (m *Mailbox) Commit(msg *Message) {
 	msg.Arrived = m.k.eng.Now()
 	m.msgs = append(m.msgs, msg)
 	m.puts++
+	m.classBytes[msg.Class&3] += msg.Len
+	m.classMsgs[msg.Class&3]++
 	m.notEmpty.Signal()
 }
 
@@ -227,6 +273,8 @@ func (m *Mailbox) pop(i int) *Message {
 	msg := m.msgs[i]
 	m.msgs = append(m.msgs[:i], m.msgs[i+1:]...)
 	m.gets++
+	m.classBytes[msg.Class&3] -= msg.Len
+	m.classMsgs[msg.Class&3]--
 	return msg
 }
 

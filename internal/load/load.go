@@ -22,6 +22,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Arrival selects how operations are injected.
@@ -64,6 +65,19 @@ func DefaultMix() Mix { return Mix{ReqResp: 60, Stream: 30, VMTP: 10} }
 
 func (m Mix) total() int { return m.ReqResp + m.Stream + m.VMTP }
 
+// ClassMix weights the transport priority classes operations are issued
+// under. The zero ClassMix disables class draws entirely: every operation
+// goes out unclassed (ClassNormal, no deadline), the per-worker RNG
+// streams are untouched, and the run digest is byte-identical to builds
+// without the overload-control subsystem.
+type ClassMix struct {
+	Critical int
+	Normal   int
+	Bulk     int
+}
+
+func (m ClassMix) total() int { return m.Critical + m.Normal + m.Bulk }
+
 // Config parameterizes a load run. Zero-valued fields take the documented
 // defaults.
 type Config struct {
@@ -85,6 +99,16 @@ type Config struct {
 	Duration sim.Time
 	// Mix weights the operation types (default DefaultMix).
 	Mix Mix
+	// Classes weights priority classes for classed workloads. When any
+	// weight is non-zero, each operation draws a class from the mix and is
+	// issued through the classed transport entry points; the zero value
+	// (the default) keeps the workload unclassed and digest-compatible
+	// with earlier builds.
+	Classes ClassMix
+	// ClassDeadlines stamps each operation of the given class with a
+	// deadline this far past its issue time (indexed by transport.Class;
+	// 0 leaves that class undeadlined). Ignored when Classes is zero.
+	ClassDeadlines [transport.NumClasses]sim.Time
 	// Payload sizes in bytes (defaults 64, 256, 16384).
 	ReqBytes, RespBytes, StreamBytes int
 	// ZipfS skews destination popularity: 0 means uniform; values > 1
@@ -171,9 +195,21 @@ type Result struct {
 	// CollSteps is the number of BSP supersteps (collective allreduces)
 	// completed in the measured window (0 unless Config.BSPSupersteps).
 	CollSteps int64
+	// Goodput is the payload bytes moved by useful completions: operations
+	// that finished without error and, when deadline-stamped, on time. For
+	// unclassed runs Goodput == Bytes; under overload it is the number the
+	// brownout experiment compares, since late or shed work is waste.
+	Goodput int64
+	// Per-class accounting, populated only for classed runs (Config.
+	// Classes non-zero), indexed by transport.Class.
+	ClassOps    [transport.NumClasses]int64
+	ClassErrors [transport.NumClasses]int64
 	// Latency is the distribution of completed-operation latencies
 	// (exact samples, so quantiles merge exactly across replicas).
 	Latency *trace.Histogram
+	// ClassLatency splits Latency by priority class for classed runs
+	// (entries are empty histograms otherwise).
+	ClassLatency [transport.NumClasses]*trace.Histogram
 	// Digest folds (kind, src, dst, latency, error) of every completed
 	// operation, in completion order, through FNV-1a. Two runs of the
 	// same seed and config produce the same digest, whatever the host;
@@ -211,12 +247,28 @@ const fnvOffset, fnvPrime = 0xcbf29ce484222325, 0x100000001b3
 
 // run carries the mutable state shared by every generator thread.
 type run struct {
-	sys    *core.System
-	cfg    Config
-	mark   sim.Time // measurement starts here
-	end    sim.Time // traffic and measurement stop here
-	res    *Result
-	digest uint64
+	sys     *core.System
+	cfg     Config
+	mark    sim.Time // measurement starts here
+	end     sim.Time // traffic and measurement stop here
+	classed bool     // Config.Classes non-zero: draw classes and deadlines
+	res     *Result
+	digest  uint64
+}
+
+// opOpts draws the send options for one operation: its priority class from
+// the class mix and the matching deadline. Unclassed runs return the zero
+// SendOpts without touching the RNG.
+func (r *run) opOpts(pk *picker, now sim.Time) transport.SendOpts {
+	if !r.classed {
+		return transport.SendOpts{}
+	}
+	c := pk.class(r.cfg.Classes)
+	opts := transport.SendOpts{Class: c}
+	if d := r.cfg.ClassDeadlines[c]; d > 0 {
+		opts.Deadline = now + d
+	}
+	return opts
 }
 
 func (r *run) fold(b byte) { r.digest = (r.digest ^ uint64(b)) * fnvPrime }
@@ -229,7 +281,7 @@ func (r *run) fold64(v uint64) {
 
 // record accounts one completed operation (thread-safe by construction:
 // the simulation engine is single-threaded).
-func (r *run) record(kind, src, dst int, start sim.Time, bytes int, err error) {
+func (r *run) record(kind, src, dst int, start sim.Time, bytes int, err error, opts transport.SendOpts) {
 	now := r.sys.Eng.Now()
 	if now < r.mark || now > r.end {
 		return
@@ -241,8 +293,20 @@ func (r *run) record(kind, src, dst int, start sim.Time, bytes int, err error) {
 		r.res.Errors++
 	} else {
 		r.res.Bytes += int64(bytes)
+		if opts.Deadline == 0 || now <= opts.Deadline {
+			r.res.Goodput += int64(bytes)
+		}
 	}
 	r.res.Latency.Add(lat)
+	if r.classed {
+		c := opts.Class
+		r.res.ClassOps[c]++
+		if err != nil {
+			r.res.ClassErrors[c]++
+		} else {
+			r.res.ClassLatency[c].Add(lat)
+		}
+	}
 	r.fold(byte(kind))
 	r.fold64(uint64(src))
 	r.fold64(uint64(dst))
@@ -251,6 +315,11 @@ func (r *run) record(kind, src, dst int, start sim.Time, bytes int, err error) {
 		r.fold(1)
 	} else {
 		r.fold(0)
+	}
+	// The class byte joins the digest only for classed runs, keeping
+	// unclassed digests byte-identical to earlier builds.
+	if r.classed {
+		r.fold(byte(opts.Class))
 	}
 }
 
@@ -285,6 +354,20 @@ func (p *picker) dst() int {
 		rank = p.rng.Intn(p.n - 1)
 	}
 	return (p.self + 1 + rank) % p.n
+}
+
+// class draws a priority class according to the class-mix weights. Only
+// classed runs call it, so unclassed runs consume identical RNG streams to
+// earlier builds.
+func (p *picker) class(m ClassMix) transport.Class {
+	v := p.rng.Intn(m.total())
+	if v < m.Critical {
+		return transport.ClassCritical
+	}
+	if v < m.Critical+m.Normal {
+		return transport.ClassNormal
+	}
+	return transport.ClassBulk
 }
 
 // kind draws an op kind according to the mix weights.
@@ -348,20 +431,22 @@ func installServers(sys *core.System, cfg Config) {
 	}
 }
 
-// doOp executes one operation and reports (payload bytes, error).
-func (r *run) doOp(th *kernel.Thread, kind, self, dst, worker int) (int, error) {
+// doOp executes one operation and reports (payload bytes, error). The
+// Opts entry points with a zero opts behave exactly like the plain ones,
+// so unclassed runs are unchanged.
+func (r *run) doOp(th *kernel.Thread, kind, self, dst, worker int, opts transport.SendOpts) (int, error) {
 	tp := r.sys.CAB(self).TP
 	cfg := r.cfg
 	srcBox := uint16(boxClientBase + worker)
 	switch kind {
 	case OpReqResp:
-		resp, err := tp.Request(th, dst, boxReqResp, srcBox, make([]byte, cfg.ReqBytes))
+		resp, err := tp.RequestOpts(th, dst, boxReqResp, srcBox, make([]byte, cfg.ReqBytes), opts)
 		return cfg.ReqBytes + len(resp), err
 	case OpStream:
-		err := tp.StreamSend(th, dst, boxStream, srcBox, make([]byte, cfg.StreamBytes))
+		err := tp.StreamSendOpts(th, dst, boxStream, srcBox, make([]byte, cfg.StreamBytes), opts)
 		return cfg.StreamBytes, err
 	default:
-		resp, err := tp.VTransact(th, dst, boxVMTP, srcBox, make([]byte, cfg.ReqBytes))
+		resp, err := tp.VTransactOpts(th, dst, boxVMTP, srcBox, make([]byte, cfg.ReqBytes), opts)
 		return cfg.ReqBytes + len(resp), err
 	}
 }
@@ -379,12 +464,16 @@ func Run(sys *core.System, cfg Config) *Result {
 	}
 	start := sys.Eng.Now()
 	r := &run{
-		sys:    sys,
-		cfg:    cfg,
-		mark:   start + cfg.Warmup,
-		end:    start + cfg.Warmup + cfg.Duration,
-		res:    &Result{Latency: trace.NewHistogram("op latency")},
-		digest: fnvOffset,
+		sys:     sys,
+		cfg:     cfg,
+		mark:    start + cfg.Warmup,
+		end:     start + cfg.Warmup + cfg.Duration,
+		classed: cfg.Classes.total() > 0,
+		res:     &Result{Latency: trace.NewHistogram("op latency")},
+		digest:  fnvOffset,
+	}
+	for c := range r.res.ClassLatency {
+		r.res.ClassLatency[c] = trace.NewHistogram(transport.Class(c).String() + " latency")
 	}
 	installServers(sys, cfg)
 	if cfg.Arrival == ClosedLoop {
@@ -426,8 +515,9 @@ func (r *run) startClosed() {
 				for th.Proc().Now() < r.end {
 					kind, dst := pk.kind(), pk.dst()
 					opStart := th.Proc().Now()
-					bytes, err := r.doOp(th, kind, i, dst, w)
-					r.record(kind, i, dst, opStart, bytes, err)
+					opts := r.opOpts(pk, opStart)
+					bytes, err := r.doOp(th, kind, i, dst, w, opts)
+					r.record(kind, i, dst, opStart, bytes, err, opts)
 				}
 			})
 		}
@@ -463,6 +553,7 @@ func (r *run) startOpen() {
 					continue
 				}
 				kind, dst := pk.kind(), pk.dst()
+				opts := r.opOpts(pk, th.Proc().Now())
 				// Rotate the client box so concurrent arrivals use
 				// distinct stream connections.
 				worker := seq % r.cfg.MaxOutstanding
@@ -470,8 +561,8 @@ func (r *run) startOpen() {
 				outstanding++
 				k.Spawn(fmt.Sprintf("load-%d.op%d", i, seq), func(th *kernel.Thread) {
 					opStart := th.Proc().Now()
-					bytes, err := r.doOp(th, kind, i, dst, worker)
-					r.record(kind, i, dst, opStart, bytes, err)
+					bytes, err := r.doOp(th, kind, i, dst, worker, opts)
+					r.record(kind, i, dst, opStart, bytes, err, opts)
 					outstanding--
 				})
 			}

@@ -14,46 +14,54 @@ type Kind uint8
 // Flight-recorder event kinds. Where and the A/B payloads are
 // kind-specific; the table in kindInfo documents each.
 const (
-	FNone          Kind = iota
-	FSend               // datalink packet send        A=dst box (-1 multicast)  B=bytes
-	FRecv               // datalink packet receive     B=bytes
-	FDrop               // hub port drop               A=port     B=bytes
-	FLinkDown           // topology link failed        A=from     B=to
-	FLinkUp             // topology link restored      A=from     B=to
-	FOpenTimeout        // circuit open timeout        A=attempt  B=replies missing
-	FRTOExpiry          // go-back-N RTO expiry        A=peer     B=outstanding
-	FRetransmit         // request retransmission      A=peer     B=attempt
-	FPeerDead           // transport declared peer dead    A=peer
-	FPeerAlive          // transport saw dead peer revive  A=peer
-	FCrash              // CAB crashed                 A=box
-	FReboot             // CAB rebooted                A=box
-	FInject             // fault action injected       A=step index
-	FStall              // watchdog saw no progress    A=in-flight ops  B=progress count
-	FCollRetrans        // collective multicast retransmit  A=loser rank  B=seq
-	FCollStraggler      // collective ack-wait timed out    A=missing rank B=seq
-	FCongestion         // hub input queue crossed high water  A=port  B=queue bytes
+	FNone            Kind = iota
+	FSend                 // datalink packet send        A=dst box (-1 multicast)  B=bytes
+	FRecv                 // datalink packet receive     B=bytes
+	FDrop                 // hub port drop               A=port     B=bytes
+	FLinkDown             // topology link failed        A=from     B=to
+	FLinkUp               // topology link restored      A=from     B=to
+	FOpenTimeout          // circuit open timeout        A=attempt  B=replies missing
+	FRTOExpiry            // go-back-N RTO expiry        A=peer     B=outstanding
+	FRetransmit           // request retransmission      A=peer     B=attempt
+	FPeerDead             // transport declared peer dead    A=peer
+	FPeerAlive            // transport saw dead peer revive  A=peer
+	FCrash                // CAB crashed                 A=box
+	FReboot               // CAB rebooted                A=box
+	FInject               // fault action injected       A=step index
+	FStall                // watchdog saw no progress    A=in-flight ops  B=progress count
+	FCollRetrans          // collective multicast retransmit  A=loser rank  B=seq
+	FCollStraggler        // collective ack-wait timed out    A=missing rank B=seq
+	FCongestion           // hub input queue crossed high water  A=port  B=queue bytes
+	FShed                 // overload control shed an op     A=peer  B=class
+	FDeadlineExpired      // deadline-carrying work expired  A=peer  B=class
+	FBreakerTrip          // circuit breaker opened          A=peer  B=trip count
+	FBreakerClose         // circuit breaker closed          A=peer
 	kindCount
 )
 
 var kindNames = [kindCount]string{
-	FNone:          "none",
-	FSend:          "send",
-	FRecv:          "recv",
-	FDrop:          "drop",
-	FLinkDown:      "link-down",
-	FLinkUp:        "link-up",
-	FOpenTimeout:   "open-timeout",
-	FRTOExpiry:     "rto-expiry",
-	FRetransmit:    "retransmit",
-	FPeerDead:      "peer-dead",
-	FPeerAlive:     "peer-alive",
-	FCrash:         "crash",
-	FReboot:        "reboot",
-	FInject:        "inject",
-	FStall:         "stall",
-	FCollRetrans:   "coll-retrans",
-	FCollStraggler: "coll-straggler",
-	FCongestion:    "congestion",
+	FNone:            "none",
+	FSend:            "send",
+	FRecv:            "recv",
+	FDrop:            "drop",
+	FLinkDown:        "link-down",
+	FLinkUp:          "link-up",
+	FOpenTimeout:     "open-timeout",
+	FRTOExpiry:       "rto-expiry",
+	FRetransmit:      "retransmit",
+	FPeerDead:        "peer-dead",
+	FPeerAlive:       "peer-alive",
+	FCrash:           "crash",
+	FReboot:          "reboot",
+	FInject:          "inject",
+	FStall:           "stall",
+	FCollRetrans:     "coll-retrans",
+	FCollStraggler:   "coll-straggler",
+	FCongestion:      "congestion",
+	FShed:            "shed",
+	FDeadlineExpired: "deadline-expired",
+	FBreakerTrip:     "breaker-trip",
+	FBreakerClose:    "breaker-close",
 }
 
 // String returns the kind's display name.

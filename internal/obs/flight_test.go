@@ -64,6 +64,31 @@ func TestPostMortemContents(t *testing.T) {
 	}
 }
 
+func TestPostMortemTalliesOverloadKinds(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFlightRecorder(eng, 16)
+	f.Note(FShed, "cab0.tp", 1, 2)
+	f.Note(FShed, "cab0.tp", 1, 2)
+	f.Note(FDeadlineExpired, "cab0.tp", 1, 0)
+	f.Note(FBreakerTrip, "cab0.tp", 1, 1)
+	f.Note(FBreakerClose, "cab0.tp", 1, 0)
+	c := f.counts()
+	if c[FShed] != 2 || c[FDeadlineExpired] != 1 || c[FBreakerTrip] != 1 || c[FBreakerClose] != 1 {
+		t.Fatalf("tally = shed %d expired %d trip %d close %d", c[FShed], c[FDeadlineExpired], c[FBreakerTrip], c[FBreakerClose])
+	}
+	pm := f.PostMortem()
+	for _, want := range []string{"shed", "deadline-expired", "breaker-trip", "breaker-close"} {
+		if !strings.Contains(pm, want) {
+			t.Fatalf("post-mortem missing %q:\n%s", want, pm)
+		}
+	}
+	for _, k := range []Kind{FShed, FDeadlineExpired, FBreakerTrip, FBreakerClose} {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
 func TestNilFlightRecorderSafe(t *testing.T) {
 	var f *FlightRecorder
 	f.Note(FSend, "dl", 1, 2)

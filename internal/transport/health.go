@@ -257,4 +257,9 @@ func (t *Transport) Crash() {
 	t.respOrder = nil
 	t.outq = nil
 	t.watch = make(map[int]*peerState)
+	if t.ovl != nil {
+		// The classed send queue, breakers, and token buckets live in
+		// CAB memory: a crash loses them like everything else.
+		t.ovl = newOverload(t.ovl.p)
+	}
 }

@@ -38,6 +38,17 @@ func (e *ErrTimeout) Error() string {
 // A destination declared dead by the heartbeat monitor fails immediately
 // with ErrPeerDead.
 func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte) ([]byte, error) {
+	return t.RequestOpts(th, dst, dstBox, srcBox, data, SendOpts{})
+}
+
+// RequestOpts is Request with a priority class and deadline. With overload
+// control armed the operation passes sender-side admission first and can
+// fail fast with ErrOverload or ErrDeadlineExpired; the class and deadline
+// ride the wire header to the server.
+func (t *Transport) RequestOpts(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte, opts SendOpts) ([]byte, error) {
+	if err := t.admit(dst, opts); err != nil {
+		return nil, err
+	}
 	if err := t.peerGate(dst); err != nil {
 		return nil, err
 	}
@@ -55,17 +66,23 @@ func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, d
 		Proto: ProtoRequest, Src: uint16(t.self), Dst: uint16(dst),
 		SrcBox: srcBox, DstBox: dstBox,
 		MsgID: reqID, Total: uint32(len(data)),
+		Class: opts.Class, Deadline: opts.Deadline,
 	}
 	wire := Encode(h, data)
 	t.stats.Requests++
 
 	for attempt := 0; attempt <= t.params.ReqRetries; attempt++ {
 		if attempt > 0 {
+			// Deadline check at the retransmit queueing point: expired
+			// requests are not worth another round trip.
+			if err := t.expireCheck(dst, opts); err != nil {
+				return nil, err
+			}
 			t.stats.Retransmits++
 			t.fr.Note(obs.FRetransmit, t.frName, int64(dst), int64(attempt))
 			t.fl.Retrans(t.self, dst, byte(ProtoRequest))
 		}
-		if err := t.sendWire(th, dst, wire); err != nil {
+		if err := t.sendData(th, dst, wire, opts); err != nil {
 			return nil, err
 		}
 		wait := backoffWait(t.params.ReqTimeout, t.params.BackoffCap, attempt, t.self, dst, reqID)
@@ -100,6 +117,11 @@ func (t *Transport) recvRequest(h *Header, payload []byte, sp *trace.Span) {
 		t.stats.DupRequests++
 		return
 	}
+	if !t.recvAdmit(h, sp) {
+		// Expired or pressure-shed: the sender was told with a
+		// fast-reject instead of being left to time out.
+		return
+	}
 	if t.deliver(h, payload, sp) {
 		t.inflight[key] = true
 	}
@@ -112,13 +134,17 @@ func (t *Transport) Respond(th *kernel.Thread, req *kernel.Message, data []byte)
 		Proto: ProtoResponse, Src: uint16(t.self), Dst: uint16(req.Src),
 		SrcBox: 0, DstBox: req.SrcBox,
 		MsgID: req.Tag, Total: uint32(len(data)),
+		// The response inherits the request's scheduling class but not
+		// its deadline: the client is already blocked waiting, so
+		// dropping a late response would only force a retransmission.
+		Class: Class(req.Class),
 	}
 	wire := Encode(h, data)
 	key := reqKey{src: uint16(req.Src), reqID: req.Tag}
 	delete(t.inflight, key)
 	t.cacheResponse(key, wire)
 	t.stats.Responses++
-	return t.sendWire(th, int(req.Src), wire)
+	return t.sendData(th, int(req.Src), wire, SendOpts{Class: Class(req.Class)})
 }
 
 // cacheResponse stores a response for duplicate suppression, evicting the
@@ -144,6 +170,7 @@ func (t *Transport) recvResponse(h *Header, payload []byte, sp *trace.Span) {
 	}
 	pend.resp = append([]byte(nil), payload...)
 	pend.done = true
+	t.noteSuccess(pend.dst)
 	sp.Root().End()
 	pend.cond.Broadcast()
 }

@@ -86,6 +86,17 @@ func (t *Transport) streamIn(key streamKey) *streamRecv {
 // retransmission timeouts without ack progress, and with ErrPeerDead when
 // the heartbeat monitor declares the destination dead.
 func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte) error {
+	return t.StreamSendOpts(th, dst, dstBox, srcBox, data, SendOpts{})
+}
+
+// StreamSendOpts is StreamSend with a priority class and deadline. With
+// overload control armed the message passes sender-side admission first
+// (ErrOverload / ErrDeadlineExpired fast-fail) and every fragment carries
+// the class and deadline on the wire.
+func (t *Transport) StreamSendOpts(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte, opts SendOpts) error {
+	if err := t.admit(dst, opts); err != nil {
+		return err
+	}
 	if err := t.peerGate(dst); err != nil {
 		return err
 	}
@@ -112,14 +123,15 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 	}
 	expiries := 0 // consecutive RTO expiries without ack progress
 
-	// Fragment.
-	n := (len(data) + MaxData - 1) / MaxData
+	// Fragment (a stamped deadline costs its wire extension per packet).
+	seg := maxSeg(opts.Deadline)
+	n := (len(data) + seg - 1) / seg
 	if n == 0 {
 		n = 1 // empty message still sends one packet
 	}
 	sendPkt := func(i int) error {
-		lo := i * MaxData
-		hi := lo + MaxData
+		lo := i * seg
+		hi := lo + seg
 		if hi > len(data) {
 			hi = len(data)
 		}
@@ -128,8 +140,9 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 			SrcBox: srcBox, DstBox: dstBox,
 			MsgID: msgID, Seq: uint32(i),
 			Total: uint32(len(data)), Offset: uint32(lo),
+			Class: opts.Class, Deadline: opts.Deadline,
 		}
-		return t.sendWire(th, dst, Encode(h, data[lo:hi]))
+		return t.sendData(th, dst, Encode(h, data[lo:hi]), opts)
 	}
 
 	base, next := 0, 0
@@ -155,6 +168,10 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 			continue
 		}
 		if !got {
+			// Deadline check at the retransmit queueing point.
+			if err := t.expireCheck(dst, opts); err != nil {
+				return err
+			}
 			// Retransmission timeout: go-back-N from the last
 			// cumulative ack — but not forever.
 			t.stats.Retransmits++
@@ -192,6 +209,13 @@ func (t *Transport) recvStream(h *Header, payload []byte, sp *trace.Span) {
 	case h.MsgID < rs.cur:
 		// Stale retransmission of a message we already delivered.
 		ack(AckDone)
+		return
+	case t.ovl != nil && h.Deadline != 0 && t.k.Engine().Now() >= h.Deadline:
+		// The message expired in flight: fast-reject so the sender
+		// stops retransmitting the rest of it.
+		t.ovl.expired++
+		t.fr.Note(obs.FDeadlineExpired, t.frName, int64(h.Src), int64(h.Class))
+		t.sendReject(h, rejectExpired, sp)
 		return
 	case h.MsgID > rs.cur:
 		// The receiver lost track (e.g. restart): resynchronize on a
@@ -244,6 +268,7 @@ func (t *Transport) recvStreamAck(h *Header) {
 	}
 	if h.Seq == AckDone {
 		s.done = true
+		t.noteSuccess(int(h.Src))
 	} else if int(h.Seq) > s.acked {
 		s.acked = int(h.Seq)
 	}

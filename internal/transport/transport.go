@@ -54,6 +54,11 @@ type Params struct {
 	// "no context switching overhead at the datalink-transport
 	// interface" design point (§6.2.1).
 	DisableAckFastPath bool
+	// Overload configures the overload-control subsystem (overload.go):
+	// deadline propagation, priority classes with weighted-deficit send
+	// scheduling, token-bucket + sojourn admission control, and per-peer
+	// circuit breaking. Disabled by default.
+	Overload OverloadParams
 }
 
 // DefaultParams returns parameters meeting the paper's latency budget.
@@ -140,6 +145,10 @@ type Transport struct {
 	// fl is the system flow table (nil when the observatory is off).
 	fl *flow.Table
 
+	// ovl is the overload-control state (overload.go); nil when the
+	// subsystem is disabled, and every hook nil-checks it.
+	ovl *overload
+
 	stats Stats
 }
 
@@ -165,6 +174,9 @@ func New(k *kernel.Kernel, dl *datalink.Datalink, params Params) *Transport {
 		respCache:  make(map[reqKey][]byte),
 		outSem:     k.NewSem(0),
 		watch:      make(map[int]*peerState),
+	}
+	if params.Overload.Enabled {
+		t.ovl = newOverload(params.Overload.withDefaults(params.HeartbeatInterval))
 	}
 	dl.SetReceiver(t.handlePacket)
 	k.SpawnDaemon("transport-service", t.serviceLoop)
@@ -198,6 +210,7 @@ func (t *Transport) RegisterMetrics(reg *trace.Registry) {
 	reg.Func(prefix+".pongs_recv", func() float64 { return float64(t.stats.PongsRecv) })
 	reg.Func(prefix+".peers_died", func() float64 { return float64(t.stats.PeersDied) })
 	reg.Func(prefix+".peers_revived", func() float64 { return float64(t.stats.PeersRevived) })
+	t.registerOverloadMetrics(reg, prefix)
 }
 
 // Kernel returns the owning kernel.
@@ -221,6 +234,10 @@ func (t *Transport) Mailbox(box uint16) *kernel.Mailbox { return t.boxes[box] }
 func (t *Transport) serviceLoop(th *kernel.Thread) {
 	for {
 		t.outSem.P(th)
+		if t.ovl != nil {
+			t.serviceClassed(th)
+			continue
+		}
 		if len(t.outq) == 0 {
 			continue
 		}
@@ -240,6 +257,14 @@ func (t *Transport) enqueueControl(dst int, wire []byte, sp *trace.Span) {
 	if !t.params.DisableAckFastPath && dst != t.self &&
 		len(wire) <= datalink.MaxPacketPayload &&
 		t.dl.TrySendPacketInterrupt(dst, wire, t.params.ProcSend, sp) {
+		return
+	}
+	if t.ovl != nil {
+		t.ovl.enqueue(ovItem{
+			dst: dst, wire: wire, sp: sp,
+			deadline: wireDeadline(wire), enq: t.k.Engine().Now(),
+		}, wireClass(wire))
+		t.outSem.V()
 		return
 	}
 	t.outq = append(t.outq, outItem{dst: dst, wire: wire, sp: sp})
@@ -331,6 +356,8 @@ func (t *Transport) handlePacket(wire []byte, sp *trace.Span) {
 			t.recvPing(h, sp)
 		case ProtoPong:
 			t.recvPong(h)
+		case ProtoReject:
+			t.recvReject(h)
 		}
 	})
 }
@@ -351,6 +378,9 @@ func (t *Transport) deliver(h *Header, data []byte, sp *trace.Span) bool {
 		return false
 	}
 	msg.SrcBox = h.SrcBox
+	if h.Class != 0 || h.Deadline != 0 {
+		mb.Classify(msg, uint8(h.Class), h.Deadline)
+	}
 	msg.Span = sp.Root()
 	sp.Root().End()
 	return true

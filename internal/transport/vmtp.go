@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -57,10 +58,11 @@ func DefaultVMTPParams() VMTPParams {
 
 // vmtpGroup reassembles one packet group.
 type vmtpGroup struct {
-	segs  map[uint32][]byte
-	nPkts uint32
-	total uint32
-	timer *timerRef
+	segs     map[uint32][]byte
+	nPkts    uint32
+	total    uint32
+	timer    *timerRef
+	deadline sim.Time // the group's wire deadline (0: none)
 }
 
 type timerRef struct{ cancel func() }
@@ -125,15 +127,16 @@ func (t *Transport) vmtp() *vmtpState {
 func (t *Transport) SetVMTPParams(p VMTPParams) { t.vmtp().params = p }
 
 // groupPackets fragments data into a packet group's wire packets.
-func (t *Transport) groupPackets(proto Proto, dst int, dstBox, srcBox uint16, txn uint32, data []byte) [][]byte {
-	n := (len(data) + MaxData - 1) / MaxData
+func (t *Transport) groupPackets(proto Proto, dst int, dstBox, srcBox uint16, txn uint32, data []byte, opts SendOpts) [][]byte {
+	seg := maxSeg(opts.Deadline)
+	n := (len(data) + seg - 1) / seg
 	if n == 0 {
 		n = 1
 	}
 	wires := make([][]byte, n)
 	for i := 0; i < n; i++ {
-		lo := i * MaxData
-		hi := lo + MaxData
+		lo := i * seg
+		hi := lo + seg
 		if hi > len(data) {
 			hi = len(data)
 		}
@@ -142,6 +145,7 @@ func (t *Transport) groupPackets(proto Proto, dst int, dstBox, srcBox uint16, tx
 			SrcBox: srcBox, DstBox: dstBox,
 			MsgID: txn, Seq: uint32(i),
 			Total: uint32(len(data)), Offset: uint32(n), // Offset carries group size
+			Class: opts.Class, Deadline: opts.Deadline,
 		}
 		wires[i] = Encode(h, data[lo:hi])
 	}
@@ -152,8 +156,18 @@ func (t *Transport) groupPackets(proto Proto, dst int, dstBox, srcBox uint16, tx
 // to the server mailbox at (dst, dstBox), and the call blocks until the
 // complete response group arrives.
 func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16, req []byte) ([]byte, error) {
-	if len(req) > MaxTransaction {
-		return nil, fmt.Errorf("transport: request exceeds the %d-byte transaction limit", MaxTransaction)
+	return t.VTransactOpts(th, dst, dstBox, srcBox, req, SendOpts{})
+}
+
+// VTransactOpts is VTransact with a priority class and deadline (the
+// per-packet deadline extension slightly lowers the group's payload
+// ceiling).
+func (t *Transport) VTransactOpts(th *kernel.Thread, dst int, dstBox, srcBox uint16, req []byte, opts SendOpts) ([]byte, error) {
+	if len(req) > MaxGroupPackets*maxSeg(opts.Deadline) {
+		return nil, fmt.Errorf("transport: request exceeds the %d-byte transaction limit", MaxGroupPackets*maxSeg(opts.Deadline))
+	}
+	if err := t.admit(dst, opts); err != nil {
+		return nil, err
 	}
 	if err := t.peerGate(dst); err != nil {
 		return nil, err
@@ -169,7 +183,7 @@ func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16,
 	t.opStart()
 	defer t.opDone()
 
-	wires := t.groupPackets(ProtoVSend, dst, dstBox, srcBox, txn, req)
+	wires := t.groupPackets(ProtoVSend, dst, dstBox, srcBox, txn, req, opts)
 	pend.reqPkts = uint32(len(wires))
 	t.stats.Requests++
 
@@ -179,7 +193,7 @@ func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16,
 			if mask&(1<<uint(i)) != 0 {
 				continue
 			}
-			if err := t.sendWire(th, dst, w); err != nil {
+			if err := t.sendData(th, dst, w, opts); err != nil {
 				return err
 			}
 		}
@@ -203,6 +217,10 @@ func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16,
 		if pend.err != nil {
 			return nil, pend.err
 		}
+		// Deadline check at the retransmit queueing point.
+		if err := t.expireCheck(dst, opts); err != nil {
+			return nil, err
+		}
 		t.stats.Retransmits++
 		t.fl.Retrans(t.self, dst, byte(ProtoVSend))
 		if err := send(pend.ackMask); err != nil {
@@ -220,7 +238,10 @@ func (t *Transport) VRespond(th *kernel.Thread, req *kernel.Message, data []byte
 	}
 	vm := t.vmtp()
 	key := reqKey{src: uint16(req.Src), reqID: req.Tag}
-	wires := t.groupPackets(ProtoVResp, int(req.Src), req.SrcBox, 0, req.Tag, data)
+	// The response inherits the request's scheduling class but not its
+	// deadline (the client is blocked waiting; see Respond).
+	ropts := SendOpts{Class: Class(req.Class)}
+	wires := t.groupPackets(ProtoVResp, int(req.Src), req.SrcBox, 0, req.Tag, data, ropts)
 	delete(vm.inflight, key)
 	vm.cache[key] = wires
 	vm.order = append(vm.order, key)
@@ -231,7 +252,7 @@ func (t *Transport) VRespond(th *kernel.Thread, req *kernel.Message, data []byte
 	}
 	t.stats.Responses++
 	for _, w := range wires {
-		if err := t.sendWire(th, int(req.Src), w); err != nil {
+		if err := t.sendData(th, int(req.Src), w, ropts); err != nil {
 			return err
 		}
 	}
@@ -256,7 +277,13 @@ func (t *Transport) recvVSend(h *Header, payload []byte, sp *trace.Span) {
 	}
 	g := vm.reqs[key]
 	if g == nil {
-		g = &vmtpGroup{segs: make(map[uint32][]byte), nPkts: h.Offset, total: h.Total}
+		// Admission is checked once, at the head of a new group;
+		// started reassemblies are allowed to finish.
+		if !t.recvAdmit(h, sp) {
+			// Expired or pressure-shed: the client got a fast-reject.
+			return
+		}
+		g = &vmtpGroup{segs: make(map[uint32][]byte), nPkts: h.Offset, total: h.Total, deadline: h.Deadline}
 		vm.reqs[key] = g
 		t.armGroupTimer(g, func() { t.nackRequest(h, g) })
 	}
@@ -277,6 +304,16 @@ func (t *Transport) recvVSend(h *Header, payload []byte, sp *trace.Span) {
 // nackRequest reports the server's delivery mask so the client
 // retransmits selectively.
 func (t *Transport) nackRequest(h *Header, g *vmtpGroup) {
+	if t.ovl != nil && g.deadline != 0 && t.k.Engine().Now() >= g.deadline {
+		// The group expired while half-assembled: shed it instead of
+		// NACKing for packets nobody should retransmit.
+		t.ovl.expired++
+		t.fr.Note(obs.FDeadlineExpired, t.frName, int64(h.Src), int64(h.Class))
+		g.cancelTimer()
+		delete(t.vmtp().reqs, reqKey{src: h.Src, reqID: h.MsgID})
+		t.sendReject(h, rejectExpired, nil)
+		return
+	}
 	body := make([]byte, 4)
 	binary.BigEndian.PutUint32(body, g.mask())
 	nh := &Header{
@@ -309,6 +346,7 @@ func (t *Transport) recvVResp(h *Header, payload []byte, sp *trace.Span) {
 	if pend.resp.complete() {
 		pend.resp.cancelTimer()
 		pend.done = true
+		t.noteSuccess(pend.dst)
 		sp.Root().End()
 		pend.cond.Broadcast()
 	}

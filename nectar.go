@@ -73,6 +73,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Time is simulated time in nanoseconds.
@@ -185,6 +186,47 @@ func WithFlows(k int) Option { return core.WithFlows(k) }
 // WithObservatory arms the full observability plane in one option: flow
 // accounting, the virtual-time sampler, and the flight recorder.
 func WithObservatory() Option { return core.WithObservatory() }
+
+// Overload control (default-off). When armed with WithOverloadControl,
+// every transport operation may carry a priority class and a deadline
+// (the Opts variants of Request/StreamSend/VTransact): the CAB send queue
+// is weighted-deficit scheduled by class, deadlines are enforced at every
+// queueing point, admission control sheds lowest-class-first with a
+// deterministic fast-reject, and peers that keep rejecting trip a circuit
+// breaker with jittered half-open recovery.
+type (
+	// Class is a transport priority class (ClassNormal, ClassCritical,
+	// ClassBulk).
+	Class = transport.Class
+	// SendOpts carries a per-operation class and deadline into the
+	// classed transport entry points.
+	SendOpts = transport.SendOpts
+	// OverloadParams tunes the overload-control subsystem.
+	OverloadParams = transport.OverloadParams
+	// ErrOverload is the deterministic fast-reject an admission-controlled
+	// transport returns instead of queueing doomed work.
+	ErrOverload = transport.ErrOverload
+	// ErrDeadlineExpired reports an operation shed because its deadline
+	// passed before (or while) it was sent.
+	ErrDeadlineExpired = transport.ErrDeadlineExpired
+)
+
+// Transport priority classes. ClassNormal is the zero value: unclassed
+// sends are normal, and the wire format is unchanged when the subsystem is
+// off.
+const (
+	ClassNormal   = transport.ClassNormal
+	ClassCritical = transport.ClassCritical
+	ClassBulk     = transport.ClassBulk
+)
+
+// DefaultOverloadParams returns the enabled overload-control parameter set
+// (documented defaults fill the rest).
+func DefaultOverloadParams() OverloadParams { return transport.DefaultOverloadParams() }
+
+// WithOverloadControl arms the overload-control subsystem: priority
+// classes, deadline propagation, admission control, and circuit breaking.
+func WithOverloadControl(op OverloadParams) Option { return core.WithOverloadControl(op) }
 
 // New assembles a Nectar system from a topology and options. It panics
 // with a descriptive "nectar: ..." message when the topology is malformed
