@@ -72,7 +72,7 @@ func BenchmarkStreamThroughput(b *testing.B) {
 func BenchmarkSimulatorEventRate(b *testing.B) {
 	var events uint64
 	for i := 0; i < b.N; i++ {
-		sys := core.NewSingleHub(2, core.DefaultParams())
+		sys := core.New(core.SingleHub(2))
 		rx := sys.CAB(1)
 		mb := rx.Kernel.NewMailbox("in", 2<<20)
 		rx.TP.Register(1, mb)
@@ -90,7 +90,7 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 }
 
 func measureDatagram(size int) sim.Time {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 1<<20)
 	rx.TP.Register(1, mb)
@@ -109,7 +109,7 @@ func measureDatagram(size int) sim.Time {
 }
 
 func measureStream(total int) float64 {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 2<<20)
 	rx.TP.Register(1, mb)

@@ -6,10 +6,10 @@ import (
 	"repro"
 )
 
-// ExampleNewSingleHub builds the smallest useful Nectar system and sends
-// one reliable message between CAB-resident threads.
-func ExampleNewSingleHub() {
-	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+// ExampleNew builds the smallest useful Nectar system and sends one
+// reliable message between CAB-resident threads.
+func ExampleNew() {
+	sys := nectar.New(nectar.SingleHub(2))
 
 	rx := sys.CAB(1)
 	inbox := rx.Kernel.NewMailbox("inbox", 64<<10)
@@ -31,7 +31,7 @@ func ExampleNewSingleHub() {
 // a little-endian Warp sends typed words to a big-endian Sun; the receiver
 // sees correct values because Nectarine converts representations.
 func ExampleNewApp() {
-	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(2))
 	app := nectar.NewApp(sys)
 
 	app.NewCABTask("sun", 1, func(tc *nectar.TaskCtx) {
@@ -59,7 +59,7 @@ func wordsOf(data []byte) []uint32 {
 // millisecond-scale protocol exchange completes instantly in wall time,
 // and the clock reports the simulated duration.
 func ExampleSystem_Run() {
-	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(2))
 	sys.CAB(0).Kernel.Spawn("idle", func(th *nectar.Thread) {
 		th.Sleep(5 * nectar.Millisecond)
 	})

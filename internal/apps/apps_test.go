@@ -11,7 +11,7 @@ import (
 func TestVisionPipeline(t *testing.T) {
 	cfg := apps.DefaultVisionConfig()
 	cfg.Frames = 4
-	sys := core.NewSingleHub(3+cfg.DBNodes, core.DefaultParams())
+	sys := core.New(core.SingleHub(3 + cfg.DBNodes))
 	res, err := apps.RunVision(sys, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -41,7 +41,7 @@ func TestVisionPipeline(t *testing.T) {
 
 func TestVisionNeedsEnoughCABs(t *testing.T) {
 	cfg := apps.DefaultVisionConfig()
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	if _, err := apps.RunVision(sys, cfg); err == nil {
 		t.Fatal("undersized system should be rejected")
 	}
@@ -50,7 +50,7 @@ func TestVisionNeedsEnoughCABs(t *testing.T) {
 func TestProductionSystem(t *testing.T) {
 	cfg := apps.DefaultProductionConfig()
 	cfg.MaxFirings = 50
-	sys := core.NewSingleHub(1+cfg.MatchNodes, core.DefaultParams())
+	sys := core.New(core.SingleHub(1 + cfg.MatchNodes))
 	res, err := apps.RunProduction(sys, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestProductionDeterministic(t *testing.T) {
 	run := func() (int, int) {
 		cfg := apps.DefaultProductionConfig()
 		cfg.MaxFirings = 30
-		sys := core.NewSingleHub(1+cfg.MatchNodes, core.DefaultParams())
+		sys := core.New(core.SingleHub(1 + cfg.MatchNodes))
 		res, err := apps.RunProduction(sys, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -88,7 +88,7 @@ func TestProductionDeterministic(t *testing.T) {
 func TestAnnealing(t *testing.T) {
 	cfg := apps.DefaultAnnealConfig()
 	cfg.Sweeps = 8
-	sys := core.NewSingleHub(cfg.Procs, core.DefaultParams())
+	sys := core.New(core.SingleHub(cfg.Procs))
 	res := apps.RunAnnealing(sys, cfg)
 	if res.InitialCut == 0 {
 		t.Fatal("empty graph?")
@@ -110,7 +110,7 @@ func TestAnnealingReplicasConsistent(t *testing.T) {
 		cfg := apps.DefaultAnnealConfig()
 		cfg.Procs = procs
 		cfg.Sweeps = 6
-		sys := core.NewSingleHub(procs, core.DefaultParams())
+		sys := core.New(core.SingleHub(procs))
 		res := apps.RunAnnealing(sys, cfg)
 		if res.FinalCut >= res.InitialCut {
 			t.Fatalf("procs=%d: cut %d -> %d", procs, res.InitialCut, res.FinalCut)
@@ -120,7 +120,7 @@ func TestAnnealingReplicasConsistent(t *testing.T) {
 
 func TestTransactions(t *testing.T) {
 	cfg := apps.DefaultTxnConfig()
-	sys := core.NewSingleHub(1+cfg.Managers, core.DefaultParams())
+	sys := core.New(core.SingleHub(1 + cfg.Managers))
 	res, err := apps.RunTransactions(sys, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestTransactionsConflictsAbort(t *testing.T) {
 	// aborts while preserving exactly-once application of commits.
 	cfg := apps.DefaultTxnConfig()
 	cfg.Transactions = 20
-	sys := core.NewSingleHub(1+cfg.Managers, core.DefaultParams())
+	sys := core.New(core.SingleHub(1 + cfg.Managers))
 	res, err := apps.RunTransactions(sys, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +163,7 @@ func TestTransactionsConflictsAbort(t *testing.T) {
 
 func TestDSMCoherence(t *testing.T) {
 	cfg := apps.DefaultDSMConfig()
-	sys := core.NewSingleHub(1+cfg.Workers, core.DefaultParams())
+	sys := core.New(core.SingleHub(1 + cfg.Workers))
 	res, err := apps.RunDSM(sys, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +188,7 @@ func TestDSMScalesWorkers(t *testing.T) {
 	for _, workers := range []int{1, 2, 6} {
 		cfg := apps.DefaultDSMConfig()
 		cfg.Workers = workers
-		sys := core.NewSingleHub(1+workers, core.DefaultParams())
+		sys := core.New(core.SingleHub(1 + workers))
 		res, err := apps.RunDSM(sys, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -202,7 +202,7 @@ func TestDSMScalesWorkers(t *testing.T) {
 func TestDSMDeterministic(t *testing.T) {
 	run := func() (uint64, int) {
 		cfg := apps.DefaultDSMConfig()
-		sys := core.NewSingleHub(1+cfg.Workers, core.DefaultParams())
+		sys := core.New(core.SingleHub(1 + cfg.Workers))
 		res, err := apps.RunDSM(sys, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -224,7 +224,7 @@ func TestVisionPlacementMatters(t *testing.T) {
 		cfg := apps.DefaultVisionConfig()
 		cfg.Frames = 3
 		cfg.DBOnNodes = onNodes
-		sys := core.NewSingleHub(3+cfg.DBNodes, core.DefaultParams())
+		sys := core.New(core.SingleHub(3 + cfg.DBNodes))
 		res, err := apps.RunVision(sys, cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -26,6 +26,9 @@ type Params struct {
 	Datalink  datalink.Params
 	Transport transport.Params
 	Topo      topo.Options
+	// Routing selects the route-computation policy every CAB's datalink
+	// uses (empty: topo.PolicyBFS). Set it with WithRouting.
+	Routing topo.Policy
 	// RecorderLimit bounds retained instrumentation events (0 disables
 	// the recorder entirely).
 	RecorderLimit int
@@ -211,10 +214,12 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 		h.RegisterMetrics(s.Reg)
 		h.SetFlightRecorder(s.FR)
 	}
+	router := topo.NewRouter(net, p.Routing)
 	for _, b := range net.Boards() {
 		k := kernel.New(b, p.Kernel)
 		k.SetInstrumentation(s.Tr, s.Reg)
 		dl := datalink.New(k, net, p.Datalink)
+		dl.SetRouter(router)
 		dl.RegisterMetrics(s.Reg)
 		dl.SetFlightRecorder(s.FR)
 		dl.SetFlowTable(s.Flows)
@@ -257,29 +262,6 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 	}
 	buildTelemetry(s)
 	return s
-}
-
-// NewSingleHub builds the Figure 2 system: one HUB, nCABs CABs, a full
-// software stack on each.
-//
-// Deprecated: use New(SingleHub(nCABs), WithParams(p)).
-func NewSingleHub(nCABs int, p Params) *System {
-	return New(SingleHub(nCABs), WithParams(p))
-}
-
-// NewMesh builds the Figure 4 system: a rows x cols mesh of HUB clusters
-// with cabsPerHub CABs each.
-//
-// Deprecated: use New(Mesh(rows, cols, cabsPerHub), WithParams(p)).
-func NewMesh(rows, cols, cabsPerHub int, p Params) *System {
-	return New(Mesh(rows, cols, cabsPerHub), WithParams(p))
-}
-
-// NewLine builds a chain of nHubs HUBs with cabsPerHub CABs each.
-//
-// Deprecated: use New(Line(nHubs, cabsPerHub), WithParams(p)).
-func NewLine(nHubs, cabsPerHub int, p Params) *System {
-	return New(Line(nHubs, cabsPerHub), WithParams(p))
 }
 
 // CAB returns CAB stack i. An out-of-range index panics with a descriptive

@@ -11,7 +11,7 @@ import (
 )
 
 func TestSingleHubAssembly(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	if sys.NumCABs() != 4 {
 		t.Fatalf("CABs = %d", sys.NumCABs())
 	}
@@ -34,7 +34,7 @@ func TestSingleHubAssembly(t *testing.T) {
 func TestZeroParamsNormalized(t *testing.T) {
 	// A zero Params must be filled with defaults rather than producing a
 	// broken system.
-	sys := core.NewSingleHub(2, core.Params{})
+	sys := core.New(core.SingleHub(2), core.WithParams(core.Params{}))
 	done := false
 	sys.CAB(0).Kernel.Spawn("probe", func(th *kernel.Thread) {
 		th.Sleep(100 * sim.Microsecond)
@@ -56,11 +56,11 @@ func TestZeroParamsNormalized(t *testing.T) {
 }
 
 func TestMeshAndLineAssembly(t *testing.T) {
-	mesh := core.NewMesh(2, 3, 2, core.DefaultParams())
+	mesh := core.New(core.Mesh(2, 3, 2))
 	if len(mesh.Net.Hubs()) != 6 || mesh.NumCABs() != 12 {
 		t.Fatalf("mesh: %d hubs, %d cabs", len(mesh.Net.Hubs()), mesh.NumCABs())
 	}
-	line := core.NewLine(4, 1, core.DefaultParams())
+	line := core.New(core.Line(4, 1))
 	if len(line.Net.Hubs()) != 4 || line.NumCABs() != 4 {
 		t.Fatalf("line: %d hubs, %d cabs", len(line.Net.Hubs()), line.NumCABs())
 	}
@@ -69,7 +69,7 @@ func TestMeshAndLineAssembly(t *testing.T) {
 func TestRecorderEnabled(t *testing.T) {
 	p := core.DefaultParams()
 	p.RecorderLimit = 50
-	sys := core.NewSingleHub(2, p)
+	sys := core.New(core.SingleHub(2), core.WithParams(p))
 	if sys.Rec == nil {
 		t.Fatal("recorder not created")
 	}
@@ -83,7 +83,7 @@ func TestRecorderEnabled(t *testing.T) {
 }
 
 func TestRunUntil(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	ticks := 0
 	sys.CAB(0).Kernel.SpawnDaemon("ticker", func(th *kernel.Thread) {
 		for {
@@ -100,7 +100,7 @@ func TestRunUntil(t *testing.T) {
 func TestCustomTopoOptions(t *testing.T) {
 	p := core.DefaultParams()
 	p.Topo = topo.Options{HubPorts: 32}
-	sys := core.NewSingleHub(30, p) // needs > 16 ports
+	sys := core.New(core.SingleHub(30), core.WithParams(p)) // needs > 16 ports
 	if sys.NumCABs() != 30 {
 		t.Fatalf("CABs = %d", sys.NumCABs())
 	}

@@ -11,132 +11,116 @@ import (
 	"repro/internal/transport"
 )
 
-// Topology describes the network shape passed to New. Build one with
-// SingleHub, Mesh, or Line; the zero Topology is invalid. Validation
+// Topology describes the network shape passed to New: a value wrapper
+// around the declarative topo.Spec. Build one with SingleHub, Mesh, Line,
+// Torus, Torus3D, or FatTree; the zero Topology is invalid. Validation
 // happens in New, against the (possibly option-overridden) per-HUB port
 // count.
 type Topology struct {
-	kind            topoKind
-	cabs            int // SingleHub
-	rows, cols, per int // Mesh (rows x cols) / Line (rows = hub count)
+	spec topo.Spec
 }
-
-type topoKind int
-
-const (
-	topoInvalid topoKind = iota
-	topoSingleHub
-	topoMesh
-	topoLine
-)
 
 // SingleHub describes the paper's Figure 2 system: one HUB with nCABs CABs.
 func SingleHub(nCABs int) Topology {
-	return Topology{kind: topoSingleHub, cabs: nCABs}
+	return Topology{spec: topo.Single(nCABs)}
 }
 
 // Mesh describes the paper's Figure 4 system: a rows x cols 2-D mesh of HUB
 // clusters with cabsPerHub CABs each.
 func Mesh(rows, cols, cabsPerHub int) Topology {
-	return Topology{kind: topoMesh, rows: rows, cols: cols, per: cabsPerHub}
+	return Topology{spec: topo.Mesh(rows, cols, cabsPerHub)}
 }
 
 // Line describes a chain of nHubs HUB clusters with cabsPerHub CABs each
 // (useful for hop-count studies).
 func Line(nHubs, cabsPerHub int) Topology {
-	return Topology{kind: topoLine, rows: nHubs, per: cabsPerHub}
+	return Topology{spec: topo.Chain(nHubs, cabsPerHub)}
 }
+
+// Torus describes a rows x cols 2-D torus of HUB clusters: a mesh whose
+// rows and columns close into rings.
+func Torus(rows, cols, cabsPerHub int) Topology {
+	return Topology{spec: topo.Torus(rows, cols, cabsPerHub)}
+}
+
+// Torus3D describes an x by y by z 3-D torus of HUB clusters, the scale-out
+// shape for hundreds of HUBs.
+func Torus3D(x, y, z, cabsPerHub int) Topology {
+	return Topology{spec: topo.Torus3D(x, y, z, cabsPerHub)}
+}
+
+// FatTree describes a two-level fat tree: leafHubs leaf HUBs each wired to
+// every one of spineHubs spine HUBs, with cabsPerLeaf CABs per leaf.
+func FatTree(leafHubs, spineHubs, cabsPerLeaf int) Topology {
+	return Topology{spec: topo.FatTree(leafHubs, spineHubs, cabsPerLeaf)}
+}
+
+// Spec returns the underlying declarative shape.
+func (t Topology) Spec() topo.Spec { return t.spec }
 
 // String renders the topology for error messages and logs.
-func (t Topology) String() string {
-	switch t.kind {
-	case topoSingleHub:
-		return fmt.Sprintf("SingleHub(%d)", t.cabs)
-	case topoMesh:
-		return fmt.Sprintf("Mesh(%dx%d, %d CABs/HUB)", t.rows, t.cols, t.per)
-	case topoLine:
-		return fmt.Sprintf("Line(%d HUBs, %d CABs/HUB)", t.rows, t.per)
-	default:
-		return "Topology(zero)"
-	}
-}
+func (t Topology) String() string { return t.spec.String() }
 
 // NumCABs returns the CAB count the topology will produce.
-func (t Topology) NumCABs() int {
-	switch t.kind {
-	case topoSingleHub:
-		return t.cabs
-	case topoMesh:
-		return t.rows * t.cols * t.per
-	case topoLine:
-		return t.rows * t.per
-	default:
-		return 0
-	}
-}
-
-// maxHubDegree returns the largest number of inter-HUB links any single HUB
-// carries in the topology.
-func (t Topology) maxHubDegree() int {
-	deg := func(n int) int { // degree along one axis of length n
-		switch {
-		case n > 2:
-			return 2
-		case n == 2:
-			return 1
-		default:
-			return 0
-		}
-	}
-	switch t.kind {
-	case topoMesh:
-		return deg(t.rows) + deg(t.cols)
-	case topoLine:
-		return deg(t.rows)
-	default:
-		return 0
-	}
-}
+func (t Topology) NumCABs() int { return t.spec.NumCABs() }
 
 // validate panics with a descriptive message when the topology cannot be
 // built with the given parameters. See the error contract in package nectar.
 func (t Topology) validate(p Params) {
+	s := t.spec
 	ports := p.Topo.HubPorts
 	bad := func(format string, args ...interface{}) {
 		panic(fmt.Sprintf("nectar: invalid topology %v: %s", t, fmt.Sprintf(format, args...)))
 	}
-	switch t.kind {
-	case topoSingleHub:
-		if t.cabs < 1 {
-			bad("need at least 1 CAB, got %d", t.cabs)
+	switch s.Kind {
+	case topo.KindSingleHub:
+		if s.CABsPerHub < 1 {
+			bad("need at least 1 CAB, got %d", s.CABsPerHub)
 		}
-		if t.cabs > ports {
-			bad("%d CABs exceed the %d ports of a HUB (raise Params.Topo.HubPorts)", t.cabs, ports)
+		if s.CABsPerHub > ports {
+			bad("%d CABs exceed the %d ports of a HUB (raise Params.Topo.HubPorts)", s.CABsPerHub, ports)
 		}
-	case topoMesh:
-		if t.rows < 1 || t.cols < 1 {
-			bad("mesh dimensions must be at least 1x1, got %dx%d", t.rows, t.cols)
+		return
+	case topo.KindMesh, topo.KindTorus:
+		if s.Y < 1 || s.X < 1 {
+			bad("mesh dimensions must be at least 1x1, got %dx%d", s.Y, s.X)
 		}
-		if t.per < 1 {
-			bad("need at least 1 CAB per HUB, got %d", t.per)
+		if s.CABsPerHub < 1 {
+			bad("need at least 1 CAB per HUB, got %d", s.CABsPerHub)
 		}
-		if need := t.per + t.maxHubDegree(); need > ports {
-			bad("%d CABs + %d inter-HUB links need %d ports, but HUBs have %d (raise Params.Topo.HubPorts)",
-				t.per, t.maxHubDegree(), need, ports)
+	case topo.KindTorus3D:
+		if s.X < 1 || s.Y < 1 || s.Z < 1 {
+			bad("torus dimensions must be at least 1x1x1, got %dx%dx%d", s.X, s.Y, s.Z)
 		}
-	case topoLine:
-		if t.rows < 1 {
-			bad("need at least 1 HUB, got %d", t.rows)
+		if s.CABsPerHub < 1 {
+			bad("need at least 1 CAB per HUB, got %d", s.CABsPerHub)
 		}
-		if t.per < 1 {
-			bad("need at least 1 CAB per HUB, got %d", t.per)
+	case topo.KindLine:
+		if s.X < 1 {
+			bad("need at least 1 HUB, got %d", s.X)
 		}
-		if need := t.per + t.maxHubDegree(); need > ports {
-			bad("%d CABs + %d inter-HUB links need %d ports, but HUBs have %d (raise Params.Topo.HubPorts)",
-				t.per, t.maxHubDegree(), need, ports)
+		if s.CABsPerHub < 1 {
+			bad("need at least 1 CAB per HUB, got %d", s.CABsPerHub)
+		}
+	case topo.KindFatTree:
+		if s.X < 1 {
+			bad("need at least 1 leaf HUB, got %d", s.X)
+		}
+		if s.Spines < 1 {
+			bad("need at least 1 spine HUB, got %d", s.Spines)
+		}
+		if s.CABsPerHub < 1 {
+			bad("need at least 1 CAB per leaf, got %d", s.CABsPerHub)
 		}
 	default:
-		bad("use SingleHub, Mesh, or Line to construct a Topology")
+		bad("use SingleHub, Mesh, Line, Torus, Torus3D, or FatTree to construct a Topology")
+	}
+	if n := s.NumHubs(); n > topo.MaxHubs {
+		bad("%d HUBs exceed the %d-HUB limit (topo.Hop.HubID is one byte and ID 0 is reserved)", n, topo.MaxHubs)
+	}
+	if need := s.MinHubPorts(); need > ports {
+		bad("the busiest HUB needs %d ports (CABs + inter-HUB links), but HUBs have %d (raise Params.Topo.HubPorts)",
+			need, ports)
 	}
 }
 
@@ -150,6 +134,27 @@ type Option func(*Params)
 // options after it refine the replaced set.
 func WithParams(p Params) Option {
 	return func(dst *Params) { *dst = p }
+}
+
+// WithRouting selects the route-computation policy every CAB's datalink
+// uses: topo.PolicyBFS (the deterministic default), topo.PolicyDimOrder
+// (deterministic dimension-order / up-down routing), or topo.PolicyAdaptive
+// (deadlock-free minimal-adaptive routing by downstream queue depth, with
+// dimension-order escape paths). The empty policy selects BFS; an unknown
+// policy panics in New with the "nectar: ..." contract.
+func WithRouting(policy topo.Policy) Option {
+	return func(p *Params) { p.Routing = policy }
+}
+
+// validateRouting rejects unknown routing policies before any stack is
+// built (NewRouter would panic later and deeper otherwise).
+func validateRouting(p Params) {
+	switch p.Routing {
+	case "", topo.PolicyBFS, topo.PolicyDimOrder, topo.PolicyAdaptive:
+	default:
+		panic(fmt.Sprintf("nectar: unknown routing policy %q: use %q, %q, or %q",
+			p.Routing, topo.PolicyBFS, topo.PolicyDimOrder, topo.PolicyAdaptive))
+	}
 }
 
 // DefaultTraceSpans is the retained-span bound WithTraceSpans enables.
@@ -415,19 +420,12 @@ func New(t Topology, opts ...Option) *System {
 	}
 	p = p.normalize()
 	t.validate(p)
+	validateRouting(p)
 	validateTelemetry(p)
 	validateOverload(p)
 	eng := sim.NewEngine()
 	rec := newRecorder(eng, p)
-	var net *topo.Network
-	switch t.kind {
-	case topoSingleHub:
-		net = topo.SingleHub(eng, rec, p.Topo, t.cabs)
-	case topoMesh:
-		net = topo.Mesh2D(eng, rec, p.Topo, t.rows, t.cols, t.per)
-	case topoLine:
-		net = topo.Line(eng, rec, p.Topo, t.rows, t.per)
-	}
+	net := t.spec.Build(eng, rec, topo.WithOptions(p.Topo))
 	return buildStacks(eng, rec, net, p)
 }
 

@@ -36,7 +36,19 @@ func TestNewValidatesTopology(t *testing.T) {
 	// 15 CABs + 2 inter-HUB links on the middle hubs of a 1x3 mesh > 16.
 	mustPanic(t, "raise Params.Topo.HubPorts", func() { New(Mesh(1, 3, 15)) })
 	mustPanic(t, "at least 1 HUB", func() { New(Line(0, 1)) })
-	mustPanic(t, "use SingleHub, Mesh, or Line", func() { New(Topology{}) })
+	mustPanic(t, "use SingleHub, Mesh, Line, Torus, Torus3D, or FatTree", func() { New(Topology{}) })
+	mustPanic(t, "at least 1x1x1", func() { New(Torus3D(2, 0, 2, 1)) })
+	mustPanic(t, "at least 1 spine HUB", func() { New(FatTree(4, 0, 2)) })
+	// A 4x4 torus HUB carries 4 ring links; 13 CABs + 4 links > 16 ports.
+	mustPanic(t, "raise Params.Topo.HubPorts", func() { New(Torus(4, 4, 13)) })
+	// A fat-tree spine needs one port per leaf.
+	mustPanic(t, "raise Params.Topo.HubPorts", func() { New(FatTree(17, 1, 1)) })
+}
+
+// The one-byte HUB ID space (255 HUBs; ID 0 reserved) is enforced both at
+// validation time in New and at build time in topo.Spec.Build.
+func TestNewValidatesHubLimit(t *testing.T) {
+	mustPanic(t, "exceed the 255-HUB limit", func() { New(Torus3D(8, 8, 4, 1)) })
 }
 
 func TestNewValidatesAgainstOverriddenPorts(t *testing.T) {
@@ -103,31 +115,30 @@ func TestWithFaultRecoveryArmsProbersAndHeartbeats(t *testing.T) {
 	sys2.StopProbers()
 }
 
-// The deprecated constructors must build systems identical to New.
-func TestDeprecatedWrappersMatchNew(t *testing.T) {
-	a := NewSingleHub(3, DefaultParams())
-	b := New(SingleHub(3))
-	if a.NumCABs() != b.NumCABs() || a.Params != b.Params {
-		t.Fatal("NewSingleHub diverges from New(SingleHub(...))")
+// Every shape constructor promises the CAB count its built system has.
+func TestTopologyNumCABsMatchesBuild(t *testing.T) {
+	shapes := []Topology{
+		SingleHub(3), Mesh(2, 2, 2), Line(3, 2),
+		Torus(3, 3, 1), Torus3D(3, 3, 3, 1), FatTree(4, 2, 2),
 	}
-	m := NewMesh(2, 2, 2, DefaultParams())
-	if m.NumCABs() != Mesh(2, 2, 2).NumCABs() {
-		t.Fatalf("NewMesh built %d CABs, topology promises %d",
-			m.NumCABs(), Mesh(2, 2, 2).NumCABs())
-	}
-	l := NewLine(3, 2, DefaultParams())
-	if l.NumCABs() != Line(3, 2).NumCABs() {
-		t.Fatalf("NewLine built %d CABs, topology promises %d",
-			l.NumCABs(), Line(3, 2).NumCABs())
+	for _, shape := range shapes {
+		sys := New(shape)
+		if sys.NumCABs() != shape.NumCABs() {
+			t.Errorf("%v built %d CABs, topology promises %d",
+				shape, sys.NumCABs(), shape.NumCABs())
+		}
 	}
 }
 
 func TestTopologyString(t *testing.T) {
 	cases := map[string]Topology{
-		"SingleHub(4)":          SingleHub(4),
-		"Mesh(2x3, 1 CABs/HUB)": Mesh(2, 3, 1),
-		"Line(5 HUBs, 2 CAB":    Line(5, 2),
-		"Topology(zero)":        {},
+		"SingleHub(4)":           SingleHub(4),
+		"Mesh(2x3, 1 CABs/HUB)":  Mesh(2, 3, 1),
+		"Line(5 HUBs, 2 CAB":     Line(5, 2),
+		"Torus(2x3, 1 CABs/HUB)": Torus(2, 3, 1),
+		"Torus3D(3x3x3, 2 CABs":  Torus3D(3, 3, 3, 2),
+		"FatTree(4 leaves, 2 sp": FatTree(4, 2, 1),
+		"Topology(zero)":         {},
 	}
 	for want, topo := range cases {
 		if got := topo.String(); !strings.Contains(got, want) {

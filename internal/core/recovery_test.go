@@ -19,7 +19,7 @@ import (
 func TestSupervisorFaultRecovery(t *testing.T) {
 	params := core.DefaultParams()
 	params.Transport.RTO = sim.Millisecond
-	sys := core.NewSingleHub(3, params)
+	sys := core.New(core.SingleHub(3), core.WithParams(params))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 1<<20)
 	rx.TP.Register(1, mb)
@@ -100,7 +100,7 @@ func TestLinkFailureReroutingAutomatic(t *testing.T) {
 	params.Datalink.ProbeTimeout = 100 * sim.Microsecond
 	params.Datalink.ProbeMisses = 3
 	params.Metrics = true
-	sys := core.NewMesh(2, 2, 1, params)
+	sys := core.New(core.Mesh(2, 2, 1), core.WithParams(params))
 	rx := sys.CAB(3)
 	mb := rx.Kernel.NewMailbox("in", 1<<20)
 	rx.TP.Register(1, mb)
@@ -159,7 +159,7 @@ func TestLinkFailureReroutingAutomatic(t *testing.T) {
 func TestLinkFailureReroutingOperator(t *testing.T) {
 	params := core.DefaultParams()
 	params.Transport.RTO = sim.Millisecond
-	sys := core.NewMesh(2, 2, 1, params)
+	sys := core.New(core.Mesh(2, 2, 1), core.WithParams(params))
 	rx := sys.CAB(3)
 	mb := rx.Kernel.NewMailbox("in", 1<<20)
 	rx.TP.Register(1, mb)

@@ -20,7 +20,7 @@ func tracedExchange(t *testing.T) (*core.System, sim.Time, sim.Time) {
 	params := core.DefaultParams()
 	params.TraceSpans = 4096
 	params.Metrics = true
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 
 	srv := sys.CAB(1)
 	mb := srv.Kernel.NewMailbox("srv", 1024*1024)
@@ -193,7 +193,7 @@ func TestTraceDeterministic(t *testing.T) {
 // TestTracingDisabledByDefault asserts the default params leave the tracer
 // and registry off (nil), keeping the send path allocation-free.
 func TestTracingDisabledByDefault(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	if sys.Tr != nil || sys.Reg != nil {
 		t.Fatal("tracer/registry should be nil unless enabled in Params")
 	}

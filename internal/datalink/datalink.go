@@ -106,6 +106,7 @@ type Datalink struct {
 	k      *kernel.Kernel
 	board  *cab.Board
 	net    *topo.Network
+	router topo.Router
 	params Params
 
 	recv Receiver
@@ -146,6 +147,7 @@ func New(k *kernel.Kernel, net *topo.Network, params Params) *Datalink {
 		k:       k,
 		board:   k.Board(),
 		net:     net,
+		router:  topo.NewRouter(net, topo.PolicyBFS),
 		params:  params,
 		mu:      k.NewSem(1),
 		pending: make(map[uint64]*pendingOpen),
@@ -153,6 +155,14 @@ func New(k *kernel.Kernel, net *topo.Network, params Params) *Datalink {
 	}
 	d.board.SetItemHandler(d.receiveItem)
 	return d
+}
+
+// SetRouter replaces the route-computation policy and flushes the route
+// cache. The cache, FlushRoutes, and the fault-recovery OnChange flush
+// behave identically under every policy — only the hop lists differ.
+func (d *Datalink) SetRouter(r topo.Router) {
+	d.router = r
+	d.FlushRoutes()
 }
 
 // SetReceiver registers the transport's packet consumer.
@@ -270,7 +280,7 @@ func (d *Datalink) route(dst int) ([]topo.Hop, error) {
 	if r, ok := d.routes[dst]; ok {
 		return r, nil
 	}
-	r, err := d.net.Route(d.board.ID(), dst)
+	r, err := d.router.Route(d.board.ID(), dst)
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +402,7 @@ func (d *Datalink) SendCircuit(th *kernel.Thread, dst int, payload []byte) error
 // SendMulticastCircuit opens the multicast tree to all dsts (§4.2.2),
 // waits for a reply from every branch, then sends one copy of the data.
 func (d *Datalink) SendMulticastCircuit(th *kernel.Thread, dsts []int, payload []byte) error {
-	hops, err := d.net.MulticastTree(d.board.ID(), dsts)
+	hops, err := d.router.MulticastTree(d.board.ID(), dsts)
 	if err != nil {
 		return err
 	}
@@ -406,7 +416,7 @@ func (d *Datalink) SendMulticastPacket(th *kernel.Thread, dsts []int, payload []
 	if len(payload) > MaxPacketPayload {
 		return fmt.Errorf("datalink: multicast packet too large (%d)", len(payload))
 	}
-	hops, err := d.net.MulticastTree(d.board.ID(), dsts)
+	hops, err := d.router.MulticastTree(d.board.ID(), dsts)
 	if err != nil {
 		return err
 	}

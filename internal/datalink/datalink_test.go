@@ -31,7 +31,7 @@ func pattern(n int) []byte {
 }
 
 func TestSendPacketDelivers(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	var got [][]byte
 	collect(sys, 1, &got)
 	data := pattern(500)
@@ -51,7 +51,7 @@ func TestSendPacketDelivers(t *testing.T) {
 }
 
 func TestSendPacketTooLarge(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	var errTooBig error
 	sys.CAB(0).Kernel.Spawn("tx", func(th *kernel.Thread) {
 		errTooBig = sys.CAB(0).DL.SendPacket(th, 1, pattern(datalink.MaxPacketPayload+1))
@@ -63,7 +63,7 @@ func TestSendPacketTooLarge(t *testing.T) {
 }
 
 func TestSendCircuitLargePayload(t *testing.T) {
-	sys := core.NewLine(3, 1, core.DefaultParams())
+	sys := core.New(core.Line(3, 1))
 	var got [][]byte
 	collect(sys, 2, &got)
 	data := pattern(100 * 1024) // 100 KB across 3 hubs
@@ -93,7 +93,7 @@ func TestCircuitRecoversFromLostCommands(t *testing.T) {
 	params.Topo.Errors = fiber.ErrorModel{BitErrorRate: 5e-4, Seed: 5}
 	params.Datalink.OpenTimeout = 100 * sim.Microsecond
 	params.Datalink.OpenAttempts = 8
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	var got [][]byte
 	collect(sys, 1, &got)
 	okCount := 0
@@ -120,7 +120,7 @@ func TestCircuitRecoversFromLostCommands(t *testing.T) {
 }
 
 func TestMulticastCircuitDelivery(t *testing.T) {
-	sys := core.NewLine(3, 2, core.DefaultParams())
+	sys := core.New(core.Line(3, 2))
 	// CABs: hub0: 0,1; hub1: 2,3; hub2: 4,5. Send 0 -> {2, 4, 5}.
 	var g2, g4, g5 [][]byte
 	collect(sys, 2, &g2)
@@ -144,7 +144,7 @@ func TestMulticastCircuitDelivery(t *testing.T) {
 }
 
 func TestMulticastPacketDelivery(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	var g1, g2, g3 [][]byte
 	collect(sys, 1, &g1)
 	collect(sys, 2, &g2)
@@ -166,7 +166,7 @@ func TestMulticastPacketDelivery(t *testing.T) {
 func TestFramingErrorCounted(t *testing.T) {
 	params := core.DefaultParams()
 	params.Topo.Errors = fiber.ErrorModel{BitErrorRate: 1e-3, Seed: 77}
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	var got [][]byte
 	collect(sys, 1, &got)
 	sys.CAB(0).Kernel.Spawn("tx", func(th *kernel.Thread) {
@@ -188,7 +188,7 @@ func TestFramingErrorCounted(t *testing.T) {
 }
 
 func TestBackToBackPacketsKeepOrder(t *testing.T) {
-	sys := core.NewLine(2, 1, core.DefaultParams())
+	sys := core.New(core.Line(2, 1))
 	var got [][]byte
 	collect(sys, 1, &got)
 	const n = 30
@@ -213,7 +213,7 @@ func TestBackToBackPacketsKeepOrder(t *testing.T) {
 func TestConcurrentSendersSerializeOnDatalink(t *testing.T) {
 	// Two threads on the same CAB send interleaved circuits; the
 	// datalink mutex must keep each frame's route state consistent.
-	sys := core.NewSingleHub(3, core.DefaultParams())
+	sys := core.New(core.SingleHub(3))
 	var got1, got2 [][]byte
 	collect(sys, 1, &got1)
 	collect(sys, 2, &got2)
@@ -245,7 +245,7 @@ func TestConcurrentSendersSerializeOnDatalink(t *testing.T) {
 }
 
 func TestHubLocksSerializeCABs(t *testing.T) {
-	sys := core.NewSingleHub(3, core.DefaultParams())
+	sys := core.New(core.SingleHub(3))
 	const lock = 5
 	inCS := 0
 	maxCS := 0
@@ -278,7 +278,7 @@ func TestHubLocksSerializeCABs(t *testing.T) {
 }
 
 func TestTryAcquireHubLock(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	a, b := sys.CAB(0), sys.CAB(1)
 	var got bool
 	var gotErr error
@@ -305,7 +305,7 @@ func TestTryAcquireHubLock(t *testing.T) {
 func TestHubLockAcrossTraffic(t *testing.T) {
 	// Lock operations interleave with normal data traffic on the same
 	// datalink without corrupting either.
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	var got [][]byte
 	collect(sys, 1, &got)
 	st := sys.CAB(0)

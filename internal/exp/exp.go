@@ -78,6 +78,7 @@ func All() []Experiment {
 		{"O1", "telemetry", O1Telemetry},
 		{"O2", "flow-observatory", O2FlowObservatory},
 		{"C1", "collectives", C1Collectives},
+		{"S1", "scale-out", S1Scale},
 	}
 }
 

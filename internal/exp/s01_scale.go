@@ -1,0 +1,357 @@
+package exp
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/load"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// S1 — scale-out across topology shapes and routing policies. The paper
+// scopes Nectar-1 to tens of nodes but argues the HUB/CAB architecture
+// scales to "hundreds or thousands of processors" (§6); S1 measures that
+// claim on the topology/routing API: an open-loop RPC fleet sweeps CAB
+// count 64 → 1024 (→ 2048 with -full) across a 2-D mesh, 2-D and 3-D tori,
+// and a fat tree, under both the deterministic BFS policy and the
+// deadlock-free adaptive policy, recording latency quantiles, per-hop
+// latency, and peak HUB queueing per point. Every point runs twice and
+// must replay digest-identically. A chaos variant fails an inter-HUB link
+// mid-run on a torus under adaptive routing and requires 100% delivery
+// with zero stall-watchdog fires.
+//
+// The load is open-loop by design: closed-loop saturation on wrap-around
+// tori wedges into the classic torus credit deadlock (cyclic channel
+// dependencies — exactly the failure mode the adaptive policy's escape
+// subnetwork is shaped to avoid, see topo.CheckEscapeAcyclic), and
+// open-loop arrival is also the measurement discipline that avoids
+// coordinated omission in the latency curves.
+
+// BenchScalePath, when non-empty, makes S1Scale write its raw sweep points
+// as JSON to this path (set by cmd/nectar-bench -scaleout).
+var BenchScalePath string
+
+// S1Full widens the sweep to the 2048-CAB 3-D torus (set by
+// cmd/nectar-bench -full; the default short ladder tops out at 1024).
+var S1Full bool
+
+// s1Point is one measured (shape, policy) cell of the sweep.
+type s1Point struct {
+	Topo      string  `json:"topo"`
+	CABs      int     `json:"cabs"`
+	Hubs      int     `json:"hubs"`
+	Policy    string  `json:"policy"`
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	AvgHops   float64 `json:"avg_hops"`
+	PerHopUs  float64 `json:"per_hop_p50_us"`
+	PeakQueue int     `json:"peak_queue_bytes"`
+	Digest    string  `json:"digest"`
+	Replay    bool    `json:"replay_identical"`
+}
+
+// s1Shape is one rung of the CAB-count ladder.
+type s1Shape struct {
+	name     string
+	topo     core.Topology
+	hubPorts int // 0: default
+}
+
+func s1Ladder(full bool) []s1Shape {
+	l := []s1Shape{
+		{"mesh-4x4", core.Mesh(4, 4, 4), 0},
+		{"torus-4x4", core.Torus(4, 4, 4), 0},
+		{"torus3d-4x4x4", core.Torus3D(4, 4, 4, 1), 0},
+		{"fattree-8+4", core.FatTree(8, 4, 8), 0},
+		// The headline point: a 1024-CAB 3-D torus (128 HUBs, wrap rings
+		// in every dimension).
+		{"torus3d-4x4x8", core.Torus3D(4, 4, 8, 8), 0},
+	}
+	if full {
+		// 2048 CABs: 16 CABs + 6 torus links per HUB needs wider HUBs.
+		l = append(l, s1Shape{"torus3d-4x4x8-wide", core.Torus3D(4, 4, 8, 16), 24})
+	}
+	return l
+}
+
+// s1Cfg is the fleet workload: open-loop 64/64-byte RPCs at 2000/s per CAB.
+func s1Cfg() load.Config {
+	return load.Config{
+		Seed:       1,
+		Arrival:    load.OpenLoop,
+		RatePerCAB: 2000,
+		Warmup:     500 * sim.Microsecond,
+		Duration:   2 * sim.Millisecond,
+		Mix:        load.Mix{ReqResp: 1},
+		ReqBytes:   64,
+		RespBytes:  64,
+	}
+}
+
+// s1Build assembles one system for the given rung and policy.
+func s1Build(sh s1Shape, pol topo.Policy) *core.System {
+	opts := []core.Option{core.WithRouting(pol)}
+	if sh.hubPorts != 0 {
+		p := core.DefaultParams()
+		p.Topo.HubPorts = sh.hubPorts
+		opts = append(opts, core.WithParams(p), core.WithRouting(pol))
+	}
+	return core.New(sh.topo, opts...)
+}
+
+// s1Measure runs one (shape, policy) cell twice: the first run yields the
+// measurements (latency quantiles, peak HUB-port queueing, average route
+// length over sampled CAB pairs), the second verifies digest replay.
+func s1Measure(sh s1Shape, pol topo.Policy) s1Point {
+	cfg := s1Cfg()
+	sys := s1Build(sh, pol)
+	r := load.Run(sys, cfg)
+
+	peak := 0
+	for _, h := range sys.Net.Hubs() {
+		for i := 0; i < h.NumPorts(); i++ {
+			if q := h.Port(i).PeakQueueBytes(); q > peak {
+				peak = q
+			}
+		}
+	}
+	// Average route length over up to 64 long-haul CAB pairs (i → i+n/2).
+	router := topo.NewRouter(sys.Net, pol)
+	n := sys.NumCABs()
+	pairs, hops := 0, 0
+	for i := 0; i < n && pairs < 64; i += 1 + n/64 {
+		path, err := router.Route(i, (i+n/2)%n)
+		if err != nil {
+			continue
+		}
+		pairs++
+		hops += len(path)
+	}
+	avgHops := 0.0
+	if pairs > 0 {
+		avgHops = float64(hops) / float64(pairs)
+	}
+
+	r2 := load.Run(s1Build(sh, pol), cfg)
+	spec := sh.topo.Spec()
+	pt := s1Point{
+		Topo:      sh.name,
+		CABs:      spec.NumCABs(),
+		Hubs:      spec.NumHubs(),
+		Policy:    string(pol),
+		Ops:       r.Ops,
+		Errors:    r.Errors,
+		P50Us:     float64(r.Latency.Median()) / float64(sim.Microsecond),
+		P99Us:     float64(r.Latency.Quantile(0.99)) / float64(sim.Microsecond),
+		AvgHops:   avgHops,
+		PeakQueue: peak,
+		Digest:    fmt.Sprintf("%016x", r.Digest),
+		Replay:    r.Digest == r2.Digest && r.Ops == r2.Ops,
+	}
+	if avgHops > 0 {
+		pt.PerHopUs = pt.P50Us / avgHops
+	}
+	return pt
+}
+
+// s1ChaosMsgs is the at-least-once message count for the chaos variant.
+const s1ChaosMsgs = 20
+
+// s1ChaosOutcome reports the link-failure run under adaptive routing.
+type s1ChaosOutcome struct {
+	delivered  int
+	duplicates int
+	doneAt     sim.Time
+	detections int
+	stalls     int
+	snapshot   string
+}
+
+// s1Chaos drives corner-to-corner at-least-once traffic across a 3x3 torus
+// under the adaptive policy while an inter-HUB link on the preferred route
+// fails for 10 ms. The fault-recovery stack (link probing, heartbeats,
+// bounded retransmission) plus adaptive rerouting must deliver every
+// message; an armed stall watchdog must never fire (no deadlock).
+func s1Chaos() s1ChaosOutcome {
+	p := core.DefaultParams()
+	p.Metrics = true
+	p.Datalink.ProbeInterval = 200 * sim.Microsecond
+	p.Datalink.ProbeTimeout = 100 * sim.Microsecond
+	p.Datalink.ProbeMisses = 3
+	p.Transport.HeartbeatInterval = 300 * sim.Microsecond
+	p.Transport.PeerMisses = 3
+	p.Transport.ReqTimeout = 2 * sim.Millisecond
+	p.Transport.ReqRetries = 3
+	p.FlightEvents = 256
+	p.StallCheck = 5 * sim.Millisecond
+	sys := core.New(core.Torus(3, 3, 1), core.WithParams(p),
+		core.WithRouting(topo.PolicyAdaptive))
+
+	var out s1ChaosOutcome
+	sys.OnStall = func(at sim.Time) { out.stalls++ }
+
+	// Receiver (CAB 8, the far corner) with app-level dedup.
+	seen := make(map[uint32]bool)
+	rx := sys.CAB(8)
+	mb := rx.Kernel.NewMailbox("s1-server", 512*1024)
+	rx.TP.Register(9, mb)
+	rx.Kernel.SpawnDaemon("s1-server", func(th *kernel.Thread) {
+		for {
+			req := mb.Get(th)
+			seq := binary.BigEndian.Uint32(req.Bytes())
+			if seen[seq] {
+				out.duplicates++
+			} else {
+				seen[seq] = true
+				out.delivered++
+			}
+			rx.TP.Respond(th, req, req.Bytes()[:4])
+			mb.Release(req)
+		}
+	})
+
+	// Fail the first hop of the idle-network route 0 → 8 (the x-first
+	// escape path leaves HUB 0 toward HUB 1) while messages are flowing.
+	inj := fault.New(sys, fault.Scenario{Name: "s1-link-fail", Actions: []fault.Action{
+		fault.LinkFlap{A: 0, B: 1, At: 2 * sim.Millisecond, Duration: 10 * sim.Millisecond},
+	}})
+	inj.Schedule()
+
+	// Sender (CAB 0): at-least-once, paced one message per millisecond so
+	// the transfer spans the fault window.
+	tx := sys.CAB(0)
+	tx.Kernel.Spawn("s1-client", func(th *kernel.Thread) {
+		body := make([]byte, 64)
+		for i := 0; i < s1ChaosMsgs; i++ {
+			binary.BigEndian.PutUint32(body, uint32(i))
+			for {
+				resp, err := tx.TP.Request(th, 8, 9, 1, body)
+				if err == nil && binary.BigEndian.Uint32(resp) == uint32(i) {
+					break
+				}
+				th.Sleep(500 * sim.Microsecond)
+			}
+			th.Sleep(sim.Millisecond)
+		}
+		out.doneAt = th.Proc().Now()
+	})
+
+	sys.RunUntil(60 * sim.Millisecond)
+	out.detections = inj.DetectLatency().Count()
+	out.snapshot = sys.Reg.Text()
+	return out
+}
+
+// S1Scale runs the sweep and the chaos variant.
+func S1Scale() *Result {
+	policies := []topo.Policy{topo.PolicyBFS, topo.PolicyAdaptive}
+	var all []s1Point
+	pass := true
+	var notes []string
+
+	t := trace.NewTable("Scale-out: open-loop RPC fleet across shapes and policies",
+		"topology", "CABs", "HUBs", "policy", "ops", "p50", "p99", "hops", "per-hop p50", "peak queue", "replay")
+	for _, sh := range s1Ladder(S1Full) {
+		for _, pol := range policies {
+			pt := s1Measure(sh, pol)
+			all = append(all, pt)
+			rep := "identical"
+			if !pt.Replay {
+				rep = "DIVERGED"
+				pass = false
+				notes = append(notes, fmt.Sprintf("%s/%s: same-seed rerun digest diverged", pt.Topo, pt.Policy))
+			}
+			if pt.Ops == 0 || pt.Errors != 0 {
+				pass = false
+				notes = append(notes, fmt.Sprintf("%s/%s: ops=%d errors=%d", pt.Topo, pt.Policy, pt.Ops, pt.Errors))
+			}
+			t.AddRow(pt.Topo, pt.CABs, pt.Hubs, pt.Policy, pt.Ops,
+				fmt.Sprintf("%.1fus", pt.P50Us), fmt.Sprintf("%.1fus", pt.P99Us),
+				fmt.Sprintf("%.2f", pt.AvgHops), fmt.Sprintf("%.1fus", pt.PerHopUs),
+				pt.PeakQueue, rep)
+		}
+	}
+
+	// The adaptive-vs-deterministic claim at the headline 1024-CAB point:
+	// under identical open-loop offered load, misrouting around congested
+	// ports should complete at least as many RPCs with a tighter tail.
+	var big [2]*s1Point
+	for i := range all {
+		if all[i].Topo == "torus3d-4x4x8" {
+			if all[i].Policy == string(topo.PolicyBFS) {
+				big[0] = &all[i]
+			} else {
+				big[1] = &all[i]
+			}
+		}
+	}
+	if big[0] != nil && big[1] != nil {
+		if big[1].Ops >= big[0].Ops {
+			notes = append(notes, fmt.Sprintf(
+				"1024-CAB 3-D torus: adaptive completed %d ops (p99 %.0fus) vs BFS %d (p99 %.0fus)",
+				big[1].Ops, big[1].P99Us, big[0].Ops, big[0].P99Us))
+		} else {
+			pass = false
+			notes = append(notes, fmt.Sprintf(
+				"1024-CAB 3-D torus: adaptive %d ops fell below BFS %d", big[1].Ops, big[0].Ops))
+		}
+	} else {
+		pass = false
+		notes = append(notes, "1024-CAB point missing from the sweep")
+	}
+
+	// Chaos: adaptive routing around a failed inter-HUB link, replayed.
+	ca := s1Chaos()
+	cb := s1Chaos()
+	switch {
+	case ca.delivered != s1ChaosMsgs || ca.doneAt == 0:
+		pass = false
+		notes = append(notes, fmt.Sprintf("chaos: %d/%d messages delivered", ca.delivered, s1ChaosMsgs))
+	case ca.stalls != 0:
+		pass = false
+		notes = append(notes, fmt.Sprintf("chaos: stall watchdog fired %d times (deadlock)", ca.stalls))
+	case ca.detections == 0:
+		pass = false
+		notes = append(notes, "chaos: link failure was never detected")
+	case ca.snapshot != cb.snapshot:
+		pass = false
+		notes = append(notes, "chaos rerun was NOT byte-identical")
+	default:
+		notes = append(notes, fmt.Sprintf(
+			"chaos: adaptive routing rerouted around a failed inter-HUB link, %d/%d delivered by %v, 0 stalls, replay byte-identical",
+			ca.delivered, s1ChaosMsgs, ca.doneAt))
+	}
+
+	if BenchScalePath != "" {
+		blob, err := json.MarshalIndent(struct {
+			Points []s1Point `json:"points"`
+		}{all}, "", "  ")
+		if err == nil {
+			blob = append(blob, '\n')
+			err = os.WriteFile(BenchScalePath, blob, 0o644)
+		}
+		if err != nil {
+			pass = false
+			notes = append(notes, fmt.Sprintf("bench output: %v", err))
+		} else {
+			notes = append(notes, fmt.Sprintf("wrote %d sweep points to %s", len(all), BenchScalePath))
+		}
+	}
+
+	return &Result{
+		ID:     "S1",
+		Title:  "scale-out: topology shapes and routing policies, 64 → 1024+ CABs",
+		Tables: []*trace.Table{t},
+		Notes:  notes,
+		Pass:   pass,
+	}
+}

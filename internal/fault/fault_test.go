@@ -41,7 +41,7 @@ func echoServer(c *core.CABStack, box uint16) {
 // and routed around with no manual intervention, and every application
 // message must still arrive.
 func TestLinkFlapAutomaticRerouting(t *testing.T) {
-	sys := core.NewMesh(2, 2, 1, chaosParams())
+	sys := core.New(core.Mesh(2, 2, 1), core.WithParams(chaosParams()))
 	echoServer(sys.CAB(3), 5)
 
 	inj := fault.New(sys, fault.Scenario{
@@ -91,7 +91,7 @@ func TestCrashPeerDeathAndRevival(t *testing.T) {
 	p := chaosParams()
 	p.Transport.ReqTimeout = sim.Millisecond
 	p.Transport.ReqRetries = 50 // heartbeat death must fire first
-	sys := core.NewSingleHub(2, p)
+	sys := core.New(core.SingleHub(2), core.WithParams(p))
 	echoServer(sys.CAB(1), 7)
 
 	inj := fault.New(sys, fault.Scenario{
@@ -141,7 +141,7 @@ func TestCrashPeerDeathAndRevival(t *testing.T) {
 // runSeeded runs a randomized scenario against corner traffic and returns
 // the registry snapshot — the full observable behaviour of the run.
 func runSeeded(seed int64) string {
-	sys := core.NewMesh(2, 2, 1, chaosParams())
+	sys := core.New(core.Mesh(2, 2, 1), core.WithParams(chaosParams()))
 	echoServer(sys.CAB(3), 5)
 	sc := fault.RandomScenario(sys, seed, 4, 20*sim.Millisecond)
 	inj := fault.New(sys, sc)
@@ -177,7 +177,7 @@ func TestDeterministicReplay(t *testing.T) {
 // A randomized scenario's action list is itself a pure function of the
 // seed.
 func TestRandomScenarioDeterministic(t *testing.T) {
-	sys := core.NewMesh(2, 2, 1, chaosParams())
+	sys := core.New(core.Mesh(2, 2, 1), core.WithParams(chaosParams()))
 	a := fault.RandomScenario(sys, 7, 6, 20*sim.Millisecond)
 	b := fault.RandomScenario(sys, 7, 6, 20*sim.Millisecond)
 	if len(a.Actions) != len(b.Actions) {
@@ -196,7 +196,7 @@ func TestPortStuckAndReset(t *testing.T) {
 	p := chaosParams()
 	p.Transport.ReqTimeout = sim.Millisecond
 	p.Transport.ReqRetries = 2
-	sys := core.NewSingleHub(2, p)
+	sys := core.New(core.SingleHub(2), core.WithParams(p))
 	echoServer(sys.CAB(1), 7)
 
 	port := sys.Net.PortOf(1)

@@ -11,7 +11,7 @@ import (
 )
 
 func TestCsendCrecv(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	var got []byte
 	ipsc.Run(sys, 2, func(c *ipsc.Ctx) {
 		if c.Mynode() == 0 {
@@ -26,7 +26,7 @@ func TestCsendCrecv(t *testing.T) {
 }
 
 func TestMynodeNumnodes(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	seen := map[int]bool{}
 	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
 		if c.Numnodes() != 4 {
@@ -40,7 +40,7 @@ func TestMynodeNumnodes(t *testing.T) {
 }
 
 func TestRingPass(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	const rounds = 3
 	var final []byte
 	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
@@ -68,7 +68,7 @@ func TestRingPass(t *testing.T) {
 }
 
 func TestGisumPowerOfTwo(t *testing.T) {
-	sys := core.NewSingleHub(8, core.DefaultParams())
+	sys := core.New(core.SingleHub(8))
 	results := make([]int64, 8)
 	ipsc.Run(sys, 8, func(c *ipsc.Ctx) {
 		results[c.Mynode()] = c.Gisum(int64(c.Mynode() + 1))
@@ -81,7 +81,7 @@ func TestGisumPowerOfTwo(t *testing.T) {
 }
 
 func TestGisumNonPowerOfTwo(t *testing.T) {
-	sys := core.NewSingleHub(6, core.DefaultParams())
+	sys := core.New(core.SingleHub(6))
 	results := make([]int64, 6)
 	ipsc.Run(sys, 6, func(c *ipsc.Ctx) {
 		results[c.Mynode()] = c.Gisum(10)
@@ -94,7 +94,7 @@ func TestGisumNonPowerOfTwo(t *testing.T) {
 }
 
 func TestGihighAndGdsum(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	var hi int64
 	var sum float64
 	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
@@ -113,7 +113,7 @@ func TestGihighAndGdsum(t *testing.T) {
 }
 
 func TestGsyncBarrier(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	var afterMin, beforeMax sim.Time
 	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
 		// Stagger arrival at the barrier.
@@ -135,7 +135,7 @@ func TestGsyncBarrier(t *testing.T) {
 }
 
 func TestConsecutiveCollectivesDoNotCross(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	bad := false
 	ipsc.Run(sys, 4, func(c *ipsc.Ctx) {
 		for i := 0; i < 10; i++ {
@@ -150,7 +150,7 @@ func TestConsecutiveCollectivesDoNotCross(t *testing.T) {
 }
 
 func TestIsendMsgwait(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	var got []byte
 	ipsc.Run(sys, 2, func(c *ipsc.Ctx) {
 		if c.Mynode() == 0 {
@@ -167,7 +167,7 @@ func TestIsendMsgwait(t *testing.T) {
 
 func TestMoreProcsThanCABs(t *testing.T) {
 	// 8 processes on 4 CABs: round-robin placement, two tasks per CAB.
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	results := make([]int64, 8)
 	ipsc.Run(sys, 8, func(c *ipsc.Ctx) {
 		results[c.Mynode()] = c.Gisum(1)
@@ -186,7 +186,7 @@ func TestCollectivesArbitraryProcessCounts(t *testing.T) {
 	for _, n := range []int{3, 5, 6, 7} {
 		n := n
 		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
-			sys := core.NewSingleHub(8, core.DefaultParams())
+			sys := core.New(core.SingleHub(8))
 			sums := make([]int64, n)
 			highs := make([]int64, n)
 			dsums := make([]float64, n)
@@ -218,7 +218,7 @@ func TestCollectivesArbitraryProcessCounts(t *testing.T) {
 // library must translate back to hypercube node numbers).
 func TestAllgather(t *testing.T) {
 	const n = 5
-	sys := core.NewSingleHub(3, core.DefaultParams()) // shared CABs: ranks != nodes
+	sys := core.New(core.SingleHub(3)) // shared CABs: ranks != nodes
 	ipsc.Run(sys, n, func(c *ipsc.Ctx) {
 		all := c.Allgather([]byte(fmt.Sprintf("node-%d", c.Mynode())))
 		if len(all) != n {

@@ -13,7 +13,7 @@ import (
 )
 
 func TestCABTaskMessaging(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	app := nectarine.NewApp(sys)
 	var got nectarine.Message
 	app.NewCABTask("consumer", 1, func(tc *nectarine.TaskCtx) {
@@ -31,7 +31,7 @@ func TestCABTaskMessaging(t *testing.T) {
 }
 
 func TestNodeTaskMessaging(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	nA := node.New(sys.CAB(0), "nodeA", node.DefaultParams())
 	nB := node.New(sys.CAB(1), "nodeB", node.DefaultParams())
 	app := nectarine.NewApp(sys)
@@ -53,7 +53,7 @@ func TestNodeTaskMessaging(t *testing.T) {
 }
 
 func TestMixedCABAndNodeTasks(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	nB := node.New(sys.CAB(1), "nodeB", node.DefaultParams())
 	app := nectarine.NewApp(sys)
 	var fromCAB, fromNode string
@@ -74,7 +74,7 @@ func TestMixedCABAndNodeTasks(t *testing.T) {
 }
 
 func TestHeterogeneousWordConversion(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	app := nectarine.NewApp(sys)
 	// The sender is a little-endian Warp, the receiver a big-endian Sun.
 	app.SetMachine(0, nectarine.Warp)
@@ -103,7 +103,7 @@ func TestHeterogeneousWordConversion(t *testing.T) {
 }
 
 func TestSameEndianNoConversion(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	app := nectarine.NewApp(sys)
 	app.SetMachine(0, nectarine.Sun3)
 	app.SetMachine(1, nectarine.Sun4)
@@ -125,7 +125,7 @@ func TestSameEndianNoConversion(t *testing.T) {
 }
 
 func TestRecvTagOutOfOrder(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	app := nectarine.NewApp(sys)
 	var order []uint32
 	app.NewCABTask("rx", 1, func(tc *nectarine.TaskCtx) {
@@ -146,7 +146,7 @@ func TestRecvTagOutOfOrder(t *testing.T) {
 }
 
 func TestSendToUnknownTask(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	app := nectarine.NewApp(sys)
 	var err error
 	app.NewCABTask("t", 0, func(tc *nectarine.TaskCtx) {
@@ -159,7 +159,7 @@ func TestSendToUnknownTask(t *testing.T) {
 }
 
 func TestRecvTimeout(t *testing.T) {
-	sys := core.NewSingleHub(1, core.DefaultParams())
+	sys := core.New(core.SingleHub(1))
 	app := nectarine.NewApp(sys)
 	var ok bool
 	app.NewCABTask("t", 0, func(tc *nectarine.TaskCtx) {
@@ -172,7 +172,7 @@ func TestRecvTimeout(t *testing.T) {
 }
 
 func TestTaskFanInOrderPreserved(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	app := nectarine.NewApp(sys)
 	byFrom := map[string][]uint32{}
 	app.NewCABTask("sink", 0, func(tc *nectarine.TaskCtx) {
@@ -203,7 +203,7 @@ func TestTaskFanInOrderPreserved(t *testing.T) {
 }
 
 func TestGroupMulticast(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	app := nectarine.NewApp(sys)
 	got := make([]string, 4)
 	var g *nectarine.Group // assigned before Start; bodies run after
@@ -236,7 +236,7 @@ func TestGroupMulticast(t *testing.T) {
 }
 
 func TestGroupValidation(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	app := nectarine.NewApp(sys)
 	app.NewCABTask("a", 0, func(tc *nectarine.TaskCtx) {})
 	app.NewCABTask("b", 0, func(tc *nectarine.TaskCtx) {}) // same CAB as a
@@ -254,7 +254,7 @@ func TestGroupValidation(t *testing.T) {
 }
 
 func TestTaskCtxSurface(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	nB := node.New(sys.CAB(1), "nodeB", node.DefaultParams())
 	app := nectarine.NewApp(sys)
 	var cabOK, nodeOK bool

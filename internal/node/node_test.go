@@ -11,7 +11,7 @@ import (
 
 func pair(t *testing.T) (*core.System, *node.Node, *node.Node) {
 	t.Helper()
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	a := node.New(sys.CAB(0), "nodeA", node.DefaultParams())
 	b := node.New(sys.CAB(1), "nodeB", node.DefaultParams())
 	return sys, a, b
@@ -138,7 +138,7 @@ func TestPipelineOverlap(t *testing.T) {
 	const total = 256 * 1024
 	run := func(segment int) sim.Time {
 		params := core.DefaultParams()
-		sys := core.NewSingleHub(2, params)
+		sys := core.New(core.SingleHub(2), core.WithParams(params))
 		np := node.DefaultParams()
 		np.PipelineSegment = segment
 		a := node.New(sys.CAB(0), "nodeA", np)

@@ -1,0 +1,379 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/fiber"
+	"repro/internal/sim"
+)
+
+// countEdges returns the number of distinct inter-HUB links.
+func countEdges(n *Network) int { return len(n.InterHubEdges()) }
+
+func TestTorusWrapLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Torus(4, 4, 1).Build(eng, nil)
+	// A 4x4 torus closes every row and column: 4 links per ring, 8 rings.
+	if got := countEdges(n); got != 32 {
+		t.Fatalf("4x4 torus has %d inter-HUB links, want 32", got)
+	}
+	// The corner HUB (0,0) must see wrap neighbors (3,0) and (0,3).
+	if _, ok := n.portToward(0, 3); !ok {
+		t.Fatal("corner HUB has no x wrap link to column 3")
+	}
+	if _, ok := n.portToward(0, 12); !ok {
+		t.Fatal("corner HUB has no y wrap link to row 3")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A dimension of size 2 gains no wrap link (it would duplicate the
+	// existing edge): X=4 wraps (4 links x 2 rows), Y=2 does not (1 link
+	// per column x 4 columns).
+	n2 := Torus(2, 4, 1).Build(sim.NewEngine(), nil)
+	if got := countEdges(n2); got != 12 {
+		t.Fatalf("2x4 torus has %d inter-HUB links, want 12", got)
+	}
+}
+
+func TestTorus3DShape(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Torus3D(3, 3, 3, 1).Build(eng, nil)
+	if len(n.Hubs()) != 27 {
+		t.Fatalf("hubs = %d, want 27", len(n.Hubs()))
+	}
+	// Every dimension is a ring of 3: 3 links per ring, 9 rings per axis.
+	if got := countEdges(n); got != 81 {
+		t.Fatalf("3x3x3 torus has %d inter-HUB links, want 81", got)
+	}
+	// Every HUB has degree 6 (two neighbors per dimension).
+	for h := range n.Hubs() {
+		if deg := len(n.adj[h]); deg != 6 {
+			t.Fatalf("hub %d degree = %d, want 6", h, deg)
+		}
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFatTreeUpDownLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	n := FatTree(4, 2, 2).Build(eng, nil)
+	if len(n.Hubs()) != 6 {
+		t.Fatalf("hubs = %d, want 4 leaves + 2 spines", len(n.Hubs()))
+	}
+	if got := countEdges(n); got != 8 {
+		t.Fatalf("fat tree has %d inter-HUB links, want 4x2", got)
+	}
+	// Every leaf-spine pair is wired; no leaf-leaf or spine-spine links.
+	for leaf := 0; leaf < 4; leaf++ {
+		for spine := 4; spine < 6; spine++ {
+			if _, ok := n.portToward(leaf, spine); !ok {
+				t.Fatalf("leaf %d not wired to spine %d", leaf, spine)
+			}
+		}
+	}
+	if _, ok := n.portToward(0, 1); ok {
+		t.Fatal("unexpected leaf-leaf link")
+	}
+	if _, ok := n.portToward(4, 5); ok {
+		t.Fatal("unexpected spine-spine link")
+	}
+	// CABs attach only to leaves.
+	if len(n.Boards()) != 8 {
+		t.Fatalf("boards = %d, want 8", len(n.Boards()))
+	}
+	for id := range n.Boards() {
+		if h := n.HubOf(id); h >= 4 {
+			t.Fatalf("CAB %d attached to spine HUB %d", id, h)
+		}
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// On a mesh, dimension-order routes are shortest paths: for every CAB pair
+// they match the BFS route length exactly, correct x before y, and end with
+// the terminal hop.
+func TestDimOrderMatchesBFSOnMesh(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Mesh(3, 4, 1).Build(eng, nil)
+	bfs := NewRouter(n, PolicyBFS)
+	dor := NewRouter(n, PolicyDimOrder)
+	for src := 0; src < len(n.Boards()); src++ {
+		for dst := 0; dst < len(n.Boards()); dst++ {
+			if src == dst {
+				continue
+			}
+			hb, err := bfs.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hd, err := dor.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hb) != len(hd) {
+				t.Fatalf("route %d->%d: BFS %d hops, dim-order %d hops", src, dst, len(hb), len(hd))
+			}
+			if !hd[len(hd)-1].Terminal {
+				t.Fatalf("route %d->%d does not end terminal", src, dst)
+			}
+		}
+	}
+}
+
+// Dimension-order on a torus takes the shorter way around each ring and
+// stays minimal (equal to BFS hop count).
+func TestDimOrderMinimalOnTorus(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Torus(4, 5, 1).Build(eng, nil)
+	bfs := NewRouter(n, PolicyBFS)
+	dor := NewRouter(n, PolicyDimOrder)
+	for src := 0; src < len(n.Boards()); src++ {
+		for dst := 0; dst < len(n.Boards()); dst++ {
+			if src == dst {
+				continue
+			}
+			hb, _ := bfs.Route(src, dst)
+			hd, err := dor.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hb) != len(hd) {
+				t.Fatalf("route %d->%d: BFS %d hops, dim-order %d hops", src, dst, len(hb), len(hd))
+			}
+		}
+	}
+}
+
+// When a link on the dimension-order path dies, the policy falls back to
+// BFS over the survivors instead of failing the route.
+func TestDimOrderFallsBackOnFailedLink(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Torus(3, 3, 1).Build(eng, nil)
+	dor := NewRouter(n, PolicyDimOrder)
+	// CAB 0 on hub (0,0), CAB 2 on hub (2,0): dim-order goes 0 -> 2 over
+	// the x wrap. Fail that link.
+	n.FailLink(0, 2)
+	hops, err := dor.Route(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 3 {
+		t.Fatalf("fallback route = %d hops, want 3 (two inter-HUB + terminal)", len(hops))
+	}
+}
+
+// Adaptive routes are minimal: exactly the BFS hop count for every pair,
+// and byte-identical across repeated computation on an idle network (the
+// escape tie-break makes the choice deterministic).
+func TestAdaptiveMinimalAndDeterministic(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Torus3D(3, 3, 2, 1).Build(eng, nil)
+	bfs := NewRouter(n, PolicyBFS)
+	ad := NewRouter(n, PolicyAdaptive)
+	for src := 0; src < len(n.Boards()); src++ {
+		for dst := 0; dst < len(n.Boards()); dst++ {
+			if src == dst {
+				continue
+			}
+			hb, _ := bfs.Route(src, dst)
+			h1, err := ad.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, _ := ad.Route(src, dst)
+			if len(h1) != len(hb) {
+				t.Fatalf("route %d->%d: adaptive %d hops, BFS %d", src, dst, len(h1), len(hb))
+			}
+			if fmt.Sprint(h1) != fmt.Sprint(h2) {
+				t.Fatalf("adaptive route %d->%d not deterministic: %v vs %v", src, dst, h1, h2)
+			}
+		}
+	}
+}
+
+// On an idle grid the adaptive policy follows the wrap-free dimension-order
+// escape path exactly.
+func TestAdaptiveFollowsEscapeWhenIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Mesh(2, 2, 1).Build(eng, nil)
+	ad := NewRouter(n, PolicyAdaptive)
+	hops, err := ad.Route(0, 3) // hub 0 (0,0) -> hub 3 (1,1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x-first: 0 -> 1 -> 3, so the first hop leaves HUB index 0 toward 1.
+	if len(hops) != 3 {
+		t.Fatalf("hops = %v, want 3", hops)
+	}
+	port, _ := n.portToward(0, 1)
+	if int(hops[0].Port) != port {
+		t.Fatalf("idle adaptive first hop uses port %d, escape (x-first) is port %d", hops[0].Port, port)
+	}
+}
+
+// Congestion on the escape path diverts the adaptive policy to the other
+// minimal path, while BFS keeps using the loaded one.
+func TestAdaptiveDivertsAroundCongestion(t *testing.T) {
+	eng := sim.NewEngine()
+	n := Mesh(2, 2, 1).Build(eng, nil)
+	ad := NewRouter(n, PolicyAdaptive)
+	// Stuff HUB 1's input queue on the port that receives from HUB 0, so
+	// the 0->1->3 escape path looks congested. Start lies in the future so
+	// the port parks the packet instead of forwarding it at time zero.
+	back := n.edgeBetween(1, 0)
+	n.Hub(1).Port(back.portHere).Receive(&fiber.Item{
+		Kind:    fiber.KindPacket,
+		Payload: make([]byte, 600),
+		Start:   sim.Millisecond,
+	})
+	hops, err := ad.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, _ := n.portToward(0, 2)
+	if int(hops[0].Port) != port {
+		t.Fatalf("adaptive first hop uses port %d, want diversion via HUB 2 (port %d)", hops[0].Port, port)
+	}
+	// Route length is still minimal: 2 inter-HUB hops + terminal.
+	if len(hops) != 3 {
+		t.Fatalf("diverted route = %v, want 3 hops", hops)
+	}
+}
+
+// The adaptive policy's escape subnetwork must have an acyclic
+// channel-dependency graph on every supported shape.
+func TestEscapeAcyclicAllShapes(t *testing.T) {
+	shapes := []Spec{
+		Mesh(3, 3, 1),
+		Torus(4, 4, 1),
+		Torus3D(3, 3, 3, 1),
+		FatTree(4, 2, 1),
+	}
+	for _, s := range shapes {
+		n := s.Build(sim.NewEngine(), nil)
+		if err := n.CheckEscapeAcyclic(); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+}
+
+// Negative control: BFS shortest paths on a torus ring produce a cyclic
+// channel-dependency graph — exactly the deadlock the escape subnetwork
+// exists to avoid.
+func TestBFSOnTorusRingIsCyclic(t *testing.T) {
+	n := Torus(1, 5, 1).Build(sim.NewEngine(), nil)
+	err := n.checkRoutesAcyclic(n.hubPath)
+	if err == nil {
+		t.Fatal("BFS routes around a 5-ring should form a dependency cycle")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("error %q does not mention the cycle", err)
+	}
+}
+
+func TestCheckEscapeAcyclicNeedsShape(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng, nil, DefaultOptions())
+	a, b := n.AddHub(), n.AddHub()
+	n.ConnectHubs(a, b)
+	if err := n.CheckEscapeAcyclic(); err == nil {
+		t.Fatal("hand-built network has no escape subnetwork; want error")
+	}
+}
+
+// The one-byte HUB ID space: building past 255 HUBs panics with the
+// "nectar: ..." contract, both declaratively and imperatively.
+func TestHubLimitPanics(t *testing.T) {
+	mustPanicContains := func(want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("expected panic containing %q", want)
+			}
+			msg, ok := r.(string)
+			if !ok {
+				t.Fatalf("panic value is %T, want string", r)
+			}
+			if !strings.HasPrefix(msg, "nectar: ") || !strings.Contains(msg, want) {
+				t.Fatalf("panic %q: want \"nectar: \" prefix and %q", msg, want)
+			}
+		}()
+		f()
+	}
+	mustPanicContains("at most 255 HUBs", func() {
+		Torus3D(8, 8, 4, 1).Build(sim.NewEngine(), nil) // 256 HUBs
+	})
+	mustPanicContains("at most 255 HUBs", func() {
+		n := NewNetwork(sim.NewEngine(), nil, DefaultOptions())
+		for i := 0; i < MaxHubs+1; i++ {
+			n.AddHub()
+		}
+	})
+	// 255 HUBs exactly is fine.
+	n := NewNetwork(sim.NewEngine(), nil, DefaultOptions())
+	for i := 0; i < MaxHubs; i++ {
+		n.AddHub()
+	}
+	if got := n.Hub(MaxHubs - 1).ID(); got != 255 {
+		t.Fatalf("last HUB ID = %d, want 255", got)
+	}
+}
+
+func TestNewRouterUnknownPolicyPanics(t *testing.T) {
+	n := Single(2).Build(sim.NewEngine(), nil)
+	defer func() {
+		r := recover()
+		msg, _ := r.(string)
+		if r == nil || !strings.Contains(msg, "unknown routing policy") {
+			t.Fatalf("panic = %v, want unknown-policy message", r)
+		}
+	}()
+	NewRouter(n, Policy("teleport"))
+}
+
+// The deprecated positional builders are thin adapters over Spec.Build and
+// must produce identical networks.
+func TestDeprecatedBuildersMatchSpecs(t *testing.T) {
+	a := Mesh2D(sim.NewEngine(), nil, DefaultOptions(), 2, 3, 2)
+	b := Mesh(2, 3, 2).Build(sim.NewEngine(), nil)
+	if len(a.Hubs()) != len(b.Hubs()) || len(a.Boards()) != len(b.Boards()) || countEdges(a) != countEdges(b) {
+		t.Fatal("Mesh2D diverges from Mesh(...).Build")
+	}
+	if a.Shape() != b.Shape() {
+		t.Fatalf("shapes diverge: %v vs %v", a.Shape(), b.Shape())
+	}
+	c := Line(sim.NewEngine(), nil, DefaultOptions(), 4, 1)
+	if c.Shape() != Chain(4, 1) {
+		t.Fatalf("Line shape = %v", c.Shape())
+	}
+	d := SingleHub(sim.NewEngine(), nil, DefaultOptions(), 3)
+	if d.Shape() != Single(3) {
+		t.Fatalf("SingleHub shape = %v", d.Shape())
+	}
+}
+
+// Functional options thread through Spec.Build.
+func TestBuildOptions(t *testing.T) {
+	n := Torus(3, 3, 1).Build(sim.NewEngine(), nil, WithHubPorts(24), WithPropagation(2*sim.Microsecond))
+	if got := n.opts.HubPorts; got != 24 {
+		t.Fatalf("HubPorts = %d, want 24", got)
+	}
+	if got := n.opts.Propagation; got != 2*sim.Microsecond {
+		t.Fatalf("Propagation = %v", got)
+	}
+	// WithOptions replaces wholesale; later options refine.
+	o := DefaultOptions()
+	o.HubPorts = 20
+	n2 := Single(2).Build(sim.NewEngine(), nil, WithOptions(o), WithHubPorts(18))
+	if n2.opts.HubPorts != 18 {
+		t.Fatalf("HubPorts = %d, want 18 (later option wins)", n2.opts.HubPorts)
+	}
+}

@@ -72,6 +72,14 @@ type Network struct {
 	// through FailLink/RestoreLink (not the silent operator SetLinkState).
 	observers []func(a, b int, up bool)
 
+	// Shape metadata recorded by Spec.Build: the declarative spec, per-HUB
+	// grid coordinates (grid shapes), and per-HUB levels (fat trees). The
+	// routing policies consult these; hand-built networks leave them empty
+	// and every policy degrades to BFS.
+	shape  Spec
+	coords [][3]int
+	levels []int
+
 	linkSeed int64
 }
 
@@ -94,8 +102,13 @@ func NewNetwork(eng *sim.Engine, rec *trace.Recorder, opts Options) *Network {
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
 // AddHub creates a HUB and returns its index. HUB IDs are assigned
-// sequentially starting at 1 (0 is reserved).
+// sequentially starting at 1 (0 is reserved); adding more than MaxHubs
+// HUBs panics, since Hop.HubID is one byte.
 func (n *Network) AddHub() int {
+	if len(n.hubs) >= MaxHubs {
+		panic(fmt.Sprintf("nectar: cannot add HUB %d: topo.Hop.HubID is one byte and ID 0 is reserved, so at most %d HUBs fit",
+			len(n.hubs)+1, MaxHubs))
+	}
 	id := byte(len(n.hubs) + 1)
 	h := hub.New(n.eng, id, n.opts.HubPorts, n.rec)
 	n.hubs = append(n.hubs, h)
@@ -107,6 +120,35 @@ func (n *Network) AddHub() int {
 
 // Hubs returns the HUBs.
 func (n *Network) Hubs() []*hub.Hub { return n.hubs }
+
+// Shape returns the declarative spec this network was built from (the zero
+// Spec for hand-built networks).
+func (n *Network) Shape() Spec { return n.shape }
+
+// setCoord records hub h's grid coordinate.
+func (n *Network) setCoord(h, x, y, z int) {
+	for len(n.coords) <= h {
+		n.coords = append(n.coords, [3]int{})
+	}
+	n.coords[h] = [3]int{x, y, z}
+}
+
+// setLevel records hub h's fat-tree level (0 leaf, 1 spine).
+func (n *Network) setLevel(h, level int) {
+	for len(n.levels) <= h {
+		n.levels = append(n.levels, 0)
+	}
+	n.levels[h] = level
+}
+
+// HubCoord returns hub h's grid coordinate and whether coordinates were
+// recorded for this network.
+func (n *Network) HubCoord(h int) ([3]int, bool) {
+	if h < len(n.coords) {
+		return n.coords[h], true
+	}
+	return [3]int{}, false
+}
 
 // Hub returns hub i.
 func (n *Network) Hub(i int) *hub.Hub { return n.hubs[i] }
@@ -387,7 +429,8 @@ func (n *Network) portToward(a, b int) (int, bool) {
 }
 
 // Route computes the hop list from CAB src to CAB dst: one open per HUB on
-// the path, ending with the open onto the destination CAB's port.
+// the path, ending with the open onto the destination CAB's port. This is
+// the deterministic BFS shortest-path policy; NewRouter selects others.
 func (n *Network) Route(src, dst int) ([]Hop, error) {
 	if src == dst {
 		return nil, fmt.Errorf("topo: route from CAB %d to itself", src)
@@ -396,18 +439,24 @@ func (n *Network) Route(src, dst int) ([]Hop, error) {
 	if !ok {
 		return nil, fmt.Errorf("topo: no path from CAB %d to CAB %d", src, dst)
 	}
-	var hops []Hop
+	return n.hopsForPath(path, dst), nil
+}
+
+// hopsForPath converts a hub-index path (source hub through the destination
+// CAB's hub) into the datalink's hop list: one open per inter-HUB step plus
+// the terminal open onto the destination CAB's port.
+func (n *Network) hopsForPath(path []int, dst int) []Hop {
+	hops := make([]Hop, 0, len(path))
 	for i := 0; i < len(path)-1; i++ {
 		port, _ := n.portToward(path[i], path[i+1])
 		hops = append(hops, Hop{HubID: n.hubs[path[i]].ID(), Port: byte(port)})
 	}
 	last := path[len(path)-1]
-	hops = append(hops, Hop{
+	return append(hops, Hop{
 		HubID:    n.hubs[last].ID(),
 		Port:     byte(n.attachPort[dst]),
 		Terminal: true,
 	})
-	return hops, nil
 }
 
 // MulticastTree computes the DFS-ordered open list reaching every
@@ -478,60 +527,24 @@ func (n *Network) CheckInvariants() error {
 }
 
 // SingleHub builds the Figure 2 system: one HUB with nCABs CABs.
+//
+// Deprecated: use Single(nCABs).Build(eng, rec, WithOptions(opts)).
 func SingleHub(eng *sim.Engine, rec *trace.Recorder, opts Options, nCABs int) *Network {
-	n := NewNetwork(eng, rec, opts)
-	h := n.AddHub()
-	for i := 0; i < nCABs; i++ {
-		n.AttachCAB(h, "")
-	}
-	return n
+	return Single(nCABs).Build(eng, rec, WithOptions(opts))
 }
 
 // Mesh2D builds the Figure 4 system: a rows x cols mesh of HUB clusters
 // with cabsPerHub CABs on each HUB.
+//
+// Deprecated: use Mesh(rows, cols, cabsPerHub).Build(eng, rec, WithOptions(opts)).
 func Mesh2D(eng *sim.Engine, rec *trace.Recorder, opts Options, rows, cols, cabsPerHub int) *Network {
-	n := NewNetwork(eng, rec, opts)
-	idx := make([][]int, rows)
-	for r := 0; r < rows; r++ {
-		idx[r] = make([]int, cols)
-		for c := 0; c < cols; c++ {
-			idx[r][c] = n.AddHub()
-		}
-	}
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			if c+1 < cols {
-				n.ConnectHubs(idx[r][c], idx[r][c+1])
-			}
-			if r+1 < rows {
-				n.ConnectHubs(idx[r][c], idx[r+1][c])
-			}
-		}
-	}
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			for k := 0; k < cabsPerHub; k++ {
-				n.AttachCAB(idx[r][c], "")
-			}
-		}
-	}
-	return n
+	return Mesh(rows, cols, cabsPerHub).Build(eng, rec, WithOptions(opts))
 }
 
 // Line builds a chain of nHubs HUBs with cabsPerHub CABs each (useful for
 // hop-count sweeps).
+//
+// Deprecated: use Chain(nHubs, cabsPerHub).Build(eng, rec, WithOptions(opts)).
 func Line(eng *sim.Engine, rec *trace.Recorder, opts Options, nHubs, cabsPerHub int) *Network {
-	n := NewNetwork(eng, rec, opts)
-	prev := -1
-	for i := 0; i < nHubs; i++ {
-		h := n.AddHub()
-		if prev >= 0 {
-			n.ConnectHubs(prev, h)
-		}
-		for k := 0; k < cabsPerHub; k++ {
-			n.AttachCAB(h, "")
-		}
-		prev = h
-	}
-	return n
+	return Chain(nHubs, cabsPerHub).Build(eng, rec, WithOptions(opts))
 }

@@ -21,7 +21,7 @@ func payload(n int) []byte {
 }
 
 func TestDatagramDelivery(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 64*1024)
 	rx.TP.Register(1, mb)
@@ -59,7 +59,7 @@ func TestDatagramDelivery(t *testing.T) {
 }
 
 func TestDatagramLargeUsesCircuit(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 512*1024)
 	rx.TP.Register(1, mb)
@@ -84,7 +84,7 @@ func TestDatagramLargeUsesCircuit(t *testing.T) {
 
 func TestStreamSingleAndMultiPacket(t *testing.T) {
 	for _, size := range []int{0, 10, transport.MaxData, transport.MaxData + 1, 10 * transport.MaxData, 25000} {
-		sys := core.NewSingleHub(2, core.DefaultParams())
+		sys := core.New(core.SingleHub(2))
 		rx := sys.CAB(1)
 		mb := rx.Kernel.NewMailbox("in", 512*1024)
 		rx.TP.Register(2, mb)
@@ -115,7 +115,7 @@ func TestStreamSingleAndMultiPacket(t *testing.T) {
 }
 
 func TestStreamManyMessagesInOrder(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 512*1024)
 	rx.TP.Register(2, mb)
@@ -150,7 +150,7 @@ func TestStreamRecoversFromLoss(t *testing.T) {
 	params := core.DefaultParams()
 	// Aggressive error injection: ~2% of 1KB packets damaged.
 	params.Topo.Errors = fiber.ErrorModel{BitErrorRate: 2e-5, Seed: 99}
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 512*1024)
 	rx.TP.Register(2, mb)
@@ -186,7 +186,7 @@ func TestStreamRecoversFromLoss(t *testing.T) {
 }
 
 func TestRequestResponse(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	srv := sys.CAB(1)
 	smb := srv.Kernel.NewMailbox("server", 64*1024)
 	srv.TP.Register(7, smb)
@@ -232,7 +232,7 @@ func TestRequestTimesOutWithoutServer(t *testing.T) {
 	params := core.DefaultParams()
 	params.Transport.ReqTimeout = 500 * sim.Microsecond
 	params.Transport.ReqRetries = 1
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	var err error
 	sys.CAB(0).Kernel.Spawn("client", func(th *kernel.Thread) {
 		_, err = sys.CAB(0).TP.Request(th, 1, 7, 3, []byte("x"))
@@ -251,7 +251,7 @@ func TestRequestAtMostOnceUnderLoss(t *testing.T) {
 	params.Topo.Errors = fiber.ErrorModel{BitErrorRate: 3e-5, Seed: 1234}
 	params.Transport.ReqTimeout = sim.Millisecond
 	params.Transport.ReqRetries = 10
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	srv := sys.CAB(1)
 	smb := srv.Kernel.NewMailbox("server", 64*1024)
 	srv.TP.Register(7, smb)
@@ -292,7 +292,7 @@ func TestRequestAtMostOnceUnderLoss(t *testing.T) {
 }
 
 func TestTransportAcrossMesh(t *testing.T) {
-	sys := core.NewMesh(2, 2, 1, core.DefaultParams())
+	sys := core.New(core.Mesh(2, 2, 1))
 	// CAB 0 on hub (0,0), CAB 3 on hub (1,1): 3 hubs on the route.
 	rx := sys.CAB(3)
 	mb := rx.Kernel.NewMailbox("in", 256*1024)
@@ -316,7 +316,7 @@ func TestTransportAcrossMesh(t *testing.T) {
 }
 
 func TestStreamThroughputApproachesFiberRate(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 1024*1024)
 	rx.TP.Register(2, mb)
@@ -348,7 +348,7 @@ func TestStreamThroughputApproachesFiberRate(t *testing.T) {
 }
 
 func TestManySendersFanIn(t *testing.T) {
-	sys := core.NewSingleHub(8, core.DefaultParams())
+	sys := core.New(core.SingleHub(8))
 	rx := sys.CAB(0)
 	mb := rx.Kernel.NewMailbox("in", 1024*1024)
 	rx.TP.Register(1, mb)
@@ -379,7 +379,7 @@ func TestManySendersFanIn(t *testing.T) {
 }
 
 func TestTransportAccessorsAndErrors(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	tp := sys.CAB(0).TP
 	if tp.Self() != 0 || tp.Kernel() != sys.CAB(0).Kernel {
 		t.Fatal("accessors wrong")
@@ -398,7 +398,7 @@ func TestTransportAccessorsAndErrors(t *testing.T) {
 }
 
 func TestDatagramMulticastDirect(t *testing.T) {
-	sys := core.NewSingleHub(4, core.DefaultParams())
+	sys := core.New(core.SingleHub(4))
 	got := make([]int, 4)
 	for i := 1; i < 4; i++ {
 		rx := sys.CAB(i)
@@ -434,7 +434,7 @@ func TestDatagramMulticastDirect(t *testing.T) {
 }
 
 func TestSetVMTPParams(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	p := transport.DefaultVMTPParams()
 	p.Retries = 1
 	p.ClientTimeout = 200 * sim.Microsecond
@@ -464,7 +464,7 @@ func TestDuplicateResponseSuppression(t *testing.T) {
 	params := core.DefaultParams()
 	params.Transport.ReqTimeout = 100 * sim.Microsecond
 	params.Transport.ReqRetries = 8
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	srv := sys.CAB(1)
 	smb := srv.Kernel.NewMailbox("server", 64*1024)
 	srv.TP.Register(7, smb)

@@ -189,7 +189,7 @@ func TestStreamDeadlineExpiresAtRetransmitPoint(t *testing.T) {
 	// Damage every packet: no ack ever arrives, so the deadline check at
 	// the retransmit queueing point must abandon the message.
 	params.Topo.Errors = fiber.ErrorModel{BitErrorRate: 0.5, Seed: 3}
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 64*1024)
 	rx.TP.Register(2, mb)
@@ -213,7 +213,7 @@ func TestStreamGivesUpAfterSingleRTOExpiry(t *testing.T) {
 	params := core.DefaultParams()
 	params.Transport.MaxRTOExpiries = 1
 	params.Topo.Errors = fiber.ErrorModel{BitErrorRate: 0.5, Seed: 3}
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	rx := sys.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 64*1024)
 	rx.TP.Register(2, mb)

@@ -31,7 +31,7 @@ func vmtpServer(sys *core.System, cabID int, box uint16) {
 }
 
 func TestVMTPSmallTransaction(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	vmtpServer(sys, 1, 7)
 	var resp []byte
 	var err error
@@ -55,7 +55,7 @@ func TestVMTPSmallTransaction(t *testing.T) {
 }
 
 func TestVMTPLargeGroupBothWays(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	vmtpServer(sys, 1, 7)
 	req := payload(20 * 1000) // ~21 packets each way
 	var resp []byte
@@ -78,7 +78,7 @@ func TestVMTPLargeGroupBothWays(t *testing.T) {
 }
 
 func TestVMTPTransactionTooLarge(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	var err error
 	sys.CAB(0).Kernel.Spawn("client", func(th *kernel.Thread) {
 		_, err = sys.CAB(0).TP.VTransact(th, 1, 7, 3, make([]byte, transport.MaxTransaction+1))
@@ -92,7 +92,7 @@ func TestVMTPTransactionTooLarge(t *testing.T) {
 func TestVMTPSelectiveRetransmissionUnderLoss(t *testing.T) {
 	params := core.DefaultParams()
 	params.Topo.Errors = fiber.ErrorModel{BitErrorRate: 2e-5, Seed: 4242}
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	vmtpServer(sys, 1, 7)
 	req := payload(25 * 1000)
 	completed := 0
@@ -119,7 +119,7 @@ func TestVMTPSelectiveRetransmissionUnderLoss(t *testing.T) {
 func TestVMTPAtMostOnce(t *testing.T) {
 	params := core.DefaultParams()
 	params.Topo.Errors = fiber.ErrorModel{BitErrorRate: 3e-5, Seed: 9}
-	sys := core.NewSingleHub(2, params)
+	sys := core.New(core.SingleHub(2), core.WithParams(params))
 	srv := sys.CAB(1)
 	mb := srv.Kernel.NewMailbox("vmtp-srv", 4<<20)
 	srv.TP.Register(7, mb)
@@ -162,7 +162,7 @@ func TestVMTPBeatsGoBackNUnderLoss(t *testing.T) {
 	}
 
 	// VMTP path.
-	sysV := core.NewSingleHub(2, lossy())
+	sysV := core.New(core.SingleHub(2), core.WithParams(lossy()))
 	vmtpServer(sysV, 1, 7)
 	sysV.CAB(0).Kernel.Spawn("client", func(th *kernel.Thread) {
 		sysV.CAB(0).TP.VTransact(th, 1, 7, 3, payload(total))
@@ -171,7 +171,7 @@ func TestVMTPBeatsGoBackNUnderLoss(t *testing.T) {
 	vmtpPackets := sysV.CAB(0).DL.Stats().PacketsSent
 
 	// Go-back-N stream path.
-	sysS := core.NewSingleHub(2, lossy())
+	sysS := core.New(core.SingleHub(2), core.WithParams(lossy()))
 	rx := sysS.CAB(1)
 	mb := rx.Kernel.NewMailbox("in", 4<<20)
 	rx.TP.Register(1, mb)
@@ -200,7 +200,7 @@ func TestVMTPBeatsGoBackNUnderLoss(t *testing.T) {
 // client's selective retransmissions keep dying, and VTransact must give
 // up with ErrTimeout after its bounded retries instead of hanging.
 func TestVMTPGroupTimeoutPermanentLoss(t *testing.T) {
-	sys := core.NewSingleHub(2, core.DefaultParams())
+	sys := core.New(core.SingleHub(2))
 	vmtpServer(sys, 1, 7)
 	p := transport.DefaultVMTPParams()
 	p.GroupTimeout = 200 * sim.Microsecond

@@ -6,8 +6,10 @@
 // The package is the public facade over the full implementation:
 //
 //   - the HUB crossbar switch with its hardware datalink command set;
-//   - fiber links, topologies (single HUB, clusters, 2-D meshes) and
-//     routing, including multicast trees;
+//   - fiber links, topologies (single HUB, clusters, 2-D meshes, tori,
+//     3-D tori, fat trees) and routing — deterministic BFS shortest-path,
+//     dimension-order, and deadlock-free minimal-adaptive policies —
+//     including multicast trees;
 //   - the CAB communication processor: CPU, DMA, protected memory,
 //     hardware checksum and timers;
 //   - the CAB kernel (threads, mailboxes), the datalink (circuit and
@@ -40,10 +42,17 @@
 //	})
 //	sys.Run()
 //
-// New takes a Topology (SingleHub, Mesh, or Line) and functional options:
-// WithMetrics enables the metrics registry, WithTraceSpans enables
-// end-to-end span tracing, WithFaultRecovery arms link probing and peer
-// heartbeats, and WithParams carries a fully tuned parameter set.
+// New is the single construction path: it takes a Topology value built by
+// one of the shape constructors — SingleHub, Mesh, Line, Torus, Torus3D,
+// or FatTree — plus functional options, and there is no other way to
+// assemble a System. All shapes share one options struct (ports per HUB,
+// propagation delay, error model, carried in Params.Topo) rather than
+// per-shape positional parameters. WithMetrics enables the metrics
+// registry, WithTraceSpans enables end-to-end span tracing,
+// WithFaultRecovery arms link probing and peer heartbeats, WithRouting
+// selects the routing policy (BFS shortest-path by default; dimension-order
+// or deadlock-free adaptive routing on request), and WithParams carries a
+// fully tuned parameter set.
 //
 // # Error contract
 //
@@ -72,6 +81,7 @@ import (
 	"repro/internal/nectarine"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -143,7 +153,7 @@ type Registry = trace.Registry
 func DefaultParams() Params { return core.DefaultParams() }
 
 // Topology describes the network shape passed to New; build one with
-// SingleHub, Mesh, or Line.
+// SingleHub, Mesh, Line, Torus, Torus3D, or FatTree.
 type Topology = core.Topology
 
 // Option configures a System under construction; options apply in order.
@@ -159,6 +169,38 @@ func Mesh(rows, cols, cabsPerHub int) Topology { return core.Mesh(rows, cols, ca
 // Line describes a chain of nHubs HUB clusters with cabsPerHub CABs each
 // (useful for hop-count studies).
 func Line(nHubs, cabsPerHub int) Topology { return core.Line(nHubs, cabsPerHub) }
+
+// Torus describes a rows x cols 2-D torus of HUB clusters: a mesh whose
+// rows and columns close into rings.
+func Torus(rows, cols, cabsPerHub int) Topology { return core.Torus(rows, cols, cabsPerHub) }
+
+// Torus3D describes an x by y by z 3-D torus of HUB clusters, the
+// scale-out shape for hundreds of HUBs.
+func Torus3D(x, y, z, cabsPerHub int) Topology { return core.Torus3D(x, y, z, cabsPerHub) }
+
+// FatTree describes a two-level fat tree: leafHubs leaf HUBs each wired to
+// every one of spineHubs spine HUBs, with cabsPerLeaf CABs per leaf.
+func FatTree(leafHubs, spineHubs, cabsPerLeaf int) Topology {
+	return core.FatTree(leafHubs, spineHubs, cabsPerLeaf)
+}
+
+// RoutingPolicy names a route-computation strategy for WithRouting.
+type RoutingPolicy = topo.Policy
+
+// Routing policies: deterministic BFS shortest-path (the default),
+// deterministic dimension-order (grids) / up-down (fat trees), and
+// deadlock-free minimal-adaptive routing by downstream queue depth with
+// dimension-order escape paths.
+const (
+	RoutingBFS      = topo.PolicyBFS
+	RoutingDimOrder = topo.PolicyDimOrder
+	RoutingAdaptive = topo.PolicyAdaptive
+)
+
+// WithRouting selects the routing policy every CAB's datalink uses. The
+// route cache, FlushRoutes, and fault-recovery route flushes behave
+// identically under every policy.
+func WithRouting(policy RoutingPolicy) Option { return core.WithRouting(policy) }
 
 // WithParams replaces the whole parameter set; options after it refine the
 // replaced set.
@@ -228,29 +270,11 @@ func DefaultOverloadParams() OverloadParams { return transport.DefaultOverloadPa
 // classes, deadline propagation, admission control, and circuit breaking.
 func WithOverloadControl(op OverloadParams) Option { return core.WithOverloadControl(op) }
 
-// New assembles a Nectar system from a topology and options. It panics
-// with a descriptive "nectar: ..." message when the topology is malformed
-// or does not fit the HUB port count (see the error contract above).
+// New assembles a Nectar system from a topology and options — the only
+// construction path. It panics with a descriptive "nectar: ..." message
+// when the topology is malformed or does not fit the HUB port count (see
+// the error contract above).
 func New(t Topology, opts ...Option) *System { return core.New(t, opts...) }
-
-// NewSingleHub builds the paper's Figure 2 system: one 16-port HUB with
-// nCABs CABs.
-//
-// Deprecated: use New(SingleHub(nCABs), WithParams(p)).
-func NewSingleHub(nCABs int, p Params) *System { return core.NewSingleHub(nCABs, p) }
-
-// NewMesh builds the paper's Figure 4 system: a rows x cols 2-D mesh of
-// HUB clusters with cabsPerHub CABs each.
-//
-// Deprecated: use New(Mesh(rows, cols, cabsPerHub), WithParams(p)).
-func NewMesh(rows, cols, cabsPerHub int, p Params) *System {
-	return core.NewMesh(rows, cols, cabsPerHub, p)
-}
-
-// NewLine builds a chain of HUB clusters (useful for hop-count studies).
-//
-// Deprecated: use New(Line(nHubs, cabsPerHub), WithParams(p)).
-func NewLine(nHubs, cabsPerHub int, p Params) *System { return core.NewLine(nHubs, cabsPerHub, p) }
 
 // NewNode attaches a node to a CAB via a VME bus.
 func NewNode(stack *CABStack, name string) *Node {

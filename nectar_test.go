@@ -14,7 +14,7 @@ import (
 )
 
 func TestFacadeQuickstart(t *testing.T) {
-	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(2))
 	rx := sys.CAB(1)
 	inbox := rx.Kernel.NewMailbox("inbox", 64<<10)
 	rx.TP.Register(1, inbox)
@@ -43,18 +43,60 @@ func TestFacadeQuickstart(t *testing.T) {
 }
 
 func TestFacadeTopologies(t *testing.T) {
-	mesh := nectar.NewMesh(2, 2, 1, nectar.DefaultParams())
+	mesh := nectar.New(nectar.Mesh(2, 2, 1))
 	if mesh.NumCABs() != 4 {
 		t.Fatalf("mesh CABs = %d", mesh.NumCABs())
 	}
-	line := nectar.NewLine(3, 2, nectar.DefaultParams())
+	line := nectar.New(nectar.Line(3, 2))
 	if line.NumCABs() != 6 {
 		t.Fatalf("line CABs = %d", line.NumCABs())
+	}
+	torus := nectar.New(nectar.Torus(3, 3, 1))
+	if torus.NumCABs() != 9 {
+		t.Fatalf("torus CABs = %d", torus.NumCABs())
+	}
+	torus3d := nectar.New(nectar.Torus3D(2, 2, 3, 1))
+	if torus3d.NumCABs() != 12 {
+		t.Fatalf("3-D torus CABs = %d", torus3d.NumCABs())
+	}
+	ft := nectar.New(nectar.FatTree(4, 2, 2))
+	if ft.NumCABs() != 8 {
+		t.Fatalf("fat tree CABs = %d", ft.NumCABs())
+	}
+}
+
+// TestFacadeRoutingPolicies sends a corner-to-corner message on a 3-D
+// torus under each routing policy through the public surface; every
+// policy must deliver, and the default must equal explicit BFS.
+func TestFacadeRoutingPolicies(t *testing.T) {
+	for _, pol := range []nectar.RoutingPolicy{
+		nectar.RoutingBFS, nectar.RoutingDimOrder, nectar.RoutingAdaptive,
+	} {
+		sys := nectar.New(nectar.Torus3D(2, 2, 2, 1), nectar.WithRouting(pol))
+		last := sys.NumCABs() - 1
+		rx := sys.CAB(last)
+		inbox := rx.Kernel.NewMailbox("inbox", 64<<10)
+		rx.TP.Register(1, inbox)
+		var got []byte
+		rx.Kernel.Spawn("receiver", func(th *nectar.Thread) {
+			msg := inbox.Get(th)
+			got = msg.Bytes()
+			inbox.Release(msg)
+		})
+		sys.CAB(0).Kernel.Spawn("sender", func(th *nectar.Thread) {
+			if err := sys.CAB(0).TP.SendDatagram(th, last, 1, 0, []byte("across")); err != nil {
+				t.Errorf("%s: send: %v", pol, err)
+			}
+		})
+		sys.Run()
+		if string(got) != "across" {
+			t.Fatalf("%s: got %q", pol, got)
+		}
 	}
 }
 
 func TestFacadeNectarineApp(t *testing.T) {
-	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(2))
 	app := nectar.NewApp(sys)
 	var echoed string
 	app.NewCABTask("pong", 1, func(tc *nectar.TaskCtx) {
@@ -71,7 +113,7 @@ func TestFacadeNectarineApp(t *testing.T) {
 }
 
 func TestFacadeNodes(t *testing.T) {
-	sys := nectar.NewSingleHub(2, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(2))
 	a := nectar.NewNode(sys.CAB(0), "sunA")
 	b := nectar.NewNode(sys.CAB(1), "sunB")
 	_ = a
@@ -81,7 +123,7 @@ func TestFacadeNodes(t *testing.T) {
 }
 
 func TestFacadeIPSC(t *testing.T) {
-	sys := nectar.NewSingleHub(4, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(4))
 	var sum int64
 	nectar.RunIPSC(sys, 4, func(c *ipsc.Ctx) {
 		s := c.Gisum(int64(c.Mynode()))
@@ -119,7 +161,7 @@ func TestFacadeCollectives(t *testing.T) {
 }
 
 func TestFacadeApplications(t *testing.T) {
-	sys := nectar.NewSingleHub(6, nectar.DefaultParams())
+	sys := nectar.New(nectar.SingleHub(6))
 	cfg := nectar.DefaultVisionConfig()
 	cfg.Frames = 2
 	res, err := nectar.RunVision(sys, cfg)
@@ -152,7 +194,7 @@ func TestFacadeExperimentsRegistry(t *testing.T) {
 
 func TestFacadeDeterminism(t *testing.T) {
 	run := func() string {
-		sys := nectar.NewSingleHub(3, nectar.DefaultParams())
+		sys := nectar.New(nectar.SingleHub(3))
 		rx := sys.CAB(0)
 		mb := rx.Kernel.NewMailbox("in", 1<<20)
 		rx.TP.Register(1, mb)
