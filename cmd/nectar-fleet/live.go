@@ -22,6 +22,9 @@ import (
 //	                 text exposition.
 //	GET /metrics/N   replica N's full exposition: its trace.Registry plus
 //	                 the latest sampler readings.
+//	GET /slo         with -slo: every replica's SLO status and alert
+//	                 stream, concatenated (plain text).
+//	GET /slo/N       replica N's SLO view alone.
 //
 // Each replica renders its own exposition inside its single-threaded
 // engine goroutine (a load.Config.OnTick callback) and publishes the bytes
@@ -31,6 +34,7 @@ type liveFleet struct {
 	baseSeed int64
 	blobs    []atomic.Value // []byte: full per-replica exposition
 	ticks    []atomic.Value // load.Tick: latest progress
+	sloBlobs []atomic.Value // []byte: per-replica SLO status + alert stream
 }
 
 func newLiveFleet(replicas int, baseSeed int64) *liveFleet {
@@ -38,6 +42,7 @@ func newLiveFleet(replicas int, baseSeed int64) *liveFleet {
 		baseSeed: baseSeed,
 		blobs:    make([]atomic.Value, replicas),
 		ticks:    make([]atomic.Value, replicas),
+		sloBlobs: make([]atomic.Value, replicas),
 	}
 }
 
@@ -45,6 +50,11 @@ func newLiveFleet(replicas int, baseSeed int64) *liveFleet {
 func (lf *liveFleet) publish(i int, tk load.Tick, blob []byte) {
 	lf.ticks[i].Store(tk)
 	lf.blobs[i].Store(blob)
+}
+
+// publishSLO installs replica i's rendered SLO view.
+func (lf *liveFleet) publishSLO(i int, blob []byte) {
+	lf.sloBlobs[i].Store(blob)
 }
 
 func (lf *liveFleet) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +77,41 @@ func (lf *liveFleet) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(blob)
+		return
+	}
+	if path == "/slo" {
+		var b bytes.Buffer
+		published := 0
+		for i := range lf.sloBlobs {
+			blob, _ := lf.sloBlobs[i].Load().([]byte)
+			if blob == nil {
+				continue
+			}
+			published++
+			b.Write(blob)
+			b.WriteByte('\n')
+		}
+		if published == 0 {
+			http.Error(w, "no replica has published an SLO view yet (is -slo set?)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(b.Bytes())
+		return
+	}
+	if rest, ok := strings.CutPrefix(path, "/slo/"); ok {
+		i, err := strconv.Atoi(rest)
+		if err != nil || i < 0 || i >= len(lf.sloBlobs) {
+			http.Error(w, fmt.Sprintf("replica index out of range 0..%d", len(lf.sloBlobs)-1), http.StatusNotFound)
+			return
+		}
+		blob, _ := lf.sloBlobs[i].Load().([]byte)
+		if blob == nil {
+			http.Error(w, "replica has not published an SLO view yet (is -slo set?)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(blob)
 		return
 	}

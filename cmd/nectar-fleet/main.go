@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/load"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/sim/baseline"
 	"repro/internal/trace"
@@ -48,6 +49,7 @@ type replicaReport struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	P50us     float64 `json:"p50_us"`
 	P99us     float64 `json:"p99_us"`
+	SLOAlerts int64   `json:"slo_alerts,omitempty"`
 	Digest    string  `json:"digest"`
 }
 
@@ -92,6 +94,7 @@ type fleetReport struct {
 		MaxUs          float64 `json:"max_us"`
 		WallSeconds    float64 `json:"wall_seconds"`
 		EventsPerWallS float64 `json:"events_per_wall_sec"`
+		SLOAlerts      int64   `json:"slo_alerts,omitempty"`
 		Digest         string  `json:"digest"`
 	} `json:"total"`
 	Verified bool `json:"verified"`
@@ -151,6 +154,7 @@ func benchEngines() engineReport {
 type replicaRun struct {
 	res    *load.Result
 	events uint64
+	alerts int64 // SLO alerts fired (with -slo)
 }
 
 func main() {
@@ -168,6 +172,9 @@ func main() {
 	noBench := flag.Bool("nobench", false, "skip the engine micro-benchmark")
 	out := flag.String("o", "BENCH_fleet.json", "output JSON path")
 	listen := flag.String("listen", "", "serve live Prometheus metrics on this address while running (e.g. :9464)")
+	sloOn := flag.Bool("slo", false, "arm the SLO engine on every replica (latency objectives per operation kind at -slobound); adds per-replica alert counts to the report and, with -listen, /slo and /slo/N status endpoints")
+	sloBound := flag.Duration("slobound", 500*time.Microsecond, "SLO latency bound for -slo")
+	latcap := flag.Int("latcap", 65536, "cap per-replica latency histogram memory at this many samples (deterministic decimation beyond it; 0 = unbounded)")
 	flag.Parse()
 
 	if *short {
@@ -190,6 +197,7 @@ func main() {
 		Warmup:     sim.Time(*durMs * float64(sim.Millisecond) / 10),
 		RatePerCAB: *rate,
 		ZipfS:      *zipf,
+		LatencyCap: *latcap,
 	}
 	if *mode == "open" {
 		cfg.Arrival = load.OpenLoop
@@ -215,6 +223,14 @@ func main() {
 		if live != nil {
 			opts = append(opts, core.WithMetrics(), core.WithSampler(0), core.WithFlows(0))
 		}
+		if *sloOn {
+			bound := sim.Time(sloBound.Nanoseconds())
+			opts = append(opts, core.WithSLO(slo.Params{Objectives: []slo.Objective{
+				{Name: "reqresp", Kind: slo.KindReqResp, Class: slo.AnyClass, LatencyBound: bound},
+				{Name: "stream", Kind: slo.KindStream, Class: slo.AnyClass, LatencyBound: bound},
+				{Name: "vmtp", Kind: slo.KindVMTP, Class: slo.AnyClass, LatencyBound: bound},
+			}}))
+		}
 		sys := core.New(core.SingleHub(*cabs), opts...)
 		c := cfg
 		c.Seed = s
@@ -237,10 +253,22 @@ func main() {
 				obs.WriteSamplerProm(&b, sys.Sampler, labels...)
 				sys.Flows.WriteProm(&b, labels...)
 				live.publish(idx, tk, b.Bytes())
+				if sys.SLO != nil {
+					live.publishSLO(idx, []byte(fmt.Sprintf("replica %d (seed %d) at %v\n%s",
+						idx, s, tk.Now, sys.SLO.Text())))
+				}
 			}
 		}
 		res := load.Run(sys, c)
-		return replicaRun{res: res, events: sys.Eng.Executed()}
+		out := replicaRun{res: res, events: sys.Eng.Executed()}
+		if sys.SLO != nil {
+			out.alerts = sys.SLO.AlertCount()
+			if live != nil {
+				live.publishSLO(idx, []byte(fmt.Sprintf("replica %d (seed %d) final\n%s",
+					idx, s, sys.SLO.Text())))
+			}
+		}
+		return out
 	}
 
 	// Shard replicas (and verification re-runs) across GOMAXPROCS
@@ -297,6 +325,7 @@ func main() {
 			OpsPerSec: r.res.OpsPerSec(),
 			P50us:     us(r.res.Latency.Median()),
 			P99us:     us(r.res.Latency.Quantile(0.99)),
+			SLOAlerts: r.alerts,
 			Digest:    fmt.Sprintf("%016x", r.res.Digest),
 		}
 		if *verify {
@@ -314,6 +343,7 @@ func main() {
 		rep.Total.Bytes += r.res.Bytes
 		rep.Total.CollSteps += r.res.CollSteps
 		rep.Total.Events += r.events
+		rep.Total.SLOAlerts += r.alerts
 		merged.Merge(r.res.Latency)
 		// Fold per-replica digests in seed order: the combined digest is
 		// independent of scheduling and of GOMAXPROCS.
@@ -363,6 +393,9 @@ func main() {
 	}
 	fmt.Printf("  latency p50 %.1fus  p95 %.1fus  p99 %.1fus  max %.1fus\n",
 		rep.Total.P50us, rep.Total.P95us, rep.Total.P99us, rep.Total.MaxUs)
+	if *sloOn {
+		fmt.Printf("  slo: %d alert(s) across the fleet at bound %v\n", rep.Total.SLOAlerts, *sloBound)
+	}
 	fmt.Printf("  %d engine events in %.2fs wall = %.2fM events/s\n",
 		rep.Total.Events*uint64(rounds), rep.Total.WallSeconds, rep.Total.EventsPerWallS/1e6)
 	if !*noBench {

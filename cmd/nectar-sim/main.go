@@ -16,11 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/fiber"
 	"repro/internal/kernel"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -43,6 +45,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "chaos scenario seed (runs are byte-reproducible per seed)")
 		dump      = flag.String("dump", "", "chaos only: also write the flight-recorder post-mortem to this file")
 		listen    = flag.String("listen", "", "serve Prometheus metrics on this address during the run, then keep serving the final snapshot until interrupted")
+		sloOn     = flag.Bool("slo", false, "arm the SLO engine with a latency objective on the workload (see -slobound) and print status, burn rates, and the alert stream")
+		sloBound  = flag.Duration("slobound", 500*time.Microsecond, "SLO latency bound for -slo")
+		sloDump   = flag.String("slodump", "", "with -slo: write the first diagnosis bundle captured at alert time to this file as JSON")
 	)
 	flag.Parse()
 
@@ -59,14 +64,32 @@ func main() {
 		params.FlowTopK = core.DefaultFlowTopK
 	}
 
+	opts := []core.Option{core.WithParams(params)}
+	if *sloOn {
+		// One objective per reliable operation kind at the declared bound;
+		// only the kinds the workload exercises accumulate ops. Datagrams
+		// are unreliable by contract and carry no objective.
+		bound := sim.Time(sloBound.Nanoseconds())
+		opts = append(opts, core.WithMetrics(), core.WithSLO(slo.Params{
+			Objectives: []slo.Objective{
+				{Name: "reqresp", Kind: slo.KindReqResp, Class: slo.AnyClass, LatencyBound: bound},
+				{Name: "stream", Kind: slo.KindStream, Class: slo.AnyClass, LatencyBound: bound},
+				{Name: "vmtp", Kind: slo.KindVMTP, Class: slo.AnyClass, LatencyBound: bound},
+			},
+		}))
+		if *transport == "datagram" {
+			fmt.Fprintln(os.Stderr, "note: -slo observes reliable operations only; datagrams carry no objective (use -transport reqresp or stream)")
+		}
+	}
+
 	var sys *core.System
 	switch *topoKind {
 	case "single":
-		sys = core.New(core.SingleHub(*cabs), core.WithParams(params))
+		sys = core.New(core.SingleHub(*cabs), opts...)
 	case "line":
-		sys = core.New(core.Line(*hubs, *per), core.WithParams(params))
+		sys = core.New(core.Line(*hubs, *per), opts...)
 	case "mesh":
-		sys = core.New(core.Mesh(*rows, *cols, *per), core.WithParams(params))
+		sys = core.New(core.Mesh(*rows, *cols, *per), opts...)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoKind)
 		os.Exit(2)
@@ -128,9 +151,17 @@ func main() {
 	}
 
 	var sent, failed int
+	active := *senders
 	for s := 1; s <= *senders; s++ {
 		st := sys.CAB(s)
 		st.Kernel.Spawn("tx", func(th *kernel.Thread) {
+			// The armed SLO engine ticks in virtual time forever; stop the
+			// telemetry plane when the last sender finishes so Run drains.
+			defer func() {
+				if active--; active == 0 && *sloOn {
+					sys.StopTelemetry()
+				}
+			}()
 			for i := 0; i < *msgs; i++ {
 				payload := make([]byte, *size)
 				start := th.Proc().Now()
@@ -174,6 +205,22 @@ func main() {
 			i, dl.PacketsSent, dl.PacketsReceived, dl.FramingErrors, dl.OpenTimeouts,
 			tp.Retransmits, tp.AcksSent, tp.ChecksumDrops, tp.MailboxDrops,
 			st.Board.CPU.BusyTime())
+	}
+
+	if sys.SLO != nil {
+		fmt.Printf("\nSLO status (bound %v):\n%s", *sloBound, sys.SLO.Text())
+		if bundles := sys.SLO.Bundles(); len(bundles) > 0 {
+			fmt.Printf("%d diagnosis bundle(s) captured\n", len(bundles))
+			if *sloDump != "" {
+				if err := os.WriteFile(*sloDump, bundles[0].JSON(), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "slodump:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote diagnosis bundle to %s\n", *sloDump)
+			}
+		} else if *sloDump != "" {
+			fmt.Fprintln(os.Stderr, "slodump: no alert fired, no bundle captured")
+		}
 	}
 
 	if live != nil {

@@ -21,12 +21,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/hub"
 	"repro/internal/kernel"
 	"repro/internal/obs/flow"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -49,6 +51,10 @@ type report struct {
 	P50        *pathReport       `json:"p50,omitempty"`
 	Aggregate  []trace.PathSlice `json:"aggregate,omitempty"`
 	Requests   int               `json:"requests"`
+
+	SLO       []slo.ObjectiveStatus `json:"slo,omitempty"`
+	SLOAlerts []slo.Alert           `json:"slo_alerts,omitempty"`
+	Bundles   int                   `json:"slo_bundles,omitempty"`
 }
 
 type flowRow struct {
@@ -72,15 +78,25 @@ func main() {
 	k := flag.Int("k", 0, "heavy-hitter sketch size (0 = default)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
 	outPath := flag.String("out", "", "also write the report to this file")
+	sloOn := flag.Bool("slo", false, "arm the SLO engine on the request traffic (p99 < -slobound) with tail-sampled tracing; adds status, the alert stream, and bundle capture to the report")
+	sloBound := flag.Duration("slobound", 100*time.Microsecond, "SLO latency bound for -slo")
+	sloDump := flag.String("slodump", "", "with -slo: write the first diagnosis bundle captured at alert time to this file as JSON")
 	flag.Parse()
 
-	sys := core.New(core.Mesh(*rows, *cols, *per),
+	opts := []core.Option{
 		core.WithMetrics(),
 		core.WithObservatory(),
 		core.WithFlows(*k),
-		core.WithSampler(20*sim.Microsecond),
+		core.WithSampler(20 * sim.Microsecond),
 		func(p *core.Params) { p.TraceSpans = 400000 },
-	)
+	}
+	if *sloOn {
+		opts = append(opts, core.WithSLO(slo.Params{Objectives: []slo.Objective{{
+			Name: "reqresp", Kind: slo.KindReqResp, Class: slo.AnyClass,
+			LatencyBound: sim.Time(sloBound.Nanoseconds()),
+		}}}))
+	}
+	sys := core.New(core.Mesh(*rows, *cols, *per), opts...)
 	n := sys.NumCABs()
 	if n < 3 {
 		fmt.Fprintln(os.Stderr, "need at least 3 CABs (one client, one victim, one blaster)")
@@ -146,6 +162,18 @@ func main() {
 	sys.RunUntil(horizon)
 	sys.StopTelemetry()
 
+	if *sloDump != "" {
+		if bundles := sys.SLO.Bundles(); len(bundles) > 0 {
+			if err := os.WriteFile(*sloDump, bundles[0].JSON(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "slodump:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote diagnosis bundle to %s\n", *sloDump)
+		} else {
+			fmt.Fprintln(os.Stderr, "slodump: no alert fired, no bundle captured")
+		}
+	}
+
 	// Post-process: client request roots inside the storm window (whole run
 	// when the storm is off).
 	lo, hi := stormAt, stormAt+stormDur
@@ -195,6 +223,11 @@ func main() {
 		rep.P99 = pathJSON(p99)
 		rep.Aggregate = agg
 		rep.Requests = requests
+		if sys.SLO != nil {
+			rep.SLO = sys.SLO.Status()
+			rep.SLOAlerts = sys.SLO.Alerts()
+			rep.Bundles = len(sys.SLO.Bundles())
+		}
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "encode:", err)
@@ -218,6 +251,12 @@ func main() {
 	b.WriteString("\n")
 	b.WriteString(weather.Text())
 	b.WriteString("\n")
+	if sys.SLO != nil {
+		b.WriteString(sys.SLO.Text())
+		fmt.Fprintf(&b, "tail sampling: %d/%d trees kept, %d spans retained, %d spans dropped, %d bundle(s)\n\n",
+			sys.Tr.TailKept(), sys.Tr.TailRoots(), len(sys.Tr.Spans()),
+			sys.Tr.TailSpansDropped(), len(sys.SLO.Bundles()))
+	}
 	if p99 != nil {
 		fmt.Fprintf(&b, "p99 request %s", p99.String())
 		fmt.Fprintf(&b, "p50 request %s", p50.String())

@@ -1,0 +1,109 @@
+package coll_test
+
+import (
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/hub"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// TestBcastMulticastCriticalPath runs a hardware-multicast broadcast
+// across a two-HUB mesh with span tracing on and decomposes the root
+// rank's span tree. The single datalink send must fan out into one xbar
+// span per HUB input port traversed and one fiber span per tree branch
+// (up-link plus a down-link per destination, plus the inter-HUB hop), and
+// the critical-path attribution over that tree must account the fan-out
+// per component while keeping the total pinned to the root span's
+// duration.
+func TestBcastMulticastCriticalPath(t *testing.T) {
+	params := core.DefaultParams()
+	params.TraceSpans = 1 << 16
+	params.Metrics = true
+	sys := core.New(core.Mesh(1, 2, 2), core.WithParams(params))
+	g := coll.NewGroup(sys, 0, seqCABs(4), coll.WithAlgorithm("mcast"))
+
+	want := []byte("multicast-critical-path")
+	spmd(t, sys, g, func(th *kernel.Thread, c *coll.Comm) error {
+		var data []byte
+		if c.Rank() == 0 {
+			data = append([]byte(nil), want...)
+		}
+		out, err := c.Bcast(th, 0, data)
+		if err != nil {
+			return err
+		}
+		if string(out) != string(want) {
+			t.Errorf("rank %d got %q", c.Rank(), out)
+		}
+		return nil
+	})
+
+	// The broadcast tree hangs under the root rank's "coll:bcast" span.
+	rootBoard := sys.CAB(g.CABOf(0)).Board.Name()
+	var root *trace.Span
+	for _, r := range sys.Tr.Roots() {
+		if r.Comp() == rootBoard && r.Name() == "coll:bcast" && r.Ended() {
+			root = r
+			break
+		}
+	}
+	if root == nil {
+		t.Fatalf("no ended coll:bcast root on %s among %d roots", rootBoard, len(sys.Tr.Roots()))
+	}
+
+	byRoot := trace.GroupByRoot(sys.Tr.Spans())
+	pb := trace.CriticalPathIn(byRoot[root], root, hub.TransferLatency)
+	if pb == nil {
+		t.Fatal("no breakdown for the bcast root")
+	}
+	if pb.Total != root.Duration() {
+		t.Fatalf("Total = %v, root duration = %v", pb.Total, root.Duration())
+	}
+
+	// The multicast tree crosses both HUBs: one xbar span per input port
+	// traversed, so two distinct hub components must carry service time.
+	hubPorts := map[string]bool{}
+	fibers := map[string]bool{}
+	for _, s := range pb.Slices {
+		switch s.Kind {
+		case trace.PathService:
+			hubPorts[s.Comp] = true
+		case trace.PathPropagation:
+			fibers[s.Comp] = true
+		}
+	}
+	if len(hubPorts) < 2 {
+		t.Fatalf("multicast tree crossed %d hub ports (%v), want >= 2", len(hubPorts), hubPorts)
+	}
+	if pb.Service < 2*hub.TransferLatency {
+		t.Fatalf("service %v < two crossbar transits %v", pb.Service, 2*hub.TransferLatency)
+	}
+	// Fiber fan-out: the up-link, the inter-HUB hop, and one down-link per
+	// destination — at least 1 + 3 distinct links for 3 receivers.
+	if len(fibers) < 4 {
+		t.Fatalf("multicast fan-out used %d fiber links (%v), want >= 4", len(fibers), fibers)
+	}
+	if pb.Propagation <= 0 {
+		t.Fatalf("propagation = %v, want > 0 (fiber hops)", pb.Propagation)
+	}
+	if pb.Software <= 0 {
+		t.Fatalf("software = %v, want > 0 (datalink send/receive)", pb.Software)
+	}
+
+	// Attribution is internally consistent: per-kind totals match the
+	// slice sum, and no single slice exceeds the end-to-end total.
+	var sum, kinds int64
+	for _, s := range pb.Slices {
+		sum += int64(s.Time)
+		if s.Time > pb.Total {
+			t.Fatalf("slice %+v exceeds total %v", s, pb.Total)
+		}
+	}
+	kinds = int64(pb.Queue + pb.Service + pb.Propagation + pb.Software)
+	if sum != kinds {
+		t.Fatalf("slice sum %d != kind totals %d", sum, kinds)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/obs/flow"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -63,6 +64,17 @@ type Params struct {
 	// many entries. 0 disables it (the default: accounting calls hit a nil
 	// table and cost nothing).
 	FlowTopK int
+	// SLO configures the service-level-objective engine (System.SLO):
+	// declared latency/success objectives evaluated in virtual time with
+	// multi-window burn-rate alerting and diagnosis-bundle capture. Empty
+	// Objectives disables it (the default: transport outcome hooks hit a
+	// nil engine and cost one pointer compare). Set it with WithSLO.
+	SLO slo.Params
+	// TraceTail arms tail-based span sampling on the tracer: spans buffer
+	// per causality tree and only anomalous, SLO-breaching, or
+	// head-sampled trees are retained. The zero value disables it (full
+	// tracing up to TraceSpans). WithSLO derives it from the objectives.
+	TraceTail trace.TailConfig
 
 	// Coll tunes the collective-communication subsystem (internal/coll):
 	// algorithm override, payload-size thresholds, and the multicast
@@ -171,6 +183,13 @@ type System struct {
 	// datalink/transport hot paths, with a heavy-hitter sketch. Snapshot
 	// the link side with Weathermap.
 	Flows *flow.Table
+	// SLO is the service-level-objective engine (nil unless
+	// Params.SLO.Objectives is non-empty): windowed burn-rate evaluation
+	// of declared objectives over the transport outcome stream, with a
+	// deterministic alert stream and captured diagnosis bundles. An armed
+	// engine generates evaluation events forever: drive such systems with
+	// RunUntil, or call StopTelemetry to let Run drain.
+	SLO *slo.Engine
 	// OnStall, when non-nil, replaces the watchdog's default stall
 	// reaction (a flight-recorder post-mortem on stderr).
 	OnStall func(at sim.Time)
@@ -183,12 +202,17 @@ func (s *System) StopProbers() {
 	}
 }
 
-// StopTelemetry disarms the sampler and stall watchdog (collected series
-// and recorded events stay readable). Call it before Run on a system with
-// telemetry enabled; RunUntil needs no such help.
+// StopTelemetry disarms the sampler, stall watchdog, and SLO engine
+// (collected series, recorded events, and the alert log stay readable),
+// and flushes undecided tail-sampled trace trees so Tr.Spans() is
+// complete. Call it before Run on a system with telemetry enabled;
+// RunUntil needs no such help (but call Tr.FlushTail before reading spans
+// from a tail-sampled run).
 func (s *System) StopTelemetry() {
 	s.Sampler.Stop()
 	s.Watchdog.Stop()
+	s.SLO.Stop()
+	s.Tr.FlushTail()
 }
 
 // buildStacks layers kernel/datalink/transport onto every board and wires
@@ -198,6 +222,9 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 	s := &System{Eng: eng, Rec: rec, Net: net, Params: p}
 	if p.TraceSpans > 0 {
 		s.Tr = trace.NewTracer(eng, p.TraceSpans)
+		if p.TraceTail.Enabled() {
+			s.Tr.EnableTailSampling(p.TraceTail)
+		}
 	}
 	if p.Metrics {
 		s.Reg = trace.NewRegistry(eng)

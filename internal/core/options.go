@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flow"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -376,6 +377,106 @@ func WithObservatory() Option {
 	}
 }
 
+// WithTailSampling arms tail-based span sampling on the tracer (enabling
+// tracing if it is not already on): spans buffer per causality tree until
+// the root closes, and only trees that breach their latency bound, carry
+// an error, or fall on the deterministic 1-in-HeadEvery head sample are
+// retained. Every decision is a pure function of the span stream, so a
+// sampled run replays byte-identically.
+func WithTailSampling(cfg trace.TailConfig) Option {
+	return func(p *Params) {
+		WithTraceSpans()(p)
+		p.TraceTail = cfg
+	}
+}
+
+// WithSLO arms the service-level-objective engine (System.SLO) with the
+// declared objectives and the supporting evidence plane: the flight
+// recorder (alert notes), the flow observatory (bundle top-k flows), span
+// tracing, and a tail-sampling config derived from the objectives — root
+// message spans whose protocol is covered by an objective are retained
+// when their latency reaches the objective's bound (the tightest bound
+// wins per protocol), plus a 1-in-DefaultTailHeadEvery head sample so the
+// baseline stays observable. An explicit WithTailSampling after WithSLO
+// overrides the derived config.
+func WithSLO(sp slo.Params) Option {
+	return func(p *Params) {
+		p.SLO = sp
+		WithTraceSpans()(p)
+		WithFlightRecorder()(p)
+		WithFlows(0)(p)
+		cfg := p.TraceTail
+		if cfg.HeadEvery == 0 {
+			cfg.HeadEvery = trace.DefaultTailHeadEvery
+		}
+		if cfg.TagBounds == nil {
+			cfg.TagBounds = make(map[uint8]sim.Time)
+		}
+		for _, o := range sp.Objectives {
+			tag := kindProto(o.Kind)
+			if b, ok := cfg.TagBounds[tag]; !ok || (o.LatencyBound > 0 && o.LatencyBound < b) {
+				cfg.TagBounds[tag] = o.LatencyBound
+			}
+		}
+		p.TraceTail = cfg
+	}
+}
+
+// validateSLO rejects malformed SLO and tail-sampling parameters with the
+// descriptive "nectar: ..." panic contract. Zero stays valid everywhere
+// (the disabled or use-the-default sentinel); negatives and out-of-range
+// fractions are caller bugs.
+func validateSLO(p Params) {
+	seen := make(map[string]bool)
+	for i, o := range p.SLO.Objectives {
+		if o.Name == "" {
+			panic(fmt.Sprintf("nectar: SLO objective %d has no Name", i))
+		}
+		if seen[o.Name] {
+			panic(fmt.Sprintf("nectar: duplicate SLO objective name %q", o.Name))
+		}
+		seen[o.Name] = true
+		if o.Kind >= slo.NumKinds {
+			panic(fmt.Sprintf("nectar: SLO objective %q has unknown kind %d", o.Name, o.Kind))
+		}
+		if o.Class != slo.AnyClass && int(o.Class) >= transport.NumClasses {
+			panic(fmt.Sprintf("nectar: SLO objective %q class %d out of range (use a transport class or slo.AnyClass)", o.Name, o.Class))
+		}
+		if o.LatencyBound <= 0 {
+			panic(fmt.Sprintf("nectar: SLO objective %q needs a positive LatencyBound, got %v", o.Name, o.LatencyBound))
+		}
+		if o.Quantile < 0 || o.Quantile >= 1 {
+			panic(fmt.Sprintf("nectar: SLO objective %q Quantile %v outside [0, 1) (0 selects 0.99)", o.Name, o.Quantile))
+		}
+		if o.SuccessRate < 0 || o.SuccessRate >= 1 {
+			panic(fmt.Sprintf("nectar: SLO objective %q SuccessRate %v outside [0, 1) (0 selects 0.999)", o.Name, o.SuccessRate))
+		}
+		if o.Window < 0 {
+			panic(fmt.Sprintf("nectar: SLO objective %q Window %v is negative (0 selects the default)", o.Name, o.Window))
+		}
+	}
+	if p.SLO.Slices < 0 || p.SLO.SlowWindows < 0 || p.SLO.MinOps < 0 || p.SLO.MaxBundles < 0 {
+		panic("nectar: negative SLO engine parameter (0 selects each default)")
+	}
+	if p.SLO.BurnThreshold < 0 {
+		panic(fmt.Sprintf("nectar: SLO BurnThreshold %v is negative (0 selects the default)", p.SLO.BurnThreshold))
+	}
+	if p.TraceTail.HeadEvery < 0 {
+		panic(fmt.Sprintf("nectar: TraceTail.HeadEvery %d is negative (0 disables head sampling)", p.TraceTail.HeadEvery))
+	}
+	if p.TraceTail.Bound < 0 {
+		panic(fmt.Sprintf("nectar: TraceTail.Bound %v is negative (0 disables latency retention)", p.TraceTail.Bound))
+	}
+	if p.TraceTail.MaxBuffered < 0 {
+		panic(fmt.Sprintf("nectar: TraceTail.MaxBuffered %d is negative (0 selects the default)", p.TraceTail.MaxBuffered))
+	}
+	for tag, b := range p.TraceTail.TagBounds {
+		if b < 0 {
+			panic(fmt.Sprintf("nectar: TraceTail.TagBounds[%d] %v is negative (0 disables latency retention for the tag)", tag, b))
+		}
+	}
+}
+
 // validateTelemetry rejects malformed telemetry parameters with the
 // descriptive "nectar: ..." panic contract. Zero stays valid everywhere —
 // it is the documented "disabled" sentinel for each of these knobs — but a
@@ -423,6 +524,7 @@ func New(t Topology, opts ...Option) *System {
 	validateRouting(p)
 	validateTelemetry(p)
 	validateOverload(p)
+	validateSLO(p)
 	eng := sim.NewEngine()
 	rec := newRecorder(eng, p)
 	net := t.spec.Build(eng, rec, topo.WithOptions(p.Topo))

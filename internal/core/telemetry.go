@@ -16,6 +16,24 @@ import (
 // across runs of the same seed.
 func buildTelemetry(s *System) {
 	p := s.Params
+	if s.Reg != nil {
+		// Instrumentation self-observability: how much the bounded
+		// buffers themselves have shed. trace.dropped is the event
+		// recorder's overflow count; trace.spans_dropped counts spans not
+		// retained by the tracer (hard limit plus tail-sampling discards).
+		if s.Rec != nil {
+			s.Reg.Func("trace.dropped", func() float64 { return float64(s.Rec.Dropped()) })
+		}
+		if s.Tr != nil {
+			s.Reg.Func("trace.spans_dropped", func() float64 {
+				return float64(s.Tr.Dropped() + s.Tr.TailSpansDropped())
+			})
+			s.Reg.Func("trace.spans_retained", func() float64 { return float64(len(s.Tr.Spans())) })
+		}
+		if s.FR != nil {
+			s.Reg.Func("flight.events", func() float64 { return float64(s.FR.Total()) })
+		}
+	}
 	if s.Reg != nil && p.Transport.Overload.Enabled {
 		// System-wide overload aggregates (per-board breakdowns live
 		// under <board>.transport.overload.*).
@@ -106,4 +124,5 @@ func buildTelemetry(s *System) {
 		w.Start()
 		s.Watchdog = w
 	}
+	buildSLO(s)
 }

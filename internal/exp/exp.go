@@ -77,6 +77,7 @@ func All() []Experiment {
 		{"P1", "fleet-load", P1FleetLoad},
 		{"O1", "telemetry", O1Telemetry},
 		{"O2", "flow-observatory", O2FlowObservatory},
+		{"O3", "slo-engine", O3SLOEngine},
 		{"C1", "collectives", C1Collectives},
 		{"S1", "scale-out", S1Scale},
 	}

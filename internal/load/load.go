@@ -116,6 +116,12 @@ type Config struct {
 	// the skew to its own rotation of the other CABs, so hot keys spread
 	// across the machine deterministically.
 	ZipfS float64
+	// LatencyCap bounds retained latency samples per histogram (the
+	// overall and per-class ones): past the cap the histogram decimates
+	// deterministically, keeping every count exact and quantiles
+	// approximate. 0 retains every sample exactly — fine for one
+	// experiment, unbounded for a long fleet run.
+	LatencyCap int
 	// TickEvery invokes OnTick at this simulated-time period during the
 	// run (0 disables ticks). The live fleet endpoint uses it to publish
 	// fresh progress and metrics from inside the single-threaded engine
@@ -472,8 +478,10 @@ func Run(sys *core.System, cfg Config) *Result {
 		res:     &Result{Latency: trace.NewHistogram("op latency")},
 		digest:  fnvOffset,
 	}
+	r.res.Latency.SetCap(cfg.LatencyCap)
 	for c := range r.res.ClassLatency {
 		r.res.ClassLatency[c] = trace.NewHistogram(transport.Class(c).String() + " latency")
+		r.res.ClassLatency[c].SetCap(cfg.LatencyCap)
 	}
 	installServers(sys, cfg)
 	if cfg.Arrival == ClosedLoop {

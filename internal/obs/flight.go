@@ -36,6 +36,8 @@ const (
 	FDeadlineExpired      // deadline-carrying work expired  A=peer  B=class
 	FBreakerTrip          // circuit breaker opened          A=peer  B=trip count
 	FBreakerClose         // circuit breaker closed          A=peer
+	FSLOAlert             // SLO burn-rate alert fired       A=fast burn x100  B=window quantile ns
+	FSLOClear             // SLO burn-rate alert cleared     A=fast burn x100
 	kindCount
 )
 
@@ -62,6 +64,8 @@ var kindNames = [kindCount]string{
 	FDeadlineExpired: "deadline-expired",
 	FBreakerTrip:     "breaker-trip",
 	FBreakerClose:    "breaker-close",
+	FSLOAlert:        "slo-alert",
+	FSLOClear:        "slo-clear",
 }
 
 // String returns the kind's display name.

@@ -1,0 +1,90 @@
+package slo
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// Streaming windowed quantile sketch. Latencies land in log-scaled
+// buckets — power-of-two octaves from 1us up, each split into four linear
+// sub-buckets — so a quantile estimate is the upper bound of the bucket at
+// the target rank: at most ~25% relative error, constant memory, and fully
+// deterministic (integer math only, no sampling). Bucket counts are kept
+// per window slice in a ring; the fast and slow windows are sums over the
+// most recent slices, so old traffic ages out without reprocessing.
+
+// numBuckets covers 1us..~18min in quarter-octave steps plus a catch-all
+// underflow bucket (index 0, < 1us) and an overflow bucket at the end.
+const numBuckets = 1 + 4*30 + 1
+
+// bucketOf maps a latency to its bucket index.
+func bucketOf(lat sim.Time) int {
+	us := int64(lat) / int64(sim.Microsecond)
+	if us < 1 {
+		return 0
+	}
+	oct := bits.Len64(uint64(us)) - 1
+	var sub int
+	switch {
+	case oct >= 2:
+		sub = int((us >> uint(oct-2)) & 3)
+	case oct == 1: // us in [2,3]: two values over four sub-buckets
+		sub = int(us-2) * 2
+	default: // us == 1
+		sub = 0
+	}
+	idx := 1 + 4*oct + sub
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketBound returns the inclusive upper latency bound of bucket idx —
+// the value quantile estimates report. Bounds are monotone in idx and
+// bucketBound(bucketOf(x)) >= x for every x below the overflow bucket.
+func bucketBound(idx int) sim.Time {
+	if idx <= 0 {
+		return sim.Microsecond
+	}
+	if idx >= numBuckets-1 {
+		return sim.Time(1) << 62
+	}
+	idx--
+	oct := idx / 4
+	sub := idx % 4
+	base := int64(1) << uint(oct) // microseconds
+	step := base / 4
+	if step == 0 {
+		step = 1
+	}
+	upper := base + int64(sub+1)*step
+	if max := base * 2; upper > max {
+		upper = max
+	}
+	return sim.Time(upper) * sim.Microsecond
+}
+
+// quantileOf walks summed bucket counts and returns the upper bound of
+// the bucket holding the rank-q sample (nearest rank over total samples).
+func quantileOf(counts *[numBuckets]int64, total int64, q float64) sim.Time {
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += counts[i]
+		if cum >= rank {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(numBuckets - 1)
+}

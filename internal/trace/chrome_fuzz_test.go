@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/sim"
+)
+
+// FuzzWriteChrome feeds adversarial component/layer/span names through the
+// Chrome trace-event exporter and checks the output is always valid JSON
+// with the expected event count. Names flow in from board and port labels,
+// so quoting bugs here would silently corrupt every exported trace.
+func FuzzWriteChrome(f *testing.F) {
+	f.Add("cab0", "app", "msg")
+	f.Add("qu\"ote", "back\\slash", "\"both\"\\")
+	f.Add("new\nline", "tab\there", "cr\rhere")
+	f.Add("\xff\xfe invalid utf8", "\x00nul", "\x80\x81")
+	f.Add("\u2028 line sep", "\u2029 para sep", "\ufeff bom")
+	f.Add("\u2028 line sep", "\u2029 para sep", "\ufeff bom")
+	f.Add("", "", "")
+	f.Add("</script>", "{\"inject\":1}", "]}',")
+	f.Fuzz(func(t *testing.T, comp, layer, name string) {
+		e := sim.NewEngine()
+		tr := NewTracer(e, 0)
+		e.At(0, func() {
+			root := tr.Start(nil, layer, comp, name)
+			child := root.Child(LayerHub, comp+".p0", name)
+			child.EndAt(500)
+			root.EndAt(1000)
+			tr.Start(nil, layer, comp, name) // left open: clamped at export
+		})
+		e.RunUntil(2000)
+
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatalf("WriteChrome(%q, %q, %q): %v", comp, layer, name, err)
+		}
+		if !utf8.Valid(buf.Bytes()) {
+			t.Fatalf("export is not valid UTF-8 for inputs (%q, %q, %q)", comp, layer, name)
+		}
+		var file struct {
+			TraceEvents []struct {
+				Ph string `json:"ph"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+			t.Fatalf("export is not valid JSON for inputs (%q, %q, %q): %v\n%s",
+				comp, layer, name, err, buf.Bytes())
+		}
+		var complete int
+		for _, ev := range file.TraceEvents {
+			if ev.Ph == "X" {
+				complete++
+			}
+		}
+		if complete != 3 { // root, child, open span
+			t.Fatalf("%d complete events, want 3 (inputs %q, %q, %q)", complete, comp, layer, name)
+		}
+	})
+}

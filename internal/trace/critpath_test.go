@@ -60,6 +60,71 @@ func TestCriticalPathDecomposition(t *testing.T) {
 	}
 }
 
+// TestCriticalPathMulticastTree decomposes a multicast-shaped tree: one
+// send, one fiber up to the HUB, then a three-way crossbar fan-out where
+// each branch has its own output port, fiber, and receive processing. The
+// branches overlap in wall time (the HUB copies the packet to every output
+// register in the same cycle), which is exactly where attribution and
+// timeline diverge: per-port queue/service must SUM across branches (each
+// port really spent that time), while same-layer receive software on the
+// three destinations must UNION (it is concurrent, not serial).
+func TestCriticalPathMulticastTree(t *testing.T) {
+	e := sim.NewEngine()
+	tr := NewTracer(e, 0)
+	root := tr.Start(nil, LayerColl, "cab0", "coll:bcast")
+	send := root.ChildAt(0, LayerDatalink, "cab0", "dl-send-packet")
+	send.EndAt(100)
+	up := root.ChildAt(100, LayerFiber, "cab0->hub0", "tx")
+	up.EndAt(200)
+	// Fan-out: three output ports, all starting together at 200. Port 3 is
+	// congested (400 beyond the 50 service), the others go straight through.
+	ports := []struct {
+		comp string
+		end  sim.Time
+	}{{"hub0.p1", 250}, {"hub0.p2", 250}, {"hub0.p3", 650}}
+	for _, p := range ports {
+		h := root.ChildAt(200, LayerHub, p.comp, "xbar")
+		h.EndAt(p.end)
+		f := root.ChildAt(p.end, LayerFiber, p.comp+"->", "tx")
+		f.EndAt(p.end + 100)
+		// Receiver processing overlaps across destinations: all three dl-recv
+		// spans share [350, 450] wall time (they run on different CABs).
+		r := root.ChildAt(350, LayerDatalink, "dst-recv", "dl-recv")
+		r.EndAt(450)
+	}
+	root.EndAt(800)
+
+	pb := CriticalPath(tr, root, 50)
+	if pb.Total != 800 {
+		t.Fatalf("Total = %v, want 800", pb.Total)
+	}
+	// Port time sums across the fan-out: 3 x 50 service, 400 queue on p3.
+	if pb.Service != 150 || pb.Queue != 400 {
+		t.Fatalf("service/queue = %v/%v, want 150/400", pb.Service, pb.Queue)
+	}
+	// Propagation sums per fiber: 100 up + 3 x 100 down.
+	if pb.Propagation != 400 {
+		t.Fatalf("propagation = %v, want 400", pb.Propagation)
+	}
+	// Software: send [0,100] + receive union [350,450] (NOT 100 + 3x100).
+	if pb.Software != 200 {
+		t.Fatalf("software = %v, want 200 (concurrent receives must union)", pb.Software)
+	}
+	// Each port appears as its own slice; the congested branch wins MaxQueue.
+	hubComps := map[string]bool{}
+	for _, s := range pb.Slices {
+		if s.Kind == PathService {
+			hubComps[s.Comp] = true
+		}
+	}
+	if len(hubComps) != 3 {
+		t.Fatalf("hub fan-out comps = %v, want 3 ports", hubComps)
+	}
+	if mq := pb.MaxQueue(); mq.Comp != "hub0.p3" || mq.Time != 400 {
+		t.Fatalf("MaxQueue = %+v, want hub0.p3/400", mq)
+	}
+}
+
 func TestCriticalPathNilSafe(t *testing.T) {
 	if CriticalPath(nil, nil, 50) != nil {
 		t.Fatal("nil tracer should yield nil breakdown")

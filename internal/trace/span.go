@@ -48,6 +48,16 @@ type Span struct {
 	start sim.Time
 	end   sim.Time
 	ended bool
+
+	// errFlag marks the tree anomalous (set on the root by MarkError);
+	// the tail sampler always retains errored trees.
+	errFlag bool
+	// tag classifies a root span for per-class tail-sampling bounds (the
+	// transport stamps the wire protocol byte; 0 = untagged).
+	tag uint8
+	// tailMark records the tail sampler's verdict on a root: 0 undecided,
+	// tailKept retained, tailDropped discarded (late children follow it).
+	tailMark int8
 }
 
 // ID returns the span's tracer-unique id (0 for nil).
@@ -142,7 +152,9 @@ func (s *Span) End() {
 
 // EndAt closes the span at t (which may be in the simulated future: hardware
 // pipelines know their completion time when the transfer starts). Closing an
-// already-closed span extends it if t is later.
+// already-closed span extends it if t is later. The first close of a root
+// span is the tail sampler's decision point: the buffered tree is retained
+// or discarded there (tail.go).
 func (s *Span) EndAt(t sim.Time) {
 	if s == nil {
 		return
@@ -150,10 +162,44 @@ func (s *Span) EndAt(t sim.Time) {
 	if t < s.start {
 		t = s.start
 	}
-	if !s.ended || t > s.end {
+	first := !s.ended
+	if first || t > s.end {
 		s.end = t
 		s.ended = true
 	}
+	if first && s.parent == nil && s.tr != nil && s.tr.tail != nil {
+		s.tr.tailDecide(s)
+	}
+}
+
+// MarkError flags the span's tree as anomalous (a drop, decode failure, or
+// protocol error happened somewhere along it). The flag lives on the root;
+// the tail sampler always retains errored trees that are still undecided.
+func (s *Span) MarkError() {
+	if s == nil {
+		return
+	}
+	s.Root().errFlag = true
+}
+
+// Errored reports whether the span's tree was marked anomalous.
+func (s *Span) Errored() bool { return s != nil && s.Root().errFlag }
+
+// SetTag classifies the span for per-class tail-sampling bounds (the
+// transport stamps root message spans with the wire protocol byte).
+func (s *Span) SetTag(tag uint8) {
+	if s == nil {
+		return
+	}
+	s.tag = tag
+}
+
+// Tag returns the span's classification tag (0 for nil or untagged).
+func (s *Span) Tag() uint8 {
+	if s == nil {
+		return 0
+	}
+	return s.tag
 }
 
 // Child opens a sub-span starting now. A nil receiver yields a nil child,
@@ -175,13 +221,19 @@ func (s *Span) ChildAt(at sim.Time, layer, comp, name string) *Span {
 }
 
 // Tracer collects spans in creation order. A nil *Tracer is valid and
-// records nothing.
+// records nothing. With tail-based sampling enabled (EnableTailSampling),
+// spans buffer per tree until the root closes, and only anomalous or
+// head-sampled trees are retained.
 type Tracer struct {
 	eng     *sim.Engine
 	limit   int
 	nextID  uint64
 	spans   []*Span
 	dropped int64
+
+	// tail is the tail-sampling state (tail.go); nil when disabled — the
+	// default, in which every span is retained up to limit.
+	tail *tailState
 }
 
 // NewTracer returns a tracer bound to the engine. limit bounds retained
@@ -209,14 +261,27 @@ func (t *Tracer) StartAt(parent *Span, at sim.Time, layer, comp, name string) *S
 }
 
 func (t *Tracer) start(parent *Span, layer, comp, name string, at sim.Time) *Span {
-	if t.limit > 0 && len(t.spans) >= t.limit {
+	if t.tail == nil && t.limit > 0 && len(t.spans) >= t.limit {
 		t.dropped++
 		return nil
 	}
 	t.nextID++
 	s := &Span{tr: t, parent: parent, id: t.nextID, layer: layer, comp: comp, name: name, start: at}
-	t.spans = append(t.spans, s)
+	if t.tail != nil {
+		t.tailAdmit(s)
+	} else {
+		t.spans = append(t.spans, s)
+	}
 	return s
+}
+
+// retain appends a span to the retained set, honoring the limit.
+func (t *Tracer) retain(s *Span) {
+	if t.limit > 0 && len(t.spans) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, s)
 }
 
 // Spans returns all retained spans in creation order.

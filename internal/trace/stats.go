@@ -14,8 +14,12 @@ import (
 )
 
 // Histogram accumulates sim.Time samples (latencies) and reports summary
-// statistics. Samples are retained exactly, so quantiles are exact; the
-// experiment harness uses modest sample counts.
+// statistics. By default samples are retained exactly, so quantiles are
+// exact; the experiment harness uses modest sample counts. Long fleet runs
+// can bound memory with SetCap: past the cap the retained set is decimated
+// deterministically (every other retained sample dropped, retention stride
+// doubled), trading quantile resolution for constant memory. Count, Min,
+// Max, and Mean stay exact either way.
 type Histogram struct {
 	name    string
 	samples []sim.Time
@@ -23,11 +27,46 @@ type Histogram struct {
 	sum     float64
 	min     sim.Time
 	max     sim.Time
+	adds    int64
+	// cap bounds retained samples (0: exact retention); stride is the
+	// current retention stride (record 1 in stride adds), doubling at
+	// every decimation.
+	cap    int
+	stride int64
 }
 
 // NewHistogram returns an empty histogram with a display name.
 func NewHistogram(name string) *Histogram {
 	return &Histogram{name: name, min: math.MaxInt64}
+}
+
+// SetCap bounds retained samples to at most cap (cap <= 0 restores exact
+// retention; already-retained samples are kept either way). When adds
+// overflow the cap, the retained set is decimated in place — every other
+// retained sample dropped, in current storage order — and the retention
+// stride doubles, so the histogram keeps a deterministic 1-in-stride
+// subsample from then on. Decimation is a pure function of the add
+// sequence: two runs that add the same samples in the same order retain
+// identical subsets.
+func (h *Histogram) SetCap(cap int) {
+	if h == nil {
+		return
+	}
+	if cap < 0 {
+		cap = 0
+	}
+	h.cap = cap
+	if cap > 0 && h.stride == 0 {
+		h.stride = 1
+	}
+}
+
+// Cap returns the retained-sample bound (0: exact retention).
+func (h *Histogram) Cap() int {
+	if h == nil {
+		return 0
+	}
+	return h.cap
 }
 
 // Name returns the histogram's display name.
@@ -44,8 +83,7 @@ func (h *Histogram) Add(v sim.Time) {
 	if h == nil {
 		return
 	}
-	h.samples = append(h.samples, v)
-	h.sorted = false
+	h.adds++
 	h.sum += float64(v)
 	if v < h.min {
 		h.min = v
@@ -53,6 +91,30 @@ func (h *Histogram) Add(v sim.Time) {
 	if v > h.max {
 		h.max = v
 	}
+	if h.cap > 0 {
+		if (h.adds-1)%h.stride != 0 {
+			return // not selected by the current stride
+		}
+		if len(h.samples) >= h.cap {
+			h.decimate()
+			if (h.adds-1)%h.stride != 0 {
+				return // no longer selected under the doubled stride
+			}
+		}
+	}
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// decimate drops every other retained sample (in current storage order)
+// and doubles the retention stride.
+func (h *Histogram) decimate() {
+	kept := h.samples[:0]
+	for i := 0; i < len(h.samples); i += 2 {
+		kept = append(kept, h.samples[i])
+	}
+	h.samples = kept
+	h.stride *= 2
 }
 
 // Samples returns the recorded samples in insertion order (or sorted, if a
@@ -78,8 +140,18 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// Count returns the number of samples.
+// Count returns the number of samples added (exact even when a cap has
+// decimated the retained set).
 func (h *Histogram) Count() int {
+	if h == nil {
+		return 0
+	}
+	return int(h.adds)
+}
+
+// Retained returns how many samples are actually held (== Count unless a
+// cap has decimated the set).
+func (h *Histogram) Retained() int {
 	if h == nil {
 		return 0
 	}
@@ -102,12 +174,13 @@ func (h *Histogram) Max() sim.Time {
 	return h.max
 }
 
-// Mean returns the arithmetic mean (0 if empty).
+// Mean returns the arithmetic mean (0 if empty). It is exact even when a
+// cap has decimated the retained set: the running sum covers every add.
 func (h *Histogram) Mean() sim.Time {
-	if h == nil || len(h.samples) == 0 {
+	if h == nil || h.adds == 0 {
 		return 0
 	}
-	return sim.Time(h.sum / float64(len(h.samples)))
+	return sim.Time(h.sum / float64(h.adds))
 }
 
 // Quantile returns the q-quantile using the nearest-rank method. q is

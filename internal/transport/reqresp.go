@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/trace"
 )
 
@@ -16,11 +17,12 @@ import (
 
 // pendingReq tracks a client-side outstanding request.
 type pendingReq struct {
-	cond *kernel.Cond
-	dst  int
-	resp []byte
-	done bool
-	err  error // fatal failure (peer dead, local crash); set out of band
+	cond    *kernel.Cond
+	dst     int
+	resp    []byte
+	done    bool
+	err     error  // fatal failure (peer dead, local crash); set out of band
+	traceID uint64 // root span id of the request's trace tree (0 untraced)
 }
 
 // ErrTimeout is returned when a request exhausts its retries.
@@ -44,13 +46,21 @@ func (t *Transport) Request(th *kernel.Thread, dst int, dstBox, srcBox uint16, d
 // RequestOpts is Request with a priority class and deadline. With overload
 // control armed the operation passes sender-side admission first and can
 // fail fast with ErrOverload or ErrDeadlineExpired; the class and deadline
-// ride the wire header to the server.
+// ride the wire header to the server. The outcome — latency, success, and
+// the root trace id — is reported to the SLO engine when one is armed.
 func (t *Transport) RequestOpts(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte, opts SendOpts) ([]byte, error) {
+	start := t.k.Engine().Now()
+	resp, traceID, err := t.requestOpts(th, dst, dstBox, srcBox, data, opts)
+	t.observe(slo.KindReqResp, opts.Class, start, err == nil, traceID)
+	return resp, err
+}
+
+func (t *Transport) requestOpts(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte, opts SendOpts) ([]byte, uint64, error) {
 	if err := t.admit(dst, opts); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := t.peerGate(dst); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	t.nextReq++
 	reqID := t.nextReq
@@ -76,14 +86,14 @@ func (t *Transport) RequestOpts(th *kernel.Thread, dst int, dstBox, srcBox uint1
 			// Deadline check at the retransmit queueing point: expired
 			// requests are not worth another round trip.
 			if err := t.expireCheck(dst, opts); err != nil {
-				return nil, err
+				return nil, pend.traceID, err
 			}
 			t.stats.Retransmits++
 			t.fr.Note(obs.FRetransmit, t.frName, int64(dst), int64(attempt))
 			t.fl.Retrans(t.self, dst, byte(ProtoRequest))
 		}
 		if err := t.sendData(th, dst, wire, opts); err != nil {
-			return nil, err
+			return nil, pend.traceID, err
 		}
 		wait := backoffWait(t.params.ReqTimeout, t.params.BackoffCap, attempt, t.self, dst, reqID)
 		deadline := t.k.Engine().Now() + wait
@@ -94,13 +104,13 @@ func (t *Transport) RequestOpts(th *kernel.Thread, dst int, dstBox, srcBox uint1
 			}
 		}
 		if pend.done {
-			return pend.resp, nil
+			return pend.resp, pend.traceID, nil
 		}
 		if pend.err != nil {
-			return nil, pend.err
+			return nil, pend.traceID, pend.err
 		}
 	}
-	return nil, &ErrTimeout{Dst: dst, ReqID: reqID}
+	return nil, pend.traceID, &ErrTimeout{Dst: dst, ReqID: reqID}
 }
 
 // recvRequest handles an arriving request at the server (interrupt level).
@@ -144,6 +154,14 @@ func (t *Transport) Respond(th *kernel.Thread, req *kernel.Message, data []byte)
 	delete(t.inflight, key)
 	t.cacheResponse(key, wire)
 	t.stats.Responses++
+	// Chain the response into the request's trace tree: with the request's
+	// root as the thread span, sendWire creates the response message span
+	// as a child, so the whole RPC is one causality tree. The tail sampler
+	// decides the tree at the request's delivery (its first root close) and
+	// late response spans follow that verdict; the client's SLO exemplar
+	// (the root id it sees at recvResponse) then names the same tree.
+	prev := th.SetSpan(req.Span)
+	defer th.SetSpan(prev)
 	return t.sendData(th, int(req.Src), wire, SendOpts{Class: Class(req.Class)})
 }
 
@@ -171,6 +189,12 @@ func (t *Transport) recvResponse(h *Header, payload []byte, sp *trace.Span) {
 	pend.resp = append([]byte(nil), payload...)
 	pend.done = true
 	t.noteSuccess(pend.dst)
+	pend.traceID = sp.Root().ID()
+	// The response message span is an ancestor of the wire span here, a
+	// child of the request's root (Respond chains it). Close any still-open
+	// ancestors, then extend the RPC root to the response's arrival so the
+	// root spans the full round trip.
+	t.endOpenAncestors(sp)
 	sp.Root().End()
 	pend.cond.Broadcast()
 }

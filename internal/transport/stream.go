@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/trace"
 )
 
@@ -92,8 +93,16 @@ func (t *Transport) StreamSend(th *kernel.Thread, dst int, dstBox, srcBox uint16
 // StreamSendOpts is StreamSend with a priority class and deadline. With
 // overload control armed the message passes sender-side admission first
 // (ErrOverload / ErrDeadlineExpired fast-fail) and every fragment carries
-// the class and deadline on the wire.
+// the class and deadline on the wire. The outcome is reported to the SLO
+// engine when one is armed (streams carry no response, so no trace id).
 func (t *Transport) StreamSendOpts(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte, opts SendOpts) error {
+	start := t.k.Engine().Now()
+	err := t.streamSendOpts(th, dst, dstBox, srcBox, data, opts)
+	t.observe(slo.KindStream, opts.Class, start, err == nil, 0)
+	return err
+}
+
+func (t *Transport) streamSendOpts(th *kernel.Thread, dst int, dstBox, srcBox uint16, data []byte, opts SendOpts) error {
 	if err := t.admit(dst, opts); err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package transport
 import (
 	"repro/internal/obs"
 	"repro/internal/obs/flow"
+	"repro/internal/obs/slo"
+	"repro/internal/sim"
 )
 
 // Continuous-telemetry hooks (package obs). The transport exposes pull
@@ -24,6 +26,21 @@ func (t *Transport) SetFlightRecorder(fr *obs.FlightRecorder) {
 // bypass the datalink — are accounted here so every frame shows up exactly
 // once.
 func (t *Transport) SetFlowTable(fl *flow.Table) { t.fl = fl }
+
+// SetSLO arms per-operation outcome reporting into the SLO engine: every
+// reliable operation (request, stream message, VMTP transaction) reports
+// its kind, priority class, end-to-end latency, and success.
+func (t *Transport) SetSLO(e *slo.Engine) { t.slo = e }
+
+// observe reports one finished reliable operation to the SLO engine.
+// traceID is the root span id of the operation's span tree (0 untraced),
+// letting the engine exemplar latency buckets with retained traces.
+func (t *Transport) observe(kind slo.OpKind, class Class, start sim.Time, ok bool, traceID uint64) {
+	if t.slo == nil {
+		return
+	}
+	t.slo.Observe(kind, uint8(class), t.k.Engine().Now()-start, ok, traceID)
+}
 
 // opStart marks a reliable operation (request, stream message, VMTP
 // transaction) entering flight.

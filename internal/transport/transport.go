@@ -7,6 +7,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/obs/flow"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -144,6 +145,9 @@ type Transport struct {
 	completedOps int64
 	// fl is the system flow table (nil when the observatory is off).
 	fl *flow.Table
+	// slo receives per-operation outcomes (nil when the SLO engine is
+	// off; the hot path is one pointer compare).
+	slo *slo.Engine
 
 	// ovl is the overload-control state (overload.go); nil when the
 	// subsystem is disabled, and every hook nil-checks it.
@@ -288,6 +292,9 @@ func (t *Transport) sendWire(th *kernel.Thread, dst int, wire []byte) error {
 	var sp *trace.Span
 	if tr := t.k.Tracer(); tr != nil {
 		sp = tr.Start(th.Span(), trace.LayerApp, t.k.Board().Name(), "msg")
+		// Stamp the wire protocol byte so the tail sampler can apply
+		// per-class latency bounds (only consulted on root spans).
+		sp.SetTag(wire[0])
 		prev := th.SetSpan(sp)
 		defer th.SetSpan(prev)
 	}
@@ -333,6 +340,7 @@ func (t *Transport) handlePacket(wire []byte, sp *trace.Span) {
 			// Damaged or malformed: drop; peers recover by
 			// retransmission where the protocol provides it.
 			t.stats.ChecksumDrops++
+			rsp.MarkError()
 			return
 		}
 		switch h.Proto {
@@ -370,11 +378,13 @@ func (t *Transport) deliver(h *Header, data []byte, sp *trace.Span) bool {
 	mb := t.boxes[h.DstBox]
 	if mb == nil {
 		t.stats.MailboxDrops++
+		t.markDeliveryError(h, sp)
 		return false
 	}
 	msg, ok := mb.TryPut(data, int(h.Src), h.MsgID)
 	if !ok {
 		t.stats.MailboxDrops++
+		t.markDeliveryError(h, sp)
 		return false
 	}
 	msg.SrcBox = h.SrcBox
@@ -384,6 +394,30 @@ func (t *Transport) deliver(h *Header, data []byte, sp *trace.Span) bool {
 	msg.Span = sp.Root()
 	sp.Root().End()
 	return true
+}
+
+// endOpenAncestors closes every still-open span from sp up to the root —
+// the delivery point of a message whose spans were chained onto another
+// tree (a response onto its request's root), where the message span is no
+// longer the root that delivery would otherwise close. Ended ancestors are
+// left alone (End would extend them).
+func (t *Transport) endOpenAncestors(sp *trace.Span) {
+	for a := sp; a != nil; a = a.Parent() {
+		if !a.Ended() {
+			a.End()
+		}
+	}
+}
+
+// markDeliveryError flags a dropped delivery's trace tree as anomalous —
+// but only for reliable protocols, where a mailbox drop forces a
+// retransmission round. Datagram loss is expected behavior ("applications
+// that can tolerate or recover from lost packets"), not an anomaly worth
+// retaining a trace for.
+func (t *Transport) markDeliveryError(h *Header, sp *trace.Span) {
+	if h.Proto != ProtoDatagram {
+		sp.MarkError()
+	}
 }
 
 func (t *Transport) recvDatagram(h *Header, payload []byte, sp *trace.Span) {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -96,6 +97,7 @@ type vmtpPending struct {
 	err     error  // fatal failure (peer dead, local crash); set out of band
 	ackMask uint32 // request packets the server has confirmed
 	reqPkts uint32
+	traceID uint64 // root span id of the transaction's trace tree (0 untraced)
 }
 
 // vmtpState is lazily created per transport.
@@ -161,16 +163,24 @@ func (t *Transport) VTransact(th *kernel.Thread, dst int, dstBox, srcBox uint16,
 
 // VTransactOpts is VTransact with a priority class and deadline (the
 // per-packet deadline extension slightly lowers the group's payload
-// ceiling).
+// ceiling). The outcome — latency, success, and the root trace id — is
+// reported to the SLO engine when one is armed.
 func (t *Transport) VTransactOpts(th *kernel.Thread, dst int, dstBox, srcBox uint16, req []byte, opts SendOpts) ([]byte, error) {
+	start := t.k.Engine().Now()
+	resp, traceID, err := t.vtransactOpts(th, dst, dstBox, srcBox, req, opts)
+	t.observe(slo.KindVMTP, opts.Class, start, err == nil, traceID)
+	return resp, err
+}
+
+func (t *Transport) vtransactOpts(th *kernel.Thread, dst int, dstBox, srcBox uint16, req []byte, opts SendOpts) ([]byte, uint64, error) {
 	if len(req) > MaxGroupPackets*maxSeg(opts.Deadline) {
-		return nil, fmt.Errorf("transport: request exceeds the %d-byte transaction limit", MaxGroupPackets*maxSeg(opts.Deadline))
+		return nil, 0, fmt.Errorf("transport: request exceeds the %d-byte transaction limit", MaxGroupPackets*maxSeg(opts.Deadline))
 	}
 	if err := t.admit(dst, opts); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := t.peerGate(dst); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	vm := t.vmtp()
 	vm.nextTxn++
@@ -200,7 +210,7 @@ func (t *Transport) VTransactOpts(th *kernel.Thread, dst int, dstBox, srcBox uin
 		return nil
 	}
 	if err := send(0); err != nil {
-		return nil, err
+		return nil, pend.traceID, err
 	}
 	for attempt := 0; attempt <= vm.params.Retries; attempt++ {
 		wait := backoffWait(vm.params.ClientTimeout, t.params.BackoffCap, attempt, t.self, dst, txn)
@@ -212,22 +222,22 @@ func (t *Transport) VTransactOpts(th *kernel.Thread, dst int, dstBox, srcBox uin
 			}
 		}
 		if pend.done {
-			return pend.resp.assemble(), nil
+			return pend.resp.assemble(), pend.traceID, nil
 		}
 		if pend.err != nil {
-			return nil, pend.err
+			return nil, pend.traceID, pend.err
 		}
 		// Deadline check at the retransmit queueing point.
 		if err := t.expireCheck(dst, opts); err != nil {
-			return nil, err
+			return nil, pend.traceID, err
 		}
 		t.stats.Retransmits++
 		t.fl.Retrans(t.self, dst, byte(ProtoVSend))
 		if err := send(pend.ackMask); err != nil {
-			return nil, err
+			return nil, pend.traceID, err
 		}
 	}
-	return nil, &ErrTimeout{Dst: dst, ReqID: txn}
+	return nil, pend.traceID, &ErrTimeout{Dst: dst, ReqID: txn}
 }
 
 // VRespond answers a transaction previously delivered to a server mailbox.
@@ -251,6 +261,11 @@ func (t *Transport) VRespond(th *kernel.Thread, req *kernel.Message, data []byte
 		delete(vm.cache, evict)
 	}
 	t.stats.Responses++
+	// Chain the response group into the transaction's trace tree (see
+	// Respond): the client's SLO exemplar then names the request tree the
+	// tail sampler actually decided on.
+	prev := th.SetSpan(req.Span)
+	defer th.SetSpan(prev)
 	for _, w := range wires {
 		if err := t.sendData(th, int(req.Src), w, ropts); err != nil {
 			return err
@@ -347,6 +362,10 @@ func (t *Transport) recvVResp(h *Header, payload []byte, sp *trace.Span) {
 		pend.resp.cancelTimer()
 		pend.done = true
 		t.noteSuccess(pend.dst)
+		pend.traceID = sp.Root().ID()
+		// See recvResponse: close the chained response-leg spans, extend
+		// the transaction root to cover the full round trip.
+		t.endOpenAncestors(sp)
 		sp.Root().End()
 		pend.cond.Broadcast()
 	}

@@ -80,6 +80,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/nectarine"
 	"repro/internal/node"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -265,6 +266,54 @@ const (
 // DefaultOverloadParams returns the enabled overload-control parameter set
 // (documented defaults fill the rest).
 func DefaultOverloadParams() OverloadParams { return transport.DefaultOverloadParams() }
+
+// SLO engine (default-off). When armed with WithSLO, the transport reports
+// every reliable operation's outcome (kind, priority class, latency,
+// success) to a deterministic engine evaluated in virtual time: declared
+// objectives get streaming windowed quantile sketches, error budgets, and
+// multi-window (fast/slow) burn rates; breaching both windows fires a
+// deterministic alert carrying a diagnosis bundle — the worst retained
+// trace trees with critical-path attribution, top flows, the hottest
+// weathermap port, and the flight-recorder window. Pairs with tail-based
+// span sampling (WithTailSampling, derived automatically from the
+// objectives): only anomalous, SLO-breaching, or head-sampled trace trees
+// are retained, so tracing stays affordable at fleet scale.
+type (
+	// SLOParams configures the SLO engine: objectives plus window and
+	// burn-rate tuning.
+	SLOParams = slo.Params
+	// SLOObjective is one declared objective ("reqresp critical: p99 <
+	// 2ms, success >= 99.9% over a 50ms window").
+	SLOObjective = slo.Objective
+	// SLOEngine is the armed engine (System.SLO): status, the alert
+	// stream, and captured diagnosis bundles.
+	SLOEngine = slo.Engine
+	// SLOAlert is one burn-rate alert (or its clear).
+	SLOAlert = slo.Alert
+	// SLOBundle is one captured diagnosis artifact.
+	SLOBundle = slo.Bundle
+	// TailConfig parameterizes tail-based span sampling.
+	TailConfig = trace.TailConfig
+)
+
+// SLO operation kinds (SLOObjective.Kind) and the match-any class.
+const (
+	SLOReqResp  = slo.KindReqResp
+	SLOStream   = slo.KindStream
+	SLOVMTP     = slo.KindVMTP
+	SLOAnyClass = slo.AnyClass
+)
+
+// WithSLO arms the SLO engine with the declared objectives, plus the
+// evidence plane its diagnosis bundles draw on: the flight recorder, flow
+// accounting, and tail-sampled span tracing with per-protocol latency
+// bounds derived from the objectives.
+func WithSLO(sp SLOParams) Option { return core.WithSLO(sp) }
+
+// WithTailSampling arms tail-based span sampling with an explicit config
+// (WithSLO derives one automatically; use this for standalone sampling or
+// to override the derived bounds).
+func WithTailSampling(cfg TailConfig) Option { return core.WithTailSampling(cfg) }
 
 // WithOverloadControl arms the overload-control subsystem: priority
 // classes, deadline propagation, admission control, and circuit breaking.
