@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/fiber"
@@ -41,7 +42,7 @@ func main() {
 		size      = flag.Int("size", 256, "message size in bytes")
 		ber       = flag.Float64("ber", 0, "fiber bit error rate (per byte)")
 		senders   = flag.Int("senders", 1, "concurrent sending CABs (all target CAB 0)")
-		chaos     = flag.String("chaos", "", "chaos scenario: linkflap | corruption | portstuck | crash | storm | overload | random (runs a fault-injected mesh; exits 1 on any undelivered message, or for overload on a critical-class SLO violation)")
+		chaos     = flag.String("chaos", "", "chaos scenario: linkflap | corruption | portstuck | crash | storm | overload | comb | random (runs a fault-injected mesh; exits 1 on any undelivered message, for overload on a critical-class SLO violation, or for comb on any inexact collective result)")
 		seed      = flag.Int64("seed", 1, "chaos scenario seed (runs are byte-reproducible per seed)")
 		dump      = flag.String("dump", "", "chaos only: also write the flight-recorder post-mortem to this file")
 		listen    = flag.String("listen", "", "serve Prometheus metrics on this address during the run, then keep serving the final snapshot until interrupted")
@@ -51,6 +52,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *chaos == "comb" {
+		os.Exit(runCombChaos(*seed, *rows, *cols, *msgs, *dump))
+	}
 	if *chaos != "" {
 		os.Exit(runChaos(*chaos, *seed, *rows, *cols, *msgs, *dump))
 	}
@@ -448,5 +452,105 @@ func runChaos(name string, seed int64, rows, cols, msgs int, dumpPath string) in
 		return 0
 	}
 	fmt.Println("PASS: all messages delivered after automatic recovery")
+	return 0
+}
+
+// runCombChaos is the combining-under-link-flaps chaos smoke: every CAB of
+// a mesh joins one collective group forced onto the HUB-combining
+// algorithm, an inter-hub link flaps while allreduces and barriers stream
+// through it, and each iteration's result is checked for exactness. Slots
+// that lose a contributor must degrade to the endpoint fold without
+// double-counting, so any inexact sum — or any rank that never finishes —
+// exits 1. dumpPath, when set, receives the flight-recorder post-mortem
+// whatever the outcome.
+func runCombChaos(seed int64, rows, cols, iters int, dumpPath string) int {
+	if rows < 2 {
+		rows = 2
+	}
+	if cols < 2 {
+		cols = 2
+	}
+	sys := core.New(core.Mesh(rows, cols, 2),
+		core.WithMetrics(), core.WithFaultRecovery(),
+		core.WithFlightRecorder(), core.WithHubCombining())
+	n := sys.NumCABs()
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	g := coll.NewGroup(sys, 1, members, coll.WithAlgorithm("comb"), coll.WithMaxRetries(16))
+
+	sc := fault.Scenario{Name: "comb", Actions: []fault.Action{
+		fault.LinkFlap{A: 0, B: 1, At: 2 * sim.Millisecond, Duration: 1500 * sim.Microsecond},
+	}}
+	inj := fault.New(sys, sc)
+	inj.Schedule()
+
+	fmt.Printf("chaos comb (seed %d): %dx%d mesh, %d CABs all in one combining group, %d iterations\n",
+		seed, rows, cols, n, iters)
+	for _, a := range sc.Actions {
+		fmt.Printf("  inject: %v\n", a)
+	}
+
+	wantSum := int64(n) * int64(n+1) / 2
+	errs := make([]error, n)
+	done := make([]bool, n)
+	for r := 0; r < n; r++ {
+		r := r
+		c := g.Member(r)
+		sys.CAB(g.CABOf(r)).Kernel.Spawn(fmt.Sprintf("comb-member-%d", r), func(th *kernel.Thread) {
+			for i := 0; i < iters; i++ {
+				th.Sleep(500 * sim.Microsecond)
+				in := coll.Int64Bytes([]int64{int64(r + 1), int64(i)})
+				out, err := c.Allreduce(th, coll.SumInt64, in)
+				if err != nil {
+					errs[r] = fmt.Errorf("iter %d allreduce: %w", i, err)
+					return
+				}
+				vals := coll.BytesInt64(out)
+				if vals[0] != wantSum || vals[1] != int64(n*i) {
+					errs[r] = fmt.Errorf("iter %d: inexact result %v, want [%d %d]", i, vals, wantSum, n*i)
+					return
+				}
+				if err := c.Barrier(th); err != nil {
+					errs[r] = fmt.Errorf("iter %d barrier: %w", i, err)
+					return
+				}
+			}
+			done[r] = true
+		})
+	}
+	sys.RunUntil(chaosHorizon)
+	sys.StopProbers()
+
+	fmt.Printf("\nhub_combined=%d fallback=%d; links failed=%d restored=%d\n",
+		sys.Reg.Counter("coll.comb.hub_combined").Value(),
+		sys.Reg.Counter("coll.comb.fallback").Value(),
+		sys.Reg.Counter("net.links_failed").Value(),
+		sys.Reg.Counter("net.links_restored").Value())
+	if c := inj.DetectLatency().Count(); c > 0 {
+		fmt.Printf("fault detection: %d event(s), mean latency %v\n", c, inj.DetectLatency().Mean())
+	}
+
+	if dumpPath != "" {
+		if err := os.WriteFile(dumpPath, []byte(sys.FR.PostMortem()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dump:", err)
+		}
+	}
+	fail := false
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: rank %d: %v\n", r, errs[r])
+			fail = true
+		} else if !done[r] {
+			fmt.Fprintf(os.Stderr, "FAIL: rank %d never completed\n", r)
+			fail = true
+		}
+	}
+	if fail {
+		sys.FR.Dump(os.Stderr)
+		return 1
+	}
+	fmt.Println("PASS: every collective result exact across the link flap")
 	return 0
 }

@@ -12,20 +12,26 @@ import (
 // the same seq). Multi-round algorithms add the round index to a base;
 // bases are spaced 0x300 apart, far above MaxMembers rounds.
 const (
-	rBcast   uint16 = 0x01
-	rReduce  uint16 = 0x02
-	rGather  uint16 = 0x03
-	rScatter uint16 = 0x04
-	rBarUp   uint16 = 0x05
-	rBarRel  uint16 = 0x06
-	rAck     uint16 = 0x07
-	rFoldIn  uint16 = 0x10
-	rFoldOut uint16 = 0x11
-	rRD      uint16 = 0x300 // + bit index
-	rRingRS  uint16 = 0x600 // + ring step
-	rRingAG  uint16 = 0x900 // + ring step
-	rA2A     uint16 = 0xC00 // + rank offset
-	rDissem  uint16 = 0xF00 // + dissemination round
+	rBcast    uint16 = 0x01
+	rReduce   uint16 = 0x02
+	rGather   uint16 = 0x03
+	rScatter  uint16 = 0x04
+	rBarUp    uint16 = 0x05
+	rBarRel   uint16 = 0x06
+	rAck      uint16 = 0x07
+	rFoldIn   uint16 = 0x10
+	rFoldOut  uint16 = 0x11
+	rCombFix  uint16 = 0x12   // combining fallback: local fold to the hub leader
+	rCombRes  uint16 = 0x13   // combining: leader -> local members distribution
+	rCombUp   uint16 = 0x14   // combining: leader power-of-two fold in
+	rCombDown uint16 = 0x15   // combining: leader power-of-two fold out
+	rRD       uint16 = 0x300  // + bit index
+	rRingRS   uint16 = 0x600  // + ring step
+	rRingAG   uint16 = 0x900  // + ring step
+	rA2A      uint16 = 0xC00  // + rank offset
+	rDissem   uint16 = 0xF00  // + dissemination round
+	rCombBar  uint16 = 0x1200 // + leader dissemination round
+	rCombRD   uint16 = 0x1500 // + leader recursive-doubling bit
 )
 
 // algo is a resolved algorithm family.
@@ -37,6 +43,7 @@ const (
 	aRD
 	aRing
 	aMcast
+	aComb
 )
 
 func algoName(a algo) string {
@@ -49,6 +56,8 @@ func algoName(a algo) string {
 		return "ring"
 	case aMcast:
 		return "mcast"
+	case aComb:
+		return "comb"
 	default:
 		return "auto"
 	}
@@ -66,15 +75,32 @@ func parseAlgo(s string) (algo, error) {
 		return aRing, nil
 	case "mcast":
 		return aMcast, nil
+	case "comb":
+		return aComb, nil
 	}
-	return 0, fmt.Errorf("coll: unknown algorithm %q (want tree, rd, ring, mcast, or auto)", s)
+	return 0, fmt.Errorf("coll: unknown algorithm %q (want tree, rd, ring, mcast, comb, or auto)", s)
 }
 
 // pick resolves the algorithm for one operation family. Forced families
-// degrade gracefully: "mcast" without hardware-multicast capability (or
-// "ring" for an operation with no ring variant) falls back to the
-// closest usable algorithm, so an override can never wedge a group.
-func (g *Group) pick(fam string, size int) algo {
+// degrade gracefully: "mcast" without hardware-multicast capability,
+// "comb" without combining-capable HUBs (or "ring" for an operation with
+// no ring variant) fall back to the closest usable algorithm, so an
+// override can never wedge a group.
+//
+// op is the reduction operator for reducing families (nil otherwise). A
+// non-commutative operator is rejected from the rank-order-dependent
+// families: rd, ring, and comb all fold contributions in an order that
+// depends on rank layout, so forcing one of them panics, and auto
+// selection routes to the tree (which folds in ascending rank order, safe
+// for any associative operator).
+func (g *Group) pick(fam string, size int, op *Op) algo {
+	if op != nil && !op.Commutative {
+		switch g.algo {
+		case aRD, aRing, aComb:
+			panic(fmt.Sprintf("nectar: coll: operator %q is not commutative, but the group forces the %q algorithm, which combines contributions in a rank-dependent order; use tree (or auto) for non-commutative operators",
+				op.Name, algoName(g.algo)))
+		}
+	}
 	var a algo
 	switch fam {
 	case "bcast":
@@ -89,8 +115,22 @@ func (g *Group) pick(fam string, size int) algo {
 			a = aTree
 		case aRD, aRing:
 			a = aRD
-		default: // auto, mcast
+		case aComb:
+			if g.comb.enabled {
+				a = aComb
+			} else {
+				a = aRD
+			}
+		case aMcast:
 			if g.mcastOK {
+				a = aMcast
+			} else {
+				a = aRD
+			}
+		default: // auto: combining beats a software barrier when armed
+			if g.comb.enabled {
+				a = aComb
+			} else if g.mcastOK {
 				a = aMcast
 			} else {
 				a = aRD
@@ -110,14 +150,33 @@ func (g *Group) pick(fam string, size int) algo {
 			} else {
 				a = aRD
 			}
-		default:
-			if size <= g.smallMax {
+		case aComb:
+			if g.combEligible(op, size) {
+				a = aComb
+			} else if size <= g.smallMax {
 				a = aRD
 			} else {
 				a = aRing
 			}
+		default:
+			switch {
+			case op != nil && !op.Commutative:
+				a = aTree
+			case g.combEligible(op, size):
+				a = aComb
+			case size <= g.smallMax:
+				a = aRD
+			default:
+				a = aRing
+			}
 		}
-	default: // reduce, gather, scatter, alltoall: tree / pairwise only
+	case "reduce":
+		if (g.algo == aAuto || g.algo == aComb) && g.combEligible(op, size) {
+			a = aComb
+		} else {
+			a = aTree
+		}
+	default: // gather, scatter, alltoall: tree / pairwise only
 		a = aTree
 	}
 	g.reg.Counter("coll." + fam + ".algo." + algoName(a)).Inc()
@@ -156,7 +215,9 @@ func (c *Comm) Barrier(th *kernel.Thread) error {
 		if c.g.n == 1 {
 			return nil
 		}
-		switch c.g.pick("barrier", 0) {
+		switch c.g.pick("barrier", 0, nil) {
+		case aComb:
+			return c.combBarrier(th, seq)
 		case aMcast:
 			if _, err := c.treeReduce(th, seq, 0, noop, rBarUp, []byte{0}); err != nil {
 				return err
@@ -187,7 +248,7 @@ func (c *Comm) Bcast(th *kernel.Thread, root int, data []byte) (out []byte, err 
 			return nil
 		}
 		var e error
-		switch c.g.pick("bcast", len(data)) {
+		switch c.g.pick("bcast", len(data), nil) {
 		case aMcast:
 			out, e = c.mcastBcast(th, seq, root, rBcast, data)
 		default:
@@ -210,7 +271,18 @@ func (c *Comm) Reduce(th *kernel.Thread, root int, op Op, data []byte) (out []by
 			return err
 		}
 		var e error
-		out, e = c.treeReduce(th, seq, root, op, rReduce, data)
+		switch c.g.pick("reduce", len(data), &op) {
+		case aComb:
+			// The combining path is an allreduce; honor the reduce
+			// contract by surfacing the result only at the root.
+			var all []byte
+			all, e = c.combAllreduce(th, seq, op, data)
+			if e == nil && c.rank == root {
+				out = all
+			}
+		default:
+			out, e = c.treeReduce(th, seq, root, op, rReduce, data)
+		}
 		return e
 	})
 	return out, err
@@ -230,7 +302,9 @@ func (c *Comm) Allreduce(th *kernel.Thread, op Op, data []byte) (out []byte, err
 			return nil
 		}
 		var e error
-		switch c.g.pick("allreduce", len(data)) {
+		switch c.g.pick("allreduce", len(data), &op) {
+		case aComb:
+			out, e = c.combAllreduce(th, seq, op, data)
 		case aRing:
 			out, e = c.ringAllreduce(th, seq, op, data)
 		case aTree, aMcast:
@@ -238,7 +312,7 @@ func (c *Comm) Allreduce(th *kernel.Thread, op Op, data []byte) (out []byte, err
 			if re != nil {
 				return re
 			}
-			if c.g.pick("bcast", len(data)) == aMcast {
+			if c.g.pick("bcast", len(data), nil) == aMcast {
 				out, e = c.mcastBcast(th, seq, 0, rBcast, red)
 			} else {
 				out, e = c.treeBcast(th, seq, 0, rBcast, red)
@@ -325,7 +399,7 @@ func (c *Comm) Allgather(th *kernel.Thread, data []byte) (out [][]byte, err erro
 			wire = encodeBundle(bun)
 		}
 		if c.g.n > 1 {
-			if c.g.pick("bcast", len(wire)) == aMcast {
+			if c.g.pick("bcast", len(wire), nil) == aMcast {
 				wire, e = c.mcastBcast(th, seq, 0, rBcast, wire)
 			} else {
 				wire, e = c.treeBcast(th, seq, 0, rBcast, wire)

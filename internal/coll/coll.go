@@ -74,6 +74,11 @@ type Group struct {
 	ackTimeout sim.Time
 	retries    int
 
+	// comb is the group's placement over combining-capable HUBs
+	// (combining.go); comb.enabled only when the system armed
+	// core.WithHubCombining.
+	comb combPlacement
+
 	tr  *trace.Tracer
 	reg *trace.Registry
 	fr  *obs.FlightRecorder
@@ -83,8 +88,11 @@ type Group struct {
 type Option func(*Group)
 
 // WithAlgorithm forces this group's algorithm family ("tree", "rd",
-// "ring", "mcast"; empty or "auto" restores automatic selection),
-// overriding the system-wide core.WithCollAlgorithm.
+// "ring", "mcast", "comb"; empty or "auto" restores automatic selection),
+// overriding the system-wide core.WithCollAlgorithm. "comb" selects HUB
+// in-network combining for reduce/allreduce/barrier and requires
+// core.WithHubCombining on the system (otherwise it degrades to the
+// closest endpoint algorithm, like any other unusable override).
 func WithAlgorithm(name string) Option {
 	return func(g *Group) { g.forced = name }
 }
@@ -165,6 +173,8 @@ func NewGroup(sys *core.System, id int, cabs []int, opts ...Option) *Group {
 		}
 	}
 	g.mcastOK = distinct && n >= 2
+
+	g.placeComb()
 
 	g.comms = make([]*Comm, n)
 	for r := 0; r < n; r++ {
@@ -391,21 +401,29 @@ func (c *Comm) op(th *kernel.Thread, name string, body func(seq uint32) error) e
 // Elem. All built-in operators are commutative and associative, so every
 // algorithm computes the same value (floating-point sums are combined in
 // a deterministic order per algorithm).
+//
+// Commutative declares that Combine(a, b) == Combine(b, a) per element.
+// The recursive-doubling, ring, and HUB-combining allreduce paths fold
+// operands in rank-dependent orders and are only correct for commutative
+// operators; algorithm selection routes non-commutative custom operators
+// to the binomial tree (fixed association, ascending-rank combine order)
+// and panics if such an operator is forced onto "rd", "ring", or "comb".
 type Op struct {
-	Name    string
-	Elem    int
-	Combine func(dst, src []byte)
+	Name        string
+	Elem        int
+	Commutative bool
+	Combine     func(dst, src []byte)
 }
 
 // Built-in reduction operators over little-endian 8-byte lanes.
 var (
-	SumInt64 = Op{Name: "sum_i64", Elem: 8, Combine: func(dst, src []byte) {
+	SumInt64 = Op{Name: "sum_i64", Elem: 8, Commutative: true, Combine: func(dst, src []byte) {
 		for i := 0; i+8 <= len(dst); i += 8 {
 			v := int64(binary.LittleEndian.Uint64(dst[i:])) + int64(binary.LittleEndian.Uint64(src[i:]))
 			binary.LittleEndian.PutUint64(dst[i:], uint64(v))
 		}
 	}}
-	MaxInt64 = Op{Name: "max_i64", Elem: 8, Combine: func(dst, src []byte) {
+	MaxInt64 = Op{Name: "max_i64", Elem: 8, Commutative: true, Combine: func(dst, src []byte) {
 		for i := 0; i+8 <= len(dst); i += 8 {
 			a := int64(binary.LittleEndian.Uint64(dst[i:]))
 			b := int64(binary.LittleEndian.Uint64(src[i:]))
@@ -414,7 +432,7 @@ var (
 			}
 		}
 	}}
-	SumFloat64 = Op{Name: "sum_f64", Elem: 8, Combine: func(dst, src []byte) {
+	SumFloat64 = Op{Name: "sum_f64", Elem: 8, Commutative: true, Combine: func(dst, src []byte) {
 		for i := 0; i+8 <= len(dst); i += 8 {
 			v := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:])) +
 				math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
@@ -422,7 +440,7 @@ var (
 		}
 	}}
 	// noop carries barrier signals through the reduce tree.
-	noop = Op{Name: "noop", Elem: 1, Combine: func(dst, src []byte) {}}
+	noop = Op{Name: "noop", Elem: 1, Commutative: true, Combine: func(dst, src []byte) {}}
 )
 
 // Int64Bytes encodes values for the int64 operators.

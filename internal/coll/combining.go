@@ -1,0 +1,337 @@
+package coll
+
+import (
+	"encoding/binary"
+
+	"repro/internal/hub"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// CombMaxLanes bounds the payload the HUB-combining path accepts, in
+// 8-byte lanes: each lane is one combining command, so large payloads are
+// better served by the bandwidth-optimal endpoint algorithms.
+const CombMaxLanes = 16
+
+// combPlacement is the group's layout over the topology's HUBs, computed
+// once at NewGroup when the system armed core.WithHubCombining. Hubs are
+// ordered by their lowest member rank, so leaders (each hub's lowest
+// local rank) ascend with hub index and everything below is a pure
+// function of membership — fully deterministic.
+type combPlacement struct {
+	enabled bool
+	tag     uint16   // system-unique slot tag (core.System.NextCombTag)
+	timeout sim.Time // client-side wait bound (2x the HUB straggler timeout)
+	multi   bool     // members span more than one HUB
+	locals  [][]int  // hub index -> member ranks on that hub, ascending
+	leaders []int    // hub index -> leader rank (== locals[i][0])
+	hubIdx  []int    // rank -> hub index
+}
+
+// placeComb computes the combining placement. A dark system (combining
+// off) leaves comb.enabled false and the group behaves exactly as before
+// the feature existed.
+func (g *Group) placeComb() {
+	if !g.sys.Params.HubComb.Enabled || g.n < 2 {
+		return
+	}
+	byHub := make(map[int]int) // topo hub id -> hub index
+	g.comb.hubIdx = make([]int, g.n)
+	for r := 0; r < g.n; r++ {
+		h := g.sys.Net.HubOf(g.members[r])
+		hi, ok := byHub[h]
+		if !ok {
+			hi = len(g.comb.locals)
+			byHub[h] = hi
+			g.comb.locals = append(g.comb.locals, nil)
+			g.comb.leaders = append(g.comb.leaders, r)
+		}
+		g.comb.locals[hi] = append(g.comb.locals[hi], r)
+		g.comb.hubIdx[r] = hi
+	}
+	g.comb.enabled = true
+	g.comb.tag = g.sys.NextCombTag()
+	g.comb.timeout = 2 * g.sys.Params.HubComb.Timeout
+	g.comb.multi = len(g.comb.locals) > 1
+}
+
+// combWireOp maps a reduction operator to its combining opcode. Only the
+// built-in commutative 8-byte-lane operators have wire-level equivalents.
+func combWireOp(op Op) (hub.Opcode, bool) {
+	if !op.Commutative || op.Elem != 8 {
+		return 0, false
+	}
+	switch op.Name {
+	case SumInt64.Name:
+		return hub.OpCombSum, true
+	case MaxInt64.Name:
+		return hub.OpCombMax, true
+	case SumFloat64.Name:
+		return hub.OpCombFSum, true
+	}
+	return 0, false
+}
+
+// combEligible reports whether the combining path can run (op, size) on
+// this group: engine armed, a wire-level operator, and a payload small
+// enough that per-lane commands beat the endpoint algorithms.
+func (g *Group) combEligible(op *Op, size int) bool {
+	if !g.comb.enabled || op == nil {
+		return false
+	}
+	if _, ok := combWireOp(*op); !ok {
+		return false
+	}
+	return size >= 8 && size <= 8*CombMaxLanes
+}
+
+// combLocals returns the ranks sharing this member's HUB (ascending; the
+// first is the hub leader).
+func (c *Comm) combLocals() []int {
+	return c.g.comb.locals[c.g.comb.hubIdx[c.rank]]
+}
+
+// subsetReduce folds data up a binomial tree spanning just ranks (which
+// must be sorted ascending and contain c.rank); the result surfaces at
+// ranks[0], nil elsewhere. Children combine in ascending mask order — the
+// same deterministic association as treeReduce.
+func (c *Comm) subsetReduce(th *kernel.Thread, seq uint32, op Op, round uint16, ranks []int, data []byte) ([]byte, error) {
+	n := len(ranks)
+	v := 0
+	for i, r := range ranks {
+		if r == c.rank {
+			v = i
+		}
+	}
+	acc := append([]byte(nil), data...)
+	for mask := 1; mask < n; mask <<= 1 {
+		if v&mask != 0 {
+			return nil, c.sendTo(th, ranks[v-mask], kData, seq, round, acc)
+		}
+		if v+mask < n {
+			m := c.recvFrom(th, seq, ranks[v+mask], round)
+			op.Combine(acc, m.data)
+		}
+	}
+	return acc, nil
+}
+
+// subsetAllreduceRD is recursive doubling over just ranks (sorted
+// ascending, containing c.rank), with the same power-of-two fold as
+// rdAllreduce: log2 rounds of pairwise exchange-and-combine instead of
+// the 2*log2 a reduce-then-broadcast tree costs. Every participant
+// returns the combined value, bit-identically.
+func (c *Comm) subsetAllreduceRD(th *kernel.Thread, seq uint32, op Op, ranks []int, data []byte) ([]byte, error) {
+	n := len(ranks)
+	v := 0
+	for i, r := range ranks {
+		if r == c.rank {
+			v = i
+		}
+	}
+	acc := append([]byte(nil), data...)
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	rem := n - p2
+	newrank := -1
+	switch {
+	case v < 2*rem && v%2 == 0:
+		if err := c.sendTo(th, ranks[v+1], kData, seq, rCombUp, acc); err != nil {
+			return nil, err
+		}
+	case v < 2*rem:
+		m := c.recvFrom(th, seq, ranks[v-1], rCombUp)
+		op.Combine(acc, m.data)
+		newrank = v / 2
+	default:
+		newrank = v - rem
+	}
+	if newrank >= 0 {
+		oldOf := func(nr int) int {
+			if nr < rem {
+				return nr*2 + 1
+			}
+			return nr + rem
+		}
+		for bit, mask := 0, 1; mask < p2; bit, mask = bit+1, mask<<1 {
+			partner := ranks[oldOf(newrank^mask)]
+			round := rCombRD + uint16(bit)
+			if err := c.sendTo(th, partner, kData, seq, round, acc); err != nil {
+				return nil, err
+			}
+			m := c.recvFrom(th, seq, partner, round)
+			op.Combine(acc, m.data)
+		}
+	}
+	switch {
+	case v < 2*rem && v%2 == 0:
+		m := c.recvFrom(th, seq, ranks[v+1], rCombDown)
+		acc = m.data
+	case v < 2*rem:
+		if err := c.sendTo(th, ranks[v-1], kData, seq, rCombDown, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// subsetBcast pushes ranks[0]'s data down a binomial tree spanning just
+// ranks (sorted ascending, containing c.rank) and returns it everywhere.
+func (c *Comm) subsetBcast(th *kernel.Thread, seq uint32, round uint16, ranks []int, data []byte) ([]byte, error) {
+	n := len(ranks)
+	v := 0
+	for i, r := range ranks {
+		if r == c.rank {
+			v = i
+		}
+	}
+	buf := data
+	top := 1
+	if v == 0 {
+		for top < n {
+			top <<= 1
+		}
+	} else {
+		top = lowbit(v)
+		m := c.recvFrom(th, seq, ranks[v-top], round)
+		buf = m.data
+	}
+	for m2 := top >> 1; m2 >= 1; m2 >>= 1 {
+		if v+m2 >= n {
+			continue
+		}
+		if err := c.sendTo(th, ranks[v+m2], kData, seq, round, buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// combAllreduce is the hierarchical HUB-combining allreduce:
+//
+//  1. every member contributes each 8-byte lane to its local HUB's
+//     combining engine (fan-in = members on that hub) and waits for the
+//     verdict — on a single-HUB group whose every lane combines, this IS
+//     the allreduce: one command and one reply per member per lane, with
+//     no endpoint fan-in at all;
+//  2. if any lane failed to combine (engine dark, slot flushed partial,
+//     straggler timeout), the hub's members fold their original payloads
+//     to the hub leader over the transport instead — the slot protocol
+//     guarantees all of a hub's members agree on combined-vs-fallback
+//     per lane, so nobody double-counts;
+//  3. on multi-HUB groups the per-hub leaders allreduce their partials
+//     among themselves with recursive doubling;
+//  4. leaders distribute the result down to their hub's members.
+//
+// Degradation is total: with every HUB dark or every slot timing out this
+// is an ordinary hierarchical allreduce over the reliable transport.
+func (c *Comm) combAllreduce(th *kernel.Thread, seq uint32, op Op, data []byte) ([]byte, error) {
+	g := c.g
+	wireOp, _ := combWireOp(op)
+	locals := c.combLocals()
+	fanin := uint16(len(locals))
+	lanes := len(data) / 8
+
+	// Phase 1: contribute every lane to the local HUB.
+	out := make([]byte, len(data))
+	localOK := true
+	for l := 0; l < lanes; l++ {
+		operand := binary.LittleEndian.Uint64(data[8*l:])
+		val, combined, err := c.st.DL.CombContribute(th, wireOp, byte(g.id), byte(l),
+			g.comb.tag, fanin, seq, operand, g.comb.timeout)
+		if err != nil || !combined {
+			localOK = false
+			continue
+		}
+		binary.LittleEndian.PutUint64(out[8*l:], val)
+	}
+	if localOK {
+		g.reg.Counter("coll.comb.hub_combined").Inc()
+	} else {
+		g.reg.Counter("coll.comb.fallback").Inc()
+		// Phase 2: endpoint fallback — fold the hub's original payloads
+		// to the leader. Never mix hub-combined lanes with folded ones.
+		red, err := c.subsetReduce(th, seq, op, rCombFix, locals, data)
+		if err != nil {
+			return nil, err
+		}
+		if c.rank == locals[0] {
+			out = red
+		}
+	}
+
+	// Phase 3: leaders allreduce their per-hub partials across HUBs via
+	// recursive doubling (half the rounds of a reduce-then-broadcast).
+	if g.comb.multi && c.rank == locals[0] {
+		var err error
+		if out, err = c.subsetAllreduceRD(th, seq, op, g.comb.leaders, out); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 4: distribute the result down within each hub. On a
+	// single-HUB group whose lanes all combined, the HUB reply already
+	// was the global result and no endpoint traffic happens at all.
+	if g.comb.multi || !localOK {
+		var err error
+		if out, err = c.subsetBcast(th, seq, rCombRes, locals, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// combBarrier is the hierarchical HUB-combining barrier: each member
+// reports presence to its local HUB's combining engine (barrier ack
+// aggregation — the slot completes when all of the hub's members have
+// arrived), leaders disseminate among themselves on multi-HUB groups,
+// and leaders release their hub's members. On a single-HUB group whose
+// slot completes, the barrier costs one command + one reply per member.
+func (c *Comm) combBarrier(th *kernel.Thread, seq uint32) error {
+	g := c.g
+	locals := c.combLocals()
+	fanin := uint16(len(locals))
+
+	_, combined, err := c.st.DL.CombContribute(th, hub.OpCombBarrier, byte(g.id), 0,
+		g.comb.tag, fanin, seq, 0, g.comb.timeout)
+	localOK := err == nil && combined
+	if localOK {
+		g.reg.Counter("coll.comb.hub_combined").Inc()
+	} else {
+		g.reg.Counter("coll.comb.fallback").Inc()
+		// Endpoint fallback: signal up to the hub leader.
+		if _, e := c.subsetReduce(th, seq, noop, rCombFix, locals, []byte{0}); e != nil {
+			return e
+		}
+	}
+
+	if g.comb.multi && c.rank == locals[0] {
+		// Dissemination among leaders: after ceil(log2 n) rounds every
+		// leader has transitively heard from every hub.
+		ld := g.comb.leaders
+		li := 0
+		for i, r := range ld {
+			if r == c.rank {
+				li = i
+			}
+		}
+		n := len(ld)
+		for k, r := 1, 0; k < n; k, r = k<<1, r+1 {
+			round := rCombBar + uint16(r)
+			if e := c.sendTo(th, ld[(li+k)%n], kData, seq, round, nil); e != nil {
+				return e
+			}
+			c.recvFrom(th, seq, ld[(li-k+n)%n], round)
+		}
+	}
+
+	if g.comb.multi || !localOK {
+		// Leaders release their hub's members.
+		if _, e := c.subsetBcast(th, seq, rCombRes, locals, nil); e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cab"
 	"repro/internal/datalink"
+	"repro/internal/hub/comb"
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/obs/flow"
@@ -80,6 +81,14 @@ type Params struct {
 	// algorithm override, payload-size thresholds, and the multicast
 	// reliability protocol's timeouts.
 	Coll CollParams
+
+	// HubComb arms the in-network combining engine on every HUB
+	// (internal/hub/comb): reduce/allreduce/barrier operands merge at the
+	// switch instead of at the endpoints. Off by default — a dark engine
+	// declines combining commands and no combining state, metric, or
+	// event exists, so disabled systems are digest-identical to builds
+	// without the feature. Arm it with WithHubCombining.
+	HubComb HubCombParams
 }
 
 // DefaultParams returns the full prototype parameter set.
@@ -112,6 +121,7 @@ func (p Params) normalize() Params {
 		p.Topo = topo.DefaultOptions()
 	}
 	p.Coll = p.Coll.normalize()
+	p.HubComb = p.HubComb.normalize()
 	return p
 }
 
@@ -193,6 +203,19 @@ type System struct {
 	// OnStall, when non-nil, replaces the watchdog's default stall
 	// reaction (a flight-recorder post-mortem on stderr).
 	OnStall func(at sim.Time)
+
+	// nextCombTag allocates system-unique combining-slot tags (one per
+	// combining-enabled collective group), so groups that reuse a group
+	// id on disjoint CABs never collide in a shared HUB's slot table.
+	nextCombTag uint16
+}
+
+// NextCombTag returns a fresh combining-slot tag. Tags are 16-bit and
+// wrap; a wrap only matters if a 65536-group-old slot is still in flight,
+// which the straggler timeout makes impossible.
+func (s *System) NextCombTag() uint16 {
+	s.nextCombTag++
+	return s.nextCombTag
 }
 
 // StopProbers ends every link prober after its current round.
@@ -238,6 +261,9 @@ func buildStacks(eng *sim.Engine, rec *trace.Recorder, net *topo.Network, p Para
 		})
 	}
 	for _, h := range net.Hubs() {
+		if p.HubComb.Enabled {
+			h.EnableCombining(comb.Params{Slots: p.HubComb.Slots, Timeout: p.HubComb.Timeout})
+		}
 		h.RegisterMetrics(s.Reg)
 		h.SetFlightRecorder(s.FR)
 	}

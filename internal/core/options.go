@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/hub/comb"
 	"repro/internal/obs"
 	"repro/internal/obs/flow"
 	"repro/internal/obs/slo"
@@ -329,11 +330,71 @@ func (cp CollParams) normalize() CollParams {
 }
 
 // WithCollAlgorithm forces the collective-communication algorithm family
-// ("tree", "rd", "ring", "mcast") for every group built on the system,
-// overriding the automatic payload-size x group-size x topology selection.
-// Empty or "auto" restores automatic selection.
+// ("tree", "rd", "ring", "mcast", "comb") for every group built on the
+// system, overriding the automatic payload-size x group-size x topology
+// selection. Empty or "auto" restores automatic selection.
 func WithCollAlgorithm(name string) Option {
 	return func(p *Params) { p.Coll.Algorithm = name }
+}
+
+// HubCombParams configures the in-network combining engine (arm it with
+// WithHubCombining; the zero value keeps it off).
+type HubCombParams struct {
+	// Enabled arms a combining engine on every HUB.
+	Enabled bool
+	// Slots bounds concurrent combining slots per HUB; when full, the
+	// oldest slot flushes partial to make room (0: comb.DefaultSlots).
+	Slots int
+	// Timeout is the straggler timeout: how long a slot waits for its
+	// remaining contributors before flushing partial to the present ones
+	// (0: comb.DefaultTimeout). Contributors wait twice this bound
+	// client-side, so every member of a group observes the same
+	// combined-vs-fallback verdict per lane.
+	Timeout sim.Time
+}
+
+// normalize fills zero-valued combining parameters with defaults.
+func (hp HubCombParams) normalize() HubCombParams {
+	if hp.Slots == 0 {
+		hp.Slots = comb.DefaultSlots
+	}
+	if hp.Timeout == 0 {
+		hp.Timeout = comb.DefaultTimeout
+	}
+	return hp
+}
+
+// WithHubCombining arms the in-network combining engine on every HUB:
+// reduce, allreduce, and barrier merge their operands at the switch
+// (fetch-and-add / reduce-on-the-wire / barrier ack aggregation) instead
+// of at the endpoints, and the collective layer auto-selects HUB combining
+// where a group's members share combining-capable HUBs — hierarchically on
+// multi-HUB meshes (combine within each HUB, exchange between per-HUB
+// leaders, distribute back down). Disabled systems carry no combining
+// state and replay digest-identically to builds without the feature.
+func WithHubCombining() Option {
+	return func(p *Params) { p.HubComb.Enabled = true }
+}
+
+// WithHubCombiningParams arms combining with explicit table bounds (for
+// stress scenarios; zero values select the defaults).
+func WithHubCombiningParams(slots int, timeout sim.Time) Option {
+	return func(p *Params) {
+		p.HubComb.Enabled = true
+		p.HubComb.Slots = slots
+		p.HubComb.Timeout = timeout
+	}
+}
+
+// validateHubComb rejects malformed combining parameters with the
+// descriptive "nectar: ..." panic contract.
+func validateHubComb(p Params) {
+	if p.HubComb.Slots < 0 {
+		panic(fmt.Sprintf("nectar: HubComb.Slots %d is negative (0 selects the default)", p.HubComb.Slots))
+	}
+	if p.HubComb.Timeout < 0 {
+		panic(fmt.Sprintf("nectar: HubComb.Timeout %v is negative (0 selects the default)", p.HubComb.Timeout))
+	}
 }
 
 // WithTelemetry arms the whole continuous-telemetry plane at defaults:
@@ -525,6 +586,7 @@ func New(t Topology, opts ...Option) *System {
 	validateTelemetry(p)
 	validateOverload(p)
 	validateSLO(p)
+	validateHubComb(p)
 	eng := sim.NewEngine()
 	rec := newRecorder(eng, p)
 	net := t.spec.Build(eng, rec, topo.WithOptions(p.Topo))

@@ -75,6 +75,12 @@ func buildTelemetry(s *System) {
 				})
 				sa.Register(pt.EndpointName()+".drops", pt.Drops)
 			}
+			if h.Combining() {
+				ce := h.CombEngine()
+				sa.Register(h.Name()+".comb.slots_inuse", func() int64 {
+					return int64(ce.SlotsInUse())
+				})
+			}
 		}
 		for _, c := range s.CABs {
 			c := c

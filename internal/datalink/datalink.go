@@ -136,6 +136,7 @@ type Datalink struct {
 type pendingOpen struct {
 	want  int // replies still expected
 	ok    bool
+	val   uint64 // combining result (ReplyData of the last reply)
 	cond  *kernel.Cond
 	donef bool
 }
@@ -273,6 +274,49 @@ func (d *Datalink) Probe(th *kernel.Thread, hubHere, hubThere byte, port byte, t
 		return false
 	}
 	return true
+}
+
+// CombContribute contributes one 8-byte operand lane to the local HUB's
+// combining engine (in-network computing) and waits for the verdict. It
+// returns the slot's value and whether the HUB fully combined it; combined
+// false means the caller must fall back to its endpoint algorithm (the HUB
+// is dark, the slot flushed partial, or this contribution arrived late).
+// err is non-nil only when no reply arrives within timeout — the HUB is
+// unreachable (dark fiber, frame error ate the command, or this board
+// crashed mid-wait).
+//
+// Unlike lock commands, a combining command never stalls the CAB's input
+// port at the HUB, so the transmit mutex is released before the wait:
+// other traffic from this board flows while the slot gathers stragglers.
+func (d *Datalink) CombContribute(th *kernel.Thread, op hub.Opcode, group, lane byte, tag, count uint16, seq uint32, operand uint64, timeout sim.Time) (uint64, bool, error) {
+	sp := th.Span().Child(trace.LayerDatalink, d.board.Name(), "dl-comb")
+	defer sp.End()
+	d.mu.P(th)
+	th.Compute("dl-comb", d.params.SendSetup)
+	d.nextToken++
+	token := d.nextToken
+	pend := &pendingOpen{want: 1, ok: true, cond: d.k.NewCond()}
+	d.pending[token] = pend
+	defer delete(d.pending, token)
+
+	hubID := d.net.Hub(d.net.HubOf(d.board.ID())).ID()
+	it := d.command(op, hubID, group, token)
+	it.Comb = &fiber.CombData{Lane: lane, Tag: tag, Count: count, Seq: seq, Operand: operand}
+	it.Span = sp
+	d.board.Send(it)
+	d.mu.V()
+
+	deadline := d.k.Engine().Now() + timeout
+	for pend.want > 0 {
+		remain := deadline - d.k.Engine().Now()
+		if remain <= 0 || !pend.cond.WaitTimeout(th, remain) {
+			break
+		}
+	}
+	if pend.want > 0 {
+		return 0, false, fmt.Errorf("datalink: combining reply lost")
+	}
+	return pend.val, pend.ok, nil
 }
 
 // route returns (and caches) the unicast route to dst.
@@ -535,6 +579,7 @@ func (d *Datalink) receiveItem(it *fiber.Item) {
 				if !it.ReplyOK {
 					pend.ok = false
 				}
+				pend.val = it.ReplyData
 				pend.want--
 				pend.cond.Broadcast()
 			}

@@ -79,6 +79,7 @@ func All() []Experiment {
 		{"O2", "flow-observatory", O2FlowObservatory},
 		{"O3", "slo-engine", O3SLOEngine},
 		{"C1", "collectives", C1Collectives},
+		{"C2", "hub-combining", C2Combining},
 		{"S1", "scale-out", S1Scale},
 	}
 }

@@ -1,0 +1,206 @@
+package comb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// collect returns a deliver func appending verdicts to out.
+func collect(out *[]Result) func(Result) {
+	return func(r Result) { *out = append(*out, r) }
+}
+
+func TestFullCombineDeliversMergedValue(t *testing.T) {
+	eng := sim.NewEngine()
+	e := New(eng, "hub0", Params{})
+	key := Key{Tag: 7, Lane: 2, Seq: 1}
+	var got []Result
+	neg := int64(-4)
+	eng.At(0, func() {
+		e.Contribute(OpSum, key, 3, 10, collect(&got))
+		e.Contribute(OpSum, key, 3, uint64(neg), collect(&got))
+	})
+	eng.At(100, func() { e.Contribute(OpSum, key, 3, 5, collect(&got)) })
+	eng.Run()
+	if len(got) != 3 {
+		t.Fatalf("verdicts = %d, want 3", len(got))
+	}
+	for i, r := range got {
+		if !r.Combined || int64(r.Value) != 11 {
+			t.Fatalf("verdict %d = %+v, want combined 11", i, r)
+		}
+	}
+	if e.combines != 1 || e.timeouts != 0 || len(e.slots) != 0 {
+		t.Fatalf("counters: combines=%d timeouts=%d slots=%d", e.combines, e.timeouts, len(e.slots))
+	}
+}
+
+func TestMaxAndFloatMerge(t *testing.T) {
+	eng := sim.NewEngine()
+	e := New(eng, "hub0", Params{})
+	var mx, fs []Result
+	n9, n3 := int64(-9), int64(-3)
+	eng.At(0, func() {
+		k := Key{Tag: 1, Lane: 0, Seq: 1}
+		e.Contribute(OpMax, k, 2, uint64(n9), collect(&mx))
+		e.Contribute(OpMax, k, 2, uint64(n3), collect(&mx))
+		k2 := Key{Tag: 2, Lane: 0, Seq: 1}
+		e.Contribute(OpFSum, k2, 2, math.Float64bits(1.5), collect(&fs))
+		e.Contribute(OpFSum, k2, 2, math.Float64bits(2.25), collect(&fs))
+	})
+	eng.Run()
+	if len(mx) != 2 || !mx[0].Combined || int64(mx[0].Value) != -3 {
+		t.Fatalf("max verdicts: %+v", mx)
+	}
+	if len(fs) != 2 || !fs[1].Combined || math.Float64frombits(fs[1].Value) != 3.75 {
+		t.Fatalf("fsum verdicts: %+v", fs)
+	}
+}
+
+func TestFaninOneIsImmediatelyCombined(t *testing.T) {
+	eng := sim.NewEngine()
+	e := New(eng, "hub0", Params{})
+	var got []Result
+	eng.At(0, func() { e.Contribute(OpSum, Key{Tag: 1, Seq: 1}, 1, 42, collect(&got)) })
+	eng.Run()
+	if len(got) != 1 || !got[0].Combined || got[0].Value != 42 {
+		t.Fatalf("lone contributor verdict: %+v", got)
+	}
+	if len(e.slots) != 0 {
+		t.Fatal("degenerate contribution left a slot behind")
+	}
+}
+
+func TestStragglerTimeoutFlushesPartialAndLateGetsLoneVerdict(t *testing.T) {
+	eng := sim.NewEngine()
+	e := New(eng, "hub0", Params{Timeout: 100 * sim.Microsecond})
+	key := Key{Tag: 3, Lane: 1, Seq: 9}
+	var present, late []Result
+	var flushAt sim.Time
+	eng.At(0, func() {
+		e.Contribute(OpSum, key, 3, 1, func(r Result) {
+			present = append(present, r)
+			flushAt = eng.Now()
+		})
+		e.Contribute(OpSum, key, 3, 2, collect(&present))
+	})
+	// The third contributor arrives long after the flush: the watermark
+	// must give it an immediate lone verdict, never resurrect the slot.
+	eng.At(500*sim.Microsecond, func() { e.Contribute(OpSum, key, 3, 4, collect(&late)) })
+	eng.Run()
+	if len(present) != 2 || present[0].Combined || present[1].Combined {
+		t.Fatalf("present verdicts: %+v", present)
+	}
+	if flushAt != 100*sim.Microsecond {
+		t.Fatalf("flushed at %v, want the straggler timeout", flushAt)
+	}
+	if len(late) != 1 || late[0].Combined {
+		t.Fatalf("late verdict: %+v", late)
+	}
+	if e.timeouts != 1 || e.lates != 1 || len(e.slots) != 0 {
+		t.Fatalf("counters: timeouts=%d lates=%d slots=%d", e.timeouts, e.lates, len(e.slots))
+	}
+}
+
+func TestSlotExhaustionEvictsOldestDeterministically(t *testing.T) {
+	eng := sim.NewEngine()
+	e := New(eng, "hub0", Params{Slots: 2})
+	var v0, v1, v2 []Result
+	eng.At(0, func() { e.Contribute(OpSum, Key{Tag: 10, Seq: 1}, 2, 1, collect(&v0)) })
+	eng.At(10, func() { e.Contribute(OpSum, Key{Tag: 11, Seq: 1}, 2, 1, collect(&v1)) })
+	eng.At(20, func() { e.Contribute(OpSum, Key{Tag: 12, Seq: 1}, 2, 1, collect(&v2)) })
+	eng.At(30, func() {
+		if len(v0) != 1 || v0[0].Combined {
+			t.Errorf("oldest slot not flushed partial on exhaustion: %+v", v0)
+		}
+		if len(v1) != 0 || len(v2) != 0 {
+			t.Errorf("wrong slot evicted: v1=%+v v2=%+v", v1, v2)
+		}
+		if e.evictions != 1 {
+			t.Errorf("evictions = %d, want 1", e.evictions)
+		}
+		// The survivors can still combine fully.
+		e.Contribute(OpSum, Key{Tag: 11, Seq: 1}, 2, 2, collect(&v1))
+		e.Contribute(OpSum, Key{Tag: 12, Seq: 1}, 2, 3, collect(&v2))
+	})
+	eng.Run()
+	if len(v1) != 2 || !v1[1].Combined || v1[1].Value != 3 {
+		t.Fatalf("survivor 11 verdicts: %+v", v1)
+	}
+	if len(v2) != 2 || !v2[1].Combined || v2[1].Value != 4 {
+		t.Fatalf("survivor 12 verdicts: %+v", v2)
+	}
+}
+
+func TestEvictedKeyTimeoutDoesNotFlushReusedSlot(t *testing.T) {
+	// A slot evicted before its timeout must not have that stale timeout
+	// flush an unrelated slot that later reuses the table entry.
+	eng := sim.NewEngine()
+	e := New(eng, "hub0", Params{Slots: 1, Timeout: 100 * sim.Microsecond})
+	key := Key{Tag: 20, Seq: 1}
+	var a, b []Result
+	eng.At(0, func() { e.Contribute(OpSum, key, 2, 1, collect(&a)) })
+	// Evict key by creating another slot, then re-create a slot under a
+	// later seq of the same (tag, lane); its own timeout is at 150+100.
+	var evictor []Result
+	eng.At(50*sim.Microsecond, func() { e.Contribute(OpSum, Key{Tag: 21, Seq: 1}, 2, 1, collect(&evictor)) })
+	eng.At(150*sim.Microsecond, func() { e.Contribute(OpSum, Key{Tag: 20, Seq: 2}, 2, 7, collect(&b)) })
+	eng.At(200*sim.Microsecond, func() {
+		// The original slot's timeout (at 100us) and the evictor's (150us)
+		// have fired; the seq-2 slot must still be live.
+		if len(e.slots) != 1 {
+			t.Errorf("slots = %d, want the seq-2 slot alive", len(e.slots))
+		}
+		e.Contribute(OpSum, Key{Tag: 20, Seq: 2}, 2, 3, collect(&b))
+	})
+	eng.Run()
+	if len(a) != 1 || a[0].Combined {
+		t.Fatalf("evicted slot verdicts: %+v", a)
+	}
+	if len(b) != 2 || !b[1].Combined || b[1].Value != 10 {
+		t.Fatalf("reused-key slot verdicts: %+v", b)
+	}
+}
+
+func TestFaninMismatchFlushesEveryone(t *testing.T) {
+	eng := sim.NewEngine()
+	e := New(eng, "hub0", Params{})
+	key := Key{Tag: 30, Seq: 1}
+	var got []Result
+	eng.At(0, func() {
+		e.Contribute(OpSum, key, 3, 1, collect(&got))
+		e.Contribute(OpSum, key, 2, 1, collect(&got)) // disagrees on fan-in
+	})
+	eng.Run()
+	if len(got) != 2 || got[0].Combined || got[1].Combined {
+		t.Fatalf("mismatch verdicts: %+v", got)
+	}
+	if e.mismatch != 1 || len(e.slots) != 0 {
+		t.Fatalf("mismatch=%d slots=%d", e.mismatch, len(e.slots))
+	}
+}
+
+func TestBarrierCompletesOnFullPresence(t *testing.T) {
+	eng := sim.NewEngine()
+	e := New(eng, "hub0", Params{})
+	key := Key{Tag: 40, Seq: 1}
+	var got []Result
+	for i := 0; i < 4; i++ {
+		at := sim.Time(i * 100)
+		eng.At(at, func() { e.Contribute(OpBarrier, key, 4, 0, collect(&got)) })
+	}
+	eng.Run()
+	if len(got) != 4 {
+		t.Fatalf("verdicts = %d, want 4", len(got))
+	}
+	for _, r := range got {
+		if !r.Combined {
+			t.Fatalf("barrier verdict: %+v", r)
+		}
+	}
+	if e.timeouts != 0 {
+		t.Fatalf("timeouts = %d after a full barrier", e.timeouts)
+	}
+}

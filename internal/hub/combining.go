@@ -1,0 +1,78 @@
+package hub
+
+import (
+	"repro/internal/fiber"
+	"repro/internal/hub/comb"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// combOpKind maps a combining opcode to its engine operation.
+func combOpKind(op Opcode) comb.OpKind {
+	switch op {
+	case OpCombSum:
+		return comb.OpSum
+	case OpCombMax:
+		return comb.OpMax
+	case OpCombFSum:
+		return comb.OpFSum
+	default:
+		return comb.OpBarrier
+	}
+}
+
+// EnableCombining arms the in-network combining engine on this HUB. Call
+// before traffic; a HUB without an engine declines combining commands
+// (reply ok=false), so contributors fall back to endpoint algorithms.
+func (h *Hub) EnableCombining(p comb.Params) {
+	h.comb = comb.New(h.eng, h.name, p)
+}
+
+// Combining reports whether the combining engine is armed.
+func (h *Hub) Combining() bool { return h.comb != nil }
+
+// CombEngine returns the combining engine (nil when not armed).
+func (h *Hub) CombEngine() *comb.Engine { return h.comb }
+
+// execComb runs a combining command at the central controller. The command
+// charges one controller cycle (like any serialized command) but never
+// parks the input port; the verdict — combined value or a decline — goes
+// back over the never-blocked reverse channel once the slot resolves.
+func (h *Hub) execComb(it *fiber.Item) {
+	cd := it.Comb
+	if h.comb == nil || cd == nil {
+		// Combining dark on this HUB (or a malformed frame): decline so
+		// the contributor falls back to its endpoint algorithm.
+		h.replyData(it, false, 0)
+		return
+	}
+	sp := it.Span.ChildAt(it.Start, trace.LayerHub, h.name, "comb")
+	op := combOpKind(Opcode(it.Cmd.Op))
+	key := comb.Key{Tag: cd.Tag, Lane: cd.Lane, Seq: cd.Seq}
+	done := h.controllerSlot(h.eng.Now())
+	h.eng.At(done, func() {
+		h.comb.Contribute(op, key, int(cd.Count), cd.Operand, func(res comb.Result) {
+			sp.End()
+			h.replyData(it, res.Combined, res.Value)
+		})
+	})
+}
+
+// replyData sends a combining reply carrying an 8-byte result over the
+// reverse channel (same out-of-band path as reply).
+func (h *Hub) replyData(orig *fiber.Item, ok bool, data uint64) {
+	if orig.ReplyTo == nil {
+		return
+	}
+	h.rec.Record(trace.EvReply, h.name, "%v ok=%v data=%d", orig.Cmd, ok, data)
+	rep := &fiber.Item{
+		Kind:      fiber.KindReply,
+		Cmd:       orig.Cmd,
+		ReplyOK:   ok,
+		ReplyData: data,
+		Token:     orig.Token,
+	}
+	delay := sim.Time(orig.Hops+1) * ReplyHopDelay
+	dst := orig.ReplyTo
+	h.eng.After(delay, func() { dst.Receive(rep) })
+}

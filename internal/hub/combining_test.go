@@ -1,0 +1,122 @@
+package hub
+
+import (
+	"testing"
+
+	"repro/internal/fiber"
+	"repro/internal/hub/comb"
+	"repro/internal/sim"
+)
+
+// combItem builds a combining command from this CAB.
+func (c *tcab) combItem(op Opcode, lane byte, tag, count uint16, seq uint32, operand uint64) *fiber.Item {
+	it := c.cmd(op, 0, 1) // param carries the group id; unused by the HUB
+	it.Comb = &fiber.CombData{Lane: lane, Tag: tag, Count: count, Seq: seq, Operand: operand}
+	return it
+}
+
+func TestCombSumAcrossPorts(t *testing.T) {
+	eng := sim.NewEngine()
+	h := New(eng, 0, 4, nil)
+	h.EnableCombining(comb.Params{})
+	cabs := []*tcab{
+		attachCAB(eng, h, 0, "cabA"),
+		attachCAB(eng, h, 1, "cabB"),
+		attachCAB(eng, h, 2, "cabC"),
+	}
+	for i, c := range cabs {
+		c := c
+		op := uint64(10 * (i + 1))
+		eng.At(sim.Time(i*1000), func() { c.send(c.combItem(OpCombSum, 0, 5, 3, 1, op)) })
+	}
+	eng.Run()
+	for _, c := range cabs {
+		if len(c.replies) != 1 {
+			t.Fatalf("%s replies = %d, want 1", c.name, len(c.replies))
+		}
+		r := c.replies[0]
+		if !r.ReplyOK || r.ReplyData != 60 {
+			t.Fatalf("%s verdict: ok=%v data=%d, want combined 60", c.name, r.ReplyOK, r.ReplyData)
+		}
+	}
+	// The reply arrives only after the last contributor: the first CAB
+	// waits for the slot, it is not answered eagerly.
+	if cabs[0].repTimes[0] < 2000 {
+		t.Fatalf("first contributor answered at %v, before the slot completed", cabs[0].repTimes[0])
+	}
+}
+
+func TestCombDeclinedWhenEngineDark(t *testing.T) {
+	eng := sim.NewEngine()
+	h := New(eng, 0, 4, nil) // combining NOT enabled
+	a := attachCAB(eng, h, 0, "cabA")
+	eng.At(0, func() { a.send(a.combItem(OpCombSum, 0, 1, 2, 1, 7)) })
+	eng.Run()
+	if len(a.replies) != 1 || a.replies[0].ReplyOK {
+		t.Fatalf("dark HUB verdict: %v", a.replies)
+	}
+}
+
+func TestCombContributorCrashFlushesPartial(t *testing.T) {
+	// Two of three contributors arrive; the third crashed before sending.
+	// The straggler timeout must flush the slot partial (both present
+	// contributors get ok=false) and the engine must not wedge: a later
+	// combine on the same HUB completes fully.
+	eng := sim.NewEngine()
+	h := New(eng, 0, 4, nil)
+	h.EnableCombining(comb.Params{Timeout: 100 * sim.Microsecond})
+	a := attachCAB(eng, h, 0, "cabA")
+	b := attachCAB(eng, h, 1, "cabB")
+	eng.At(0, func() {
+		a.send(a.combItem(OpCombSum, 0, 9, 3, 1, 1))
+		b.send(b.combItem(OpCombSum, 0, 9, 3, 1, 2))
+	})
+	eng.At(500*sim.Microsecond, func() {
+		a.send(a.combItem(OpCombMax, 0, 9, 2, 2, 11))
+		b.send(b.combItem(OpCombMax, 0, 9, 2, 2, 4))
+	})
+	eng.Run()
+	if len(a.replies) != 2 || len(b.replies) != 2 {
+		t.Fatalf("replies: a=%d b=%d, want 2 each", len(a.replies), len(b.replies))
+	}
+	if a.replies[0].ReplyOK || b.replies[0].ReplyOK {
+		t.Fatal("partial slot reported combined")
+	}
+	if a.repTimes[0] < 100*sim.Microsecond {
+		t.Fatalf("partial flushed at %v, before the straggler timeout", a.repTimes[0])
+	}
+	if !a.replies[1].ReplyOK || a.replies[1].ReplyData != 11 {
+		t.Fatalf("post-flush combine: ok=%v data=%d", a.replies[1].ReplyOK, a.replies[1].ReplyData)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombDoesNotParkTheInputPort(t *testing.T) {
+	// A combining command waiting on stragglers must not stall the issuing
+	// port: a packet sent right behind it is forwarded long before the
+	// slot resolves.
+	eng := sim.NewEngine()
+	h := New(eng, 0, 4, nil)
+	h.EnableCombining(comb.Params{Timeout: sim.Millisecond})
+	a := attachCAB(eng, h, 0, "cabA")
+	b := attachCAB(eng, h, 1, "cabB")
+	eng.At(0, func() {
+		a.send(
+			a.cmd(OpOpenRetry, 0, 1),
+			a.combItem(OpCombSum, 0, 2, 2, 1, 5), // waits for a straggler
+			packet(64),
+		)
+	})
+	eng.Run()
+	if len(b.packets) != 1 {
+		t.Fatalf("packets forwarded = %d, want 1", len(b.packets))
+	}
+	if b.pktTimes[0] >= sim.Millisecond {
+		t.Fatalf("packet forwarded at %v, blocked behind the combining slot", b.pktTimes[0])
+	}
+	if len(a.replies) != 1 || a.replies[0].ReplyOK {
+		t.Fatalf("combining verdicts: %v", a.replies)
+	}
+}

@@ -78,6 +78,21 @@ const (
 	OpEcho       // reply carrying param back (link test)
 )
 
+// Combining commands (in-network computing; post-paper extension after the
+// NYU Ultracomputer lineage). They occupy the gap between the user and
+// supervisor ranges so the paper's "38 user commands and 14 supervisor
+// commands" stays intact. Each is a 20-byte frame on the wire — the classic
+// 3-byte prefix (param = group id) plus lane, tag, fan-in count, sequence,
+// and an 8-byte operand — and executes at the central controller's
+// combining engine, which merges operands from all fan-in contributors and
+// replies the combined value to each over the reverse channel.
+const (
+	OpCombSum     Opcode = 48 + iota // fetch-and-add, int64 operand
+	OpCombMax                        // running max, int64 operand
+	OpCombFSum                       // sum, float64-bits operand
+	OpCombBarrier                    // barrier ack aggregation (operand unused)
+)
+
 // Supervisor commands (paper §4.2: "for system testing and reconfiguration
 // purposes").
 const (
@@ -122,6 +137,10 @@ var opNames = map[Opcode]string{
 	OpReadySet: "ready-set", OpReadyClear: "ready-clear", OpMark: "mark",
 	OpFlush: "flush", OpAbort: "abort", OpNop: "nop", OpNopReply: "nop-reply",
 	OpEcho:           "echo",
+	OpCombSum:        "comb-sum",
+	OpCombMax:        "comb-max",
+	OpCombFSum:       "comb-fsum",
+	OpCombBarrier:    "comb-barrier",
 	SupReset:         "sup-reset",
 	SupResetPort:     "sup-reset-port",
 	SupEnablePort:    "sup-enable-port",
@@ -152,6 +171,11 @@ func (op Opcode) IsSupervisor() bool { return op >= SupReset && op <= SupSelfTes
 // IsUser reports whether op is a valid user command.
 func (op Opcode) IsUser() bool { return op >= OpOpen && op <= OpEcho }
 
+// IsComb reports whether op is a combining command. Combining commands are
+// neither user nor supervisor commands: they form the extended in-network
+// computing set and carry a 20-byte frame (fiber.CombBytes) on the wire.
+func (op Opcode) IsComb() bool { return op >= OpCombSum && op <= OpCombBarrier }
+
 // isOpen reports whether op is any of the eight open variants.
 func (op Opcode) isOpen() bool { return op >= OpOpen && op <= OpTestOpenRetryReply }
 
@@ -178,6 +202,7 @@ func (op Opcode) replies() bool {
 		OpStatusOutput, OpStatusInput, OpStatusReady, OpStatusQueue,
 		OpStatusConnCnt, OpStatusCounters, OpIdent, OpPing,
 		OpMark, OpNopReply, OpEcho,
+		OpCombSum, OpCombMax, OpCombFSum, OpCombBarrier,
 		SupReadConfig, SupReadCounters, SupSelfTest:
 		return true
 	}

@@ -1,0 +1,101 @@
+package hub
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fiber"
+)
+
+func TestCommandCodecRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Cmd: fiber.Command{Op: byte(OpOpen), Hub: 3, Param: 7}},
+		{Cmd: fiber.Command{Op: byte(SupReset), Hub: 0xFF, Param: 0}},
+		{
+			Cmd:  fiber.Command{Op: byte(OpCombSum), Hub: 1, Param: 2},
+			Comb: &fiber.CombData{Lane: 3, Tag: 0x1234, Count: 8, Seq: 99, Operand: 0xDEADBEEFCAFEF00D},
+		},
+		{
+			Cmd:  fiber.Command{Op: byte(OpCombBarrier), Hub: 0, Param: 63},
+			Comb: &fiber.CombData{Count: 254, Seq: 1},
+		},
+	}
+	for _, f := range frames {
+		wire := EncodeCommand(f)
+		got, err := DecodeCommand(wire)
+		if err != nil {
+			t.Fatalf("decode %x: %v", wire, err)
+		}
+		if !bytes.Equal(EncodeCommand(got), wire) {
+			t.Fatalf("round trip of %x changed the frame", wire)
+		}
+	}
+}
+
+func TestDecodeCommandRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(OpOpen)},          // truncated classic
+		{byte(OpCombSum), 0, 0}, // combining opcode in a 3-byte frame
+		{55, 0, 0},              // hole between user and supervisor
+		append([]byte{byte(OpOpen)}, make([]byte, fiber.CombBytes-1)...),    // classic opcode in a comb frame
+		append([]byte{byte(OpCombSum)}, make([]byte, fiber.CombBytes-1)...), // comb frame, zero fan-in
+		make([]byte, 10), // length matches neither class
+	}
+	for _, c := range cases {
+		if _, err := DecodeCommand(c); err == nil {
+			t.Fatalf("frame %x accepted", c)
+		}
+	}
+}
+
+// FuzzDecodeCommand feeds arbitrary bytes to the HUB command codec: it must
+// never panic, and any frame it accepts must re-encode byte-identically
+// (the Frame is a faithful, canonical view of the wire).
+func FuzzDecodeCommand(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpOpen), 0, 1})
+	f.Add([]byte{byte(OpEcho), 0xFF, 0x42})
+	f.Add([]byte{byte(SupSetHubID), 3, 9})
+	f.Add([]byte{55, 0, 0})
+	f.Add(EncodeCommand(Frame{
+		Cmd:  fiber.Command{Op: byte(OpCombSum), Hub: 1, Param: 2},
+		Comb: &fiber.CombData{Lane: 1, Tag: 7, Count: 4, Seq: 12, Operand: 1 << 60},
+	}))
+	f.Add(EncodeCommand(Frame{
+		Cmd:  fiber.Command{Op: byte(OpCombBarrier), Hub: 0, Param: 0},
+		Comb: &fiber.CombData{Count: 1, Seq: 1},
+	}))
+	zeroCount := EncodeCommand(Frame{
+		Cmd:  fiber.Command{Op: byte(OpCombMax), Hub: 0, Param: 0},
+		Comb: &fiber.CombData{Count: 1},
+	})
+	zeroCount[6], zeroCount[7] = 0, 0
+	f.Add(zeroCount)
+	f.Add(make([]byte, fiber.CombBytes-1))
+	f.Add(make([]byte, fiber.CombBytes+1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeCommand(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		op := Opcode(fr.Cmd.Op)
+		if fr.Comb == nil {
+			if !op.IsUser() && !op.IsSupervisor() {
+				t.Fatalf("accepted classic frame with unknown opcode %d", fr.Cmd.Op)
+			}
+		} else {
+			if !op.IsComb() {
+				t.Fatalf("accepted combining frame with non-combining opcode %v", op)
+			}
+			if fr.Comb.Count == 0 {
+				t.Fatal("accepted combining frame with zero fan-in")
+			}
+		}
+		re := EncodeCommand(fr)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode not byte-identical:\n in  %x\n out %x", data, re)
+		}
+	})
+}

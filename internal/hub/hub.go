@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fiber"
+	"repro/internal/hub/comb"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -42,6 +43,19 @@ const (
 	// the episode re-arms once the queue drains below half the mark.
 	CongestionHighWater = InputQueueBytes * 3 / 4
 
+	// ReadyTimeout bounds how long an output register's ready bit may stay
+	// cleared waiting for the downstream drain signal. The ready bit is a
+	// flow-control credit: when the packet that cleared it dies on a dark
+	// fiber, the drain signal it would have triggered is lost and the
+	// credit would be withheld forever — every later test-open parks on
+	// the register, stalling its input queue and, transitively, the CAB
+	// transmit path and the very liveness prober whose FailLink would have
+	// reset the port. The watchdog regenerates the credit instead; it is
+	// two orders of magnitude above any legitimate drain (a full 1 KB
+	// input queue empties in tens of microseconds), so it fires only on
+	// genuine credit loss.
+	ReadyTimeout = sim.Millisecond
+
 	// DefaultPorts is the prototype HUB's port count (16 x 16 crossbar).
 	DefaultPorts = 16
 
@@ -67,6 +81,10 @@ type Hub struct {
 	// fr is the flight-recorder board (nil when telemetry is off; a nil
 	// recorder's Note is a no-op).
 	fr *obs.FlightRecorder
+
+	// comb is the in-network combining engine (nil unless armed via
+	// EnableCombining; a dark HUB declines combining commands).
+	comb *comb.Engine
 
 	locks [NumLocks]lockState
 }
@@ -122,10 +140,18 @@ func (h *Hub) RegisterMetrics(reg *trace.Registry) {
 		reg.Func(p.name+".drops", func() float64 { return float64(p.drops) })
 		reg.Func(p.name+".frame_errs", func() float64 { return float64(p.frameErrs) })
 	}
+	if h.comb != nil {
+		h.comb.RegisterMetrics(reg, h.name)
+	}
 }
 
 // SetFlightRecorder arms flight-recorder drop notes for every port.
-func (h *Hub) SetFlightRecorder(fr *obs.FlightRecorder) { h.fr = fr }
+func (h *Hub) SetFlightRecorder(fr *obs.FlightRecorder) {
+	h.fr = fr
+	if h.comb != nil {
+		h.comb.SetFlightRecorder(fr)
+	}
+}
 
 // ConnectOutput attaches the outgoing fiber of port i. The link's far end
 // is a CAB or another HUB's input.

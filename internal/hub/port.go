@@ -45,7 +45,10 @@ type Port struct {
 	owner     *Port
 	connReady sim.Time
 	ready     bool
-	waiters   []*pendingCmd
+	// readyGen numbers ready-bit clears so the credit-loss watchdog can
+	// tell whether the clear it armed for is still the current one.
+	readyGen uint64
+	waiters  []*pendingCmd
 	// stuck models a failed output register (paper §4: recovery from
 	// hardware failures): items reaching it are lost instead of leaving on
 	// the fiber. The fault is visible through the status table (the owner
@@ -276,6 +279,14 @@ func (p *Port) execHead(it *fiber.Item) {
 		return
 	}
 	p.hub.rec.Record(trace.EvCommand, p.name, "%v", it.Cmd)
+	if op.IsComb() {
+		// Combining commands execute at the controller's combining engine
+		// but never park the input: the engine either merges the operand
+		// or declines, and the verdict arrives over the reverse channel.
+		p.hub.execComb(it)
+		p.hub.eng.After(CycleTime, p.step)
+		return
+	}
 	if op.serialized() {
 		if !p.hub.execSerialized(p, it) {
 			// Parked at the controller: stall this input until granted.
@@ -565,6 +576,18 @@ func (p *Port) sendOut(it *fiber.Item, earliest sim.Time) {
 		// The start of packet passes the output register: clear the
 		// ready bit until the downstream input queue drains it.
 		p.ready = false
+		p.readyGen++
+		gen := p.readyGen
+		// Credit-loss watchdog: if the drain signal never comes back (the
+		// packet died on a dark fiber), regenerate the credit rather than
+		// withholding it forever. See ReadyTimeout.
+		p.hub.eng.After(ReadyTimeout, func() {
+			if !p.ready && p.readyGen == gen {
+				p.hub.rec.Record(trace.EvConnRetry, p.name, "ready credit regenerated (gen %d)", gen)
+				p.hub.fr.Note(obs.FCreditLoss, p.name, int64(p.id), int64(gen))
+				p.SetReady()
+			}
+		})
 		p.pktOut++
 		p.bytesOut += int64(it.Bytes())
 		p.hub.rec.Record(trace.EvPacketOut, p.name, "%v", it)

@@ -1,0 +1,71 @@
+package hub
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/fiber"
+)
+
+// Frame is one wire-level HUB command frame: the classic 3-byte command,
+// plus the combining extension when the opcode is a combining command.
+// The simulation moves commands as structured fiber.Items; this codec
+// pins the byte-level encoding the hardware would see (and gives the
+// fuzzer a surface: DecodeCommand must reject malformed frames without
+// panicking, and accepted frames must re-encode byte-identically).
+type Frame struct {
+	Cmd  fiber.Command
+	Comb *fiber.CombData
+}
+
+// EncodeCommand serializes a frame: 3 bytes for classic commands,
+// fiber.CombBytes for combining commands (big-endian multi-byte fields).
+func EncodeCommand(f Frame) []byte {
+	if f.Comb == nil {
+		return []byte{f.Cmd.Op, f.Cmd.Hub, f.Cmd.Param}
+	}
+	b := make([]byte, fiber.CombBytes)
+	b[0], b[1], b[2] = f.Cmd.Op, f.Cmd.Hub, f.Cmd.Param
+	b[3] = f.Comb.Lane
+	binary.BigEndian.PutUint16(b[4:], f.Comb.Tag)
+	binary.BigEndian.PutUint16(b[6:], f.Comb.Count)
+	binary.BigEndian.PutUint32(b[8:], f.Comb.Seq)
+	binary.BigEndian.PutUint64(b[12:], f.Comb.Operand)
+	return b
+}
+
+// DecodeCommand parses a wire frame. A frame is valid only when its length
+// matches its opcode's class exactly: 3 bytes for user/supervisor commands,
+// fiber.CombBytes for combining commands with a nonzero fan-in count.
+func DecodeCommand(b []byte) (Frame, error) {
+	switch len(b) {
+	case fiber.CommandBytes:
+		op := Opcode(b[0])
+		if op.IsComb() {
+			return Frame{}, fmt.Errorf("hub: combining command %v needs a %d-byte frame", op, fiber.CombBytes)
+		}
+		if !op.IsUser() && !op.IsSupervisor() {
+			return Frame{}, fmt.Errorf("hub: unknown opcode %d", b[0])
+		}
+		return Frame{Cmd: fiber.Command{Op: b[0], Hub: b[1], Param: b[2]}}, nil
+	case fiber.CombBytes:
+		op := Opcode(b[0])
+		if !op.IsComb() {
+			return Frame{}, fmt.Errorf("hub: opcode %v is not a combining command", op)
+		}
+		cd := &fiber.CombData{
+			Lane:    b[3],
+			Tag:     binary.BigEndian.Uint16(b[4:]),
+			Count:   binary.BigEndian.Uint16(b[6:]),
+			Seq:     binary.BigEndian.Uint32(b[8:]),
+			Operand: binary.BigEndian.Uint64(b[12:]),
+		}
+		if cd.Count == 0 {
+			return Frame{}, fmt.Errorf("hub: combining command %v with zero fan-in", op)
+		}
+		return Frame{Cmd: fiber.Command{Op: b[0], Hub: b[1], Param: b[2]}, Comb: cd}, nil
+	default:
+		return Frame{}, fmt.Errorf("hub: command frame of %d bytes (want %d or %d)",
+			len(b), fiber.CommandBytes, fiber.CombBytes)
+	}
+}

@@ -38,6 +38,9 @@ const (
 	FBreakerClose         // circuit breaker closed          A=peer
 	FSLOAlert             // SLO burn-rate alert fired       A=fast burn x100  B=window quantile ns
 	FSLOClear             // SLO burn-rate alert cleared     A=fast burn x100
+	FCombine              // HUB combining slot completed    A=slot tag  B=seq
+	FCombTimeout          // HUB combining slot flushed partial  A=slot tag  B=contributors present
+	FCreditLoss           // hub output ready credit regenerated  A=port  B=generation
 	kindCount
 )
 
@@ -66,6 +69,9 @@ var kindNames = [kindCount]string{
 	FBreakerClose:    "breaker-close",
 	FSLOAlert:        "slo-alert",
 	FSLOClear:        "slo-clear",
+	FCombine:         "combine",
+	FCombTimeout:     "comb-timeout",
+	FCreditLoss:      "credit-loss",
 }
 
 // String returns the kind's display name.

@@ -214,8 +214,18 @@ func WithMetrics() Option { return core.WithMetrics() }
 func WithTraceSpans() Option { return core.WithTraceSpans() }
 
 // WithCollAlgorithm forces the collective subsystem's algorithm family
-// ("tree", "rd", "ring", or "mcast") in place of automatic selection.
+// ("tree", "rd", "ring", "mcast", or "comb") in place of automatic
+// selection.
 func WithCollAlgorithm(name string) Option { return core.WithCollAlgorithm(name) }
+
+// WithHubCombining arms the in-network combining engine on every HUB:
+// reduce, allreduce, and barrier merge their operands at the switch
+// (fetch-and-add / reduce-on-the-wire / barrier ack aggregation) instead
+// of at the endpoints, and the collective layer auto-selects HUB
+// combining where it applies — hierarchically on multi-HUB meshes.
+// Disabled systems carry no combining state and replay digest-identically
+// to builds without the feature.
+func WithHubCombining() Option { return core.WithHubCombining() }
 
 // WithFaultRecovery arms automatic failure detection and recovery: link
 // probing, peer heartbeats, and bounded retransmission backoff.
